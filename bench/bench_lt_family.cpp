@@ -1,0 +1,45 @@
+// B1 — the Liu–Tarjan simple-algorithm family (§2.2's framework source):
+// round counts of all 12 connect/shortcut/alter combinations across graph
+// families. Expected shape (LT'19): extended-connect ≤ parent-connect ≤
+// direct-connect rounds; full shortcutting never hurts; ALTER helps the
+// sparse high-diameter families.
+#include "bench_support.hpp"
+#include "baselines/lt_family.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logcc;
+  using namespace logcc::bench;
+  using namespace logcc::baselines;
+
+  util::Cli cli(argc, argv);
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(cli.get_int("n", 4096, "vertex count"));
+  cli.finish();
+
+  header("B1: Liu–Tarjan family round counts",
+         "claim (LT'19): E <= P <= D rounds; F-shortcut never hurts; the "
+         "paper's framework baselines");
+
+  const std::vector<std::string> families = {"path", "grid", "tree", "gnm2",
+                                             "rmat", "caterpillar"};
+  std::vector<std::string> cols{"variant"};
+  for (const auto& f : families) cols.push_back(f);
+  util::TextTable table(cols);
+
+  bool all_correct = true;
+  for (const LtVariant& v : lt_all_variants()) {
+    table.row().add(v.name());
+    for (const std::string& family : families) {
+      graph::EdgeList el = graph::make_family(family, n, 13);
+      auto r = liu_tarjan_variant(el, v);
+      auto oracle = graph::bfs_components(graph::Graph::from_edges(el));
+      all_correct = all_correct && graph::same_partition(oracle, r.labels);
+      table.add_int(static_cast<long long>(r.rounds));
+    }
+  }
+  table.print();
+  std::printf("\nall answers matched the BFS oracle: %s\n",
+              all_correct ? "PASS" : "FAIL");
+  return 0;
+}

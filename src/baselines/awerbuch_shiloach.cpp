@@ -1,0 +1,103 @@
+#include "baselines/awerbuch_shiloach.hpp"
+
+#include "util/check.hpp"
+
+namespace logcc::baselines {
+
+using graph::VertexId;
+
+namespace {
+
+/// Star test: st[v] == true iff v's tree is a star. The classic 3-substep
+/// CRCW routine, each substep synchronous.
+void star_detect(const std::vector<VertexId>& d, std::vector<char>& st,
+                 std::vector<char>& scratch) {
+  const std::size_t n = d.size();
+  st.assign(n, 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    VertexId dd = d[d[v]];
+    if (d[v] != dd) {
+      st[v] = 0;
+      st[dd] = 0;
+    }
+  }
+  // st(v) := st(v) AND st(D(v)) — the AND keeps the own-flag a depth-2
+  // vertex set in the previous substep (plain copy-from-parent would
+  // overwrite it with the parent's stale value and mis-classify non-star
+  // trees, enabling cycle-creating hooks).
+  scratch.resize(n);
+  for (std::size_t v = 0; v < n; ++v) scratch[v] = st[v] && st[d[v]];
+  st.swap(scratch);
+}
+
+}  // namespace
+
+// Synchronous rendering (see shiloach_vishkin.cpp for why).
+BaselineResult awerbuch_shiloach(const graph::EdgeList& el) {
+  const std::uint64_t n = el.n;
+  std::vector<VertexId> d(n), next(n);
+  for (std::uint64_t v = 0; v < n; ++v) d[v] = static_cast<VertexId>(v);
+  std::vector<char> st, scratch;
+
+  BaselineResult out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.rounds;
+
+    // (1) star roots hook onto strictly smaller neighbour labels.
+    star_detect(d, st, scratch);
+    next = d;
+    for (const auto& e : el.edges) {
+      for (int dir = 0; dir < 2; ++dir) {
+        VertexId u = dir ? e.v : e.u;
+        VertexId v = dir ? e.u : e.v;
+        if (st[u] && d[v] < d[u]) {
+          next[d[u]] = d[v];
+          changed = true;
+        }
+      }
+    }
+    d.swap(next);
+
+    // (2) trees that are *still* stars hook onto any neighbouring tree.
+    // After re-detection two adjacent stars cannot both remain (step 1
+    // would have hooked the larger), so no mutual hooking.
+    star_detect(d, st, scratch);
+    next = d;
+    for (const auto& e : el.edges) {
+      for (int dir = 0; dir < 2; ++dir) {
+        VertexId u = dir ? e.v : e.u;
+        VertexId v = dir ? e.u : e.v;
+        if (st[u] && d[v] != d[u]) {
+          next[d[u]] = d[v];
+          changed = true;
+        }
+      }
+    }
+    d.swap(next);
+
+    // (3) shortcut.
+    next = d;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      VertexId dd = d[d[v]];
+      if (d[v] != dd) {
+        next[v] = dd;
+        changed = true;
+      }
+    }
+    d.swap(next);
+
+    LOGCC_CHECK_MSG(out.rounds <= 4096, "AS failed to converge");
+  }
+
+  for (std::uint64_t v = 0; v < n; ++v) {
+    VertexId r = d[v];
+    while (d[r] != r) r = d[r];
+    d[v] = r;
+  }
+  out.labels = std::move(d);
+  return out;
+}
+
+}  // namespace logcc::baselines

@@ -1,0 +1,11 @@
+// Awerbuch–Shiloach (1987): the star-based simplification of
+// Shiloach–Vishkin; deterministic, O(log n) rounds, ARBITRARY CRCW.
+#pragma once
+
+#include "baselines/shiloach_vishkin.hpp"
+
+namespace logcc::baselines {
+
+BaselineResult awerbuch_shiloach(const graph::EdgeList& el);
+
+}  // namespace logcc::baselines

@@ -1,0 +1,14 @@
+#include "baselines/bfs_cc.hpp"
+
+#include "graph/graph_algos.hpp"
+
+namespace logcc::baselines {
+
+BaselineResult bfs_cc(const graph::EdgeList& el) {
+  BaselineResult out;
+  out.rounds = 1;
+  out.labels = graph::bfs_components(graph::Graph::from_edges(el));
+  return out;
+}
+
+}  // namespace logcc::baselines

@@ -1,0 +1,13 @@
+// Sequential BFS connected components on an EdgeList — the linear-time
+// sequential reference (`graph search [Tar72]` in the paper's introduction)
+// and the oracle benches compare wall-clock against.
+#pragma once
+
+#include "baselines/shiloach_vishkin.hpp"
+#include "graph/graph.hpp"
+
+namespace logcc::baselines {
+
+BaselineResult bfs_cc(const graph::EdgeList& el);
+
+}  // namespace logcc::baselines

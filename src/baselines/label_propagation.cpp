@@ -1,0 +1,85 @@
+#include "baselines/label_propagation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logcc::baselines {
+
+using graph::Edge;
+using graph::VertexId;
+
+BaselineResult label_propagation(const graph::EdgeList& el) {
+  const std::uint64_t n = el.n;
+  std::vector<VertexId> label(n), next(n);
+  for (std::uint64_t v = 0; v < n; ++v) label[v] = static_cast<VertexId>(v);
+
+  BaselineResult out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.rounds;
+    next = label;  // synchronous update: reads see the previous round
+    for (const auto& e : el.edges) {
+      next[e.u] = std::min(next[e.u], label[e.v]);
+      next[e.v] = std::min(next[e.v], label[e.u]);
+    }
+    if (next != label) {
+      changed = true;
+      label.swap(next);
+    }
+  }
+  out.labels = std::move(label);
+  return out;
+}
+
+BaselineResult liu_tarjan(const graph::EdgeList& el) {
+  const std::uint64_t n = el.n;
+  std::vector<VertexId> p(n);
+  for (std::uint64_t v = 0; v < n; ++v) p[v] = static_cast<VertexId>(v);
+  std::vector<Edge> edges = el.edges;
+
+  BaselineResult out;
+  while (true) {
+    ++out.rounds;
+    bool linked = false;
+    // Parent link (min-combining flavour): every vertex adopts the smallest
+    // neighbouring parent label; monotone, cycle-free because links strictly
+    // decrease labels.
+    std::vector<VertexId> target = p;
+    for (const auto& e : edges) {
+      target[e.u] = std::min(target[e.u], p[e.v]);
+      target[e.v] = std::min(target[e.v], p[e.u]);
+    }
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (target[v] < p[p[v]]) {
+        p[p[v]] = target[v];  // hook v's root downward
+        linked = true;
+      }
+    }
+    // Shortcut.
+    for (std::uint64_t v = 0; v < n; ++v) p[v] = p[p[v]];
+    // Alter: rewrite edges to parents, dropping loops.
+    std::vector<Edge> next;
+    next.reserve(edges.size());
+    for (const auto& e : edges) {
+      VertexId a = p[e.u], b = p[e.v];
+      if (a != b) next.push_back({a, b});
+    }
+    edges.swap(next);
+    if (edges.empty() && !linked) break;
+    LOGCC_CHECK_MSG(out.rounds <= 4096, "liu_tarjan failed to converge");
+  }
+
+  for (std::uint64_t v = 0; v < n; ++v) {
+    VertexId r = p[v];
+    while (p[r] != r) r = p[r];
+    p[v] = r;
+  }
+  BaselineResult res;
+  res.rounds = out.rounds;
+  res.labels = std::move(p);
+  return res;
+}
+
+}  // namespace logcc::baselines

@@ -1,0 +1,155 @@
+#include "baselines/lt_family.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logcc::baselines {
+
+using graph::Edge;
+using graph::VertexId;
+
+std::string LtVariant::name() const {
+  std::string s;
+  switch (connect) {
+    case LtConnect::kDirect: s += "D"; break;
+    case LtConnect::kParent: s += "P"; break;
+    case LtConnect::kExtended: s += "E"; break;
+  }
+  s += shortcut == LtShortcut::kSingle ? "-S" : "-F";
+  if (alter) s += "-A";
+  return s;
+}
+
+std::vector<LtVariant> lt_all_variants() {
+  std::vector<LtVariant> out;
+  for (LtConnect c :
+       {LtConnect::kDirect, LtConnect::kParent, LtConnect::kExtended})
+    for (LtShortcut s : {LtShortcut::kSingle, LtShortcut::kFull})
+      for (bool a : {false, true}) {
+        if (c == LtConnect::kDirect && !a) continue;  // see header
+        out.push_back({c, s, a});
+      }
+  return out;
+}
+
+std::vector<LtVariant> lt_incorrect_variants() {
+  return {{LtConnect::kDirect, LtShortcut::kSingle, false},
+          {LtConnect::kDirect, LtShortcut::kFull, false}};
+}
+
+BaselineResult liu_tarjan_variant(const graph::EdgeList& el,
+                                  const LtVariant& variant) {
+  const std::uint64_t n = el.n;
+  std::vector<VertexId> p(n), next(n);
+  for (std::uint64_t v = 0; v < n; ++v) p[v] = static_cast<VertexId>(v);
+  std::vector<Edge> edges = el.edges;
+
+  BaselineResult out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.rounds;
+
+    // Connect: proposals resolved by min (synchronous — reads see the
+    // previous round's parents).
+    next = p;
+    auto offer = [&](VertexId target, VertexId label) {
+      if (label < next[target]) {
+        next[target] = label;
+        changed = true;
+      }
+    };
+    for (const Edge& e : edges) {
+      if (e.u == e.v) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        VertexId v = dir ? e.v : e.u;
+        VertexId w = dir ? e.u : e.v;
+        switch (variant.connect) {
+          case LtConnect::kDirect:
+            // Root v adopts its smallest neighbour.
+            if (p[v] == v) offer(v, w);
+            break;
+          case LtConnect::kParent:
+            offer(p[v], p[w]);
+            break;
+          case LtConnect::kExtended:
+            offer(p[v], p[w]);
+            offer(p[v], p[p[w]]);
+            offer(v, p[w]);
+            break;
+        }
+      }
+    }
+    p.swap(next);
+
+    // Shortcut.
+    if (variant.shortcut == LtShortcut::kSingle) {
+      next = p;
+      for (std::uint64_t v = 0; v < n; ++v) {
+        if (next[v] != p[p[v]]) {
+          next[v] = p[p[v]];
+          changed = true;
+        }
+      }
+      p.swap(next);
+    } else {
+      // Full flatten. Every inner SHORTCUT step is a PRAM step; count each
+      // beyond the first so "-F" rounds stay comparable to "-S" rounds
+      // (otherwise flatten would hide Θ(log n) work inside one "round").
+      bool more = true;
+      bool first = true;
+      while (more) {
+        more = false;
+        next = p;
+        for (std::uint64_t v = 0; v < n; ++v) {
+          if (next[v] != p[p[v]]) {
+            next[v] = p[p[v]];
+            more = true;
+            changed = true;
+          }
+        }
+        p.swap(next);
+        if (!first && more) ++out.rounds;
+        first = false;
+      }
+    }
+
+    // Alter.
+    if (variant.alter) {
+      std::vector<Edge> altered;
+      altered.reserve(edges.size());
+      for (const Edge& e : edges) {
+        VertexId a = p[e.u], b = p[e.v];
+        if (a != b) altered.push_back({a, b});
+      }
+      edges.swap(altered);
+      // Deduplicate to keep rounds O(m)-work.
+      for (Edge& e : edges)
+        if (e.u > e.v) std::swap(e.u, e.v);
+      std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      });
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+
+    LOGCC_CHECK_MSG(out.rounds <= 1u << 20,
+                    "LT variant failed to converge");
+  }
+
+  // Labels only decrease and connects always offer values within the
+  // component, so the fixpoint is flat per component; flatten defensively.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    VertexId r = p[v];
+    std::uint64_t guard = 0;
+    while (p[r] != r) {
+      r = p[r];
+      LOGCC_CHECK_MSG(++guard <= n, "cycle in LT parent forest");
+    }
+    p[v] = r;
+  }
+  out.labels = std::move(p);
+  return out;
+}
+
+}  // namespace logcc::baselines

@@ -1,0 +1,97 @@
+#include "baselines/shiloach_vishkin.hpp"
+
+#include "util/check.hpp"
+
+namespace logcc::baselines {
+
+using graph::VertexId;
+
+// Synchronous rendering: every step reads the previous step's D (PRAM
+// semantics). Sequential in-place updates would cascade along chains within
+// one round (acting like path compression) and destroy the Θ(log n) round
+// structure the benches measure.
+BaselineResult shiloach_vishkin(const graph::EdgeList& el) {
+  const std::uint64_t n = el.n;
+  std::vector<VertexId> d(n), next(n);
+  std::vector<std::uint32_t> q(n, 0);
+  for (std::uint64_t v = 0; v < n; ++v) d[v] = static_cast<VertexId>(v);
+
+  BaselineResult out;
+  bool changed = true;
+  std::uint32_t iter = 0;
+  while (changed) {
+    changed = false;
+    ++iter;
+    ++out.rounds;
+
+    // Step 1: one synchronous shortcut; stamp the new parent of every vertex
+    // that moved (so any height-≥2 tree stamps its root via a grandchild).
+    next = d;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      VertexId dd = d[d[v]];
+      if (d[v] != dd) {
+        next[v] = dd;
+        q[dd] = iter;
+        changed = true;
+      }
+    }
+    d.swap(next);
+
+    // Step 2: vertices whose parent is a root hook that root onto a strictly
+    // smaller neighbouring label (concurrent writes: last proposal wins —
+    // the ARBITRARY resolution). Strictly decreasing labels => acyclic.
+    next = d;
+    for (const auto& e : el.edges) {
+      for (int dir = 0; dir < 2; ++dir) {
+        VertexId u = dir ? e.v : e.u;
+        VertexId v = dir ? e.u : e.v;
+        if (d[u] == d[d[u]] && d[v] < d[u]) {
+          next[d[u]] = d[v];
+          q[d[v]] = iter;
+          changed = true;
+        }
+      }
+    }
+    d.swap(next);
+
+    // Step 3: stagnant trees (untouched this iteration — necessarily stars)
+    // hook onto any neighbouring tree. Two adjacent stagnant stars cannot
+    // both exist (Step 2 would have fired), so no mutual hooking.
+    next = d;
+    for (const auto& e : el.edges) {
+      for (int dir = 0; dir < 2; ++dir) {
+        VertexId u = dir ? e.v : e.u;
+        VertexId v = dir ? e.u : e.v;
+        if (d[u] == d[d[u]] && q[d[u]] != iter && d[u] != d[v]) {
+          next[d[u]] = d[v];
+          changed = true;
+        }
+      }
+    }
+    d.swap(next);
+
+    // Step 4: shortcut again.
+    next = d;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      VertexId dd = d[d[v]];
+      if (d[v] != dd) {
+        next[v] = dd;
+        changed = true;
+      }
+    }
+    d.swap(next);
+
+    LOGCC_CHECK_MSG(out.rounds <= 4096, "SV failed to converge");
+  }
+
+  // Flatten completely so labels are root ids.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    VertexId r = d[v];
+    while (d[r] != r) r = d[r];
+    d[v] = r;
+  }
+  out.labels = std::move(d);
+  return out;
+}
+
+}  // namespace logcc::baselines

@@ -1,0 +1,24 @@
+// Shiloach–Vishkin (1982) connected components — the classical O(log n)-time
+// ARBITRARY CRCW PRAM algorithm the paper's introduction departs from.
+//
+// This is the fast "synchronous vector" rendering (see DESIGN.md §5.1); the
+// step-faithful on-simulator version lives in pram/sv_on_pram.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace logcc::baselines {
+
+struct BaselineResult {
+  std::vector<graph::VertexId> labels;
+  std::uint64_t rounds = 0;
+};
+
+/// Original-style Shiloach–Vishkin: shortcut, hook-smaller, stagnant hook
+/// (via Q stamps), shortcut; O(log n) rounds.
+BaselineResult shiloach_vishkin(const graph::EdgeList& el);
+
+}  // namespace logcc::baselines

@@ -1,0 +1,54 @@
+#include "baselines/union_find.hpp"
+
+#include <algorithm>
+
+namespace logcc::baselines {
+
+using graph::VertexId;
+
+DisjointSets::DisjointSets(std::uint64_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (std::uint64_t v = 0; v < n; ++v) parent_[v] = static_cast<VertexId>(v);
+}
+
+VertexId DisjointSets::find(VertexId v) {
+  // Path splitting: every node on the find path points to its grandparent.
+  while (parent_[v] != v) {
+    VertexId next = parent_[v];
+    parent_[v] = parent_[next];
+    v = next;
+  }
+  return v;
+}
+
+bool DisjointSets::unite(VertexId u, VertexId v) {
+  VertexId ru = find(u), rv = find(v);
+  if (ru == rv) return false;
+  if (rank_[ru] < rank_[rv]) std::swap(ru, rv);
+  parent_[rv] = ru;
+  if (rank_[ru] == rank_[rv]) ++rank_[ru];
+  --num_sets_;
+  return true;
+}
+
+BaselineResult union_find_cc(const graph::EdgeList& el) {
+  DisjointSets ds(el.n);
+  for (const auto& e : el.edges) ds.unite(e.u, e.v);
+
+  BaselineResult out;
+  out.rounds = 1;
+  // Canonicalise to min-id labels.
+  std::vector<VertexId> min_of(el.n);
+  for (std::uint64_t v = 0; v < el.n; ++v)
+    min_of[v] = static_cast<VertexId>(v);
+  for (std::uint64_t v = 0; v < el.n; ++v) {
+    VertexId r = ds.find(static_cast<VertexId>(v));
+    min_of[r] = std::min(min_of[r], static_cast<VertexId>(v));
+  }
+  out.labels.resize(el.n);
+  for (std::uint64_t v = 0; v < el.n; ++v)
+    out.labels[v] = min_of[ds.find(static_cast<VertexId>(v))];
+  return out;
+}
+
+}  // namespace logcc::baselines

@@ -1,0 +1,32 @@
+// Sequential baselines: union-find with path splitting and union by rank
+// (Tarjan & van Leeuwen 1984) — the practical sequential yardstick — and a
+// reusable DisjointSets structure used by validators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/shiloach_vishkin.hpp"
+#include "graph/graph.hpp"
+
+namespace logcc::baselines {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::uint64_t n);
+
+  graph::VertexId find(graph::VertexId v);
+  /// Returns true if u and v were in different sets (i.e. a merge happened).
+  bool unite(graph::VertexId u, graph::VertexId v);
+  std::uint64_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<graph::VertexId> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::uint64_t num_sets_;
+};
+
+/// Connected components via union-find; labels are min vertex ids.
+BaselineResult union_find_cc(const graph::EdgeList& el);
+
+}  // namespace logcc::baselines

@@ -1,0 +1,116 @@
+#include "core/building_blocks.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logcc::core {
+
+std::vector<Arc> arcs_from_edges(const graph::EdgeList& el) {
+  std::vector<Arc> arcs;
+  arcs.reserve(el.edges.size());
+  for (std::uint32_t i = 0; i < el.edges.size(); ++i) {
+    const auto& e = el.edges[i];
+    LOGCC_CHECK(e.u < el.n && e.v < el.n);
+    arcs.push_back({e.u, e.v, i});
+  }
+  return arcs;
+}
+
+void alter(std::vector<Arc>& arcs, const ParentForest& forest) {
+  for (Arc& a : arcs) {
+    a.u = forest.parent(a.u);
+    a.v = forest.parent(a.v);
+  }
+}
+
+std::uint64_t drop_loops(std::vector<Arc>& arcs) {
+  std::uint64_t before = arcs.size();
+  std::erase_if(arcs, [](const Arc& a) { return a.u == a.v; });
+  return before - arcs.size();
+}
+
+void dedup_arcs(std::vector<Arc>& arcs) {
+  for (Arc& a : arcs)
+    if (a.u > a.v) std::swap(a.u, a.v);
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                         [](const Arc& a, const Arc& b) {
+                           return a.u == b.u && a.v == b.v;
+                         }),
+             arcs.end());
+}
+
+bool has_nonloop(const std::vector<Arc>& arcs) {
+  for (const Arc& a : arcs)
+    if (a.u != a.v) return true;
+  return false;
+}
+
+namespace {
+
+template <typename MarkFn>
+std::uint64_t contract_impl(ParentForest& forest, std::vector<Arc>& arcs,
+                            RunStats& stats, MarkFn&& mark) {
+  // Invariant at the top of every round: trees are flat, arcs connect roots.
+  forest.flatten();
+  alter(arcs, forest);
+  drop_loops(arcs);
+
+  std::uint64_t rounds = 0;
+  while (has_nonloop(arcs)) {
+    ++rounds;
+    ++stats.phases;
+    stats.pram_steps += 3;  // hook, flatten(amortised), alter
+    // Every root hooks onto the minimum neighbouring root label (strictly
+    // smaller than itself): Boruvka hooking. Local-minima roots survive, so
+    // the root count at least halves per component per round.
+    const std::uint64_t n = forest.size();
+    std::vector<VertexId> best(n);
+    std::vector<std::uint32_t> best_arc(n, static_cast<std::uint32_t>(-1));
+    for (std::uint64_t v = 0; v < n; ++v) best[v] = static_cast<VertexId>(v);
+    for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+      const Arc& a = arcs[i];
+      if (a.u == a.v) continue;
+      if (a.v < best[a.u]) {
+        best[a.u] = a.v;
+        best_arc[a.u] = i;
+      }
+      if (a.u < best[a.v]) {
+        best[a.v] = a.u;
+        best_arc[a.v] = i;
+      }
+    }
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (best[v] < v && forest.is_root(static_cast<VertexId>(v))) {
+        forest.set_parent(static_cast<VertexId>(v), best[v]);
+        mark(arcs[best_arc[v]]);
+      }
+    }
+    forest.flatten();
+    alter(arcs, forest);
+    drop_loops(arcs);
+    dedup_arcs(arcs);
+    LOGCC_CHECK_MSG(rounds <= 4096, "deterministic contract diverged");
+  }
+  return rounds;
+}
+
+}  // namespace
+
+std::uint64_t deterministic_contract(ParentForest& forest,
+                                     std::vector<Arc>& arcs, RunStats& stats) {
+  return contract_impl(forest, arcs, stats, [](const Arc&) {});
+}
+
+std::uint64_t deterministic_contract_sf(ParentForest& forest,
+                                        std::vector<Arc>& arcs,
+                                        std::vector<std::uint8_t>& in_forest,
+                                        RunStats& stats) {
+  return contract_impl(forest, arcs, stats,
+                       [&](const Arc& a) { in_forest[a.orig] = 1; });
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,62 @@
+// The paper's four building blocks (§2.2) over an arc list:
+//
+//   * ALTER        — replace every edge {v,w} by {v.p, w.p};
+//   * direct LINK / parent LINK — applied inside the algorithm drivers;
+//   * SHORTCUT     — lives on ParentForest (labels.hpp);
+//   * expansion    — lives in hash_table/expand/expand_maxlink.
+//
+// Arcs carry the index of the original input edge they were altered from
+// (`orig`), which is what lets the spanning-forest algorithm mark tree edges
+// of the *input* graph (the ê/e distinction of §C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labels.hpp"
+#include "core/metrics.hpp"
+#include "graph/graph.hpp"
+
+namespace logcc::core {
+
+struct Arc {
+  VertexId u = 0;
+  VertexId v = 0;
+  std::uint32_t orig = 0;  // index into the input EdgeList
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// Builds the initial arc list from the input (one Arc per undirected edge;
+/// algorithms enumerate both directions).
+std::vector<Arc> arcs_from_edges(const graph::EdgeList& el);
+
+/// ALTER: every arc (u, v) becomes (u.p, v.p); `orig` is preserved.
+void alter(std::vector<Arc>& arcs, const ParentForest& forest);
+
+/// Drops self-loop arcs (u == v). Returns the number removed.
+std::uint64_t drop_loops(std::vector<Arc>& arcs);
+
+/// Sort + unique on (u, v) treating arcs as undirected; keeps the first
+/// `orig` per surviving pair. Controls arc-list growth after ALTERs.
+void dedup_arcs(std::vector<Arc>& arcs);
+
+/// True iff some arc is not a self-loop — the paper's "no edge exists other
+/// than loops" break condition, negated.
+bool has_nonloop(const std::vector<Arc>& arcs);
+
+/// Guaranteed-convergent finisher (DESIGN.md §5.3): deterministic
+/// Boruvka-style min-label hooking + full flatten + ALTER until no non-loop
+/// arc remains. O(log n) rounds worst case, no randomness. Used when a
+/// randomized driver exhausts its round budget, and as the last stage of
+/// Theorem-3 runs. Returns the number of rounds.
+std::uint64_t deterministic_contract(ParentForest& forest,
+                                     std::vector<Arc>& arcs, RunStats& stats);
+
+/// Spanning-forest flavour: records, for every hook, the original input edge
+/// that realised it (`in_forest[orig] = 1`).
+std::uint64_t deterministic_contract_sf(ParentForest& forest,
+                                        std::vector<Arc>& arcs,
+                                        std::vector<std::uint8_t>& in_forest,
+                                        RunStats& stats);
+
+}  // namespace logcc::core

@@ -1,0 +1,203 @@
+#include "core/cc_theorem1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/expand.hpp"
+#include "core/vanilla.hpp"
+#include "core/vote.hpp"
+#include "util/bitutil.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+Theorem1Params Theorem1Params::paper(std::uint64_t n, std::uint64_t m) {
+  (void)m;
+  Theorem1Params p;
+  p.block_exp = 2.0 / 3.0;
+  p.table_exp = 1.0 / 3.0;
+  p.b_exp = 1.0 / 18.0;
+  p.min_table_capacity = 2;
+  // log^c n with c = 100: at feasible n this exceeds any real m/n, so
+  // PREPARE dominates — exactly what the theory predicts for small inputs.
+  double log_n = std::log2(std::max<double>(n, 4));
+  p.prepare_target_density = std::pow(log_n, 100.0);
+  p.prepare_max_phases =
+      static_cast<std::uint64_t>(100.0 * util::log_base(std::max(4.0, std::log2(std::max<double>(n, 4))), 8.0 / 7.0)) +
+      8;
+  return p;
+}
+
+namespace {
+
+/// Distinct endpoints of non-loop arcs. All must be roots (flat trees +
+/// ALTER guarantee this; checked in debug builds).
+std::vector<VertexId> collect_ongoing(const ParentForest& forest,
+                                      const std::vector<Arc>& arcs) {
+  std::vector<VertexId> out;
+  out.reserve(arcs.size() / 2);
+  std::vector<std::uint8_t> seen;  // lazily sized
+  seen.assign(forest.size(), 0);
+  for (const Arc& a : arcs) {
+    if (a.u == a.v) continue;
+    for (VertexId v : {a.u, a.v}) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        LOGCC_DCHECK(forest.is_root(v));
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
+                     std::uint64_t m0, const Theorem1Params& params,
+                     RunStats& stats) {
+  const std::uint64_t n = forest.size();
+  m0 = std::max<std::uint64_t>(m0, 1);
+
+  std::uint64_t max_phases = params.max_phases;
+  if (max_phases == 0) {
+    max_phases = static_cast<std::uint64_t>(
+                     8.0 * util::loglog_density(n, m0)) +
+                 24;
+  }
+
+  // ñ update rule state (§B.5) for the pure-ARBITRARY variant.
+  double n_tilde = static_cast<double>(std::max<std::uint64_t>(n, 1));
+
+  std::uint64_t phase = 0;
+  while (true) {
+    dedup_arcs(arcs);
+    drop_loops(arcs);
+    if (!has_nonloop(arcs)) return;
+    if (phase >= max_phases) break;  // to finisher
+    ++phase;
+    ++stats.phases;
+
+    std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+    const double n_prime = params.exact_count
+                               ? static_cast<double>(ongoing.size())
+                               : std::max(1.0, n_tilde);
+    const double delta = std::max(2.0, static_cast<double>(m0) / n_prime);
+    const double b = std::max(2.0, std::pow(delta, params.b_exp));
+
+    ExpandParams ep;
+    ep.seed = util::mix64(params.seed, 0xE0 + phase);
+    ep.table_capacity = static_cast<std::uint32_t>(
+        std::clamp<double>(std::pow(delta, params.table_exp),
+                           params.min_table_capacity, double(1u << 22)));
+    const double block_size = std::max(4.0, std::pow(delta, params.block_exp));
+    ep.block_count =
+        std::max<std::uint64_t>(2 * ongoing.size() + 1,
+                                static_cast<std::uint64_t>(
+                                    static_cast<double>(m0) / block_size));
+    ep.max_rounds = util::ceil_log2(std::max<std::uint64_t>(n, 2)) + 4;
+    ep.keep_history = false;
+
+    ExpandEngine expand(n, ongoing, arcs, ep, stats);
+    expand.run();
+
+    VoteParams vp;
+    vp.dormant_leader_prob = std::pow(b, -2.0 / 3.0);
+    vp.seed = util::mix64(params.seed, 0x40E + phase);
+    std::vector<std::uint8_t> leader = vote(expand, vp, stats);
+
+    // Space in use this phase: arc processors + all tables.
+    stats.peak_space_words =
+        std::max(stats.peak_space_words,
+                 arcs.size() * 3 + static_cast<std::uint64_t>(ongoing.size()) *
+                                       ep.table_capacity);
+    stats.total_block_words +=
+        static_cast<std::uint64_t>(ongoing.size()) * ep.table_capacity;
+
+    // LINK: non-leaders adopt any leader in their neighbour set (graph arcs
+    // plus the expanded tables). The sweep order realises the ARBITRARY
+    // write resolution.
+    stats.pram_steps += 1;
+    auto try_link = [&](VertexId v, VertexId w) {
+      std::uint32_t sv = expand.slot_of(v);
+      std::uint32_t sw = expand.slot_of(w);
+      if (sv == ExpandEngine::kNoSlot || sw == ExpandEngine::kNoSlot) return;
+      if (!leader[sv] && leader[sw] && forest.is_root(v))
+        forest.set_parent(v, w);
+    };
+    for (const Arc& a : arcs) {
+      if (a.u == a.v) continue;
+      try_link(a.u, a.v);
+      try_link(a.v, a.u);
+    }
+    for (std::uint32_t s = 0; s < expand.num_slots(); ++s) {
+      if (leader[s]) continue;
+      VertexId v = expand.vertex_of(s);
+      expand.table(s).for_each([&](VertexId w) { try_link(v, w); });
+    }
+
+    // SHORTCUT; ALTER.
+    forest.shortcut();
+    stats.pram_steps += 2;
+    alter(arcs, forest);
+    drop_loops(arcs);
+
+    // ñ update rule (§B.5): ñ := ñ / b^{1/4}.
+    n_tilde = std::max(1.0, n_tilde / std::pow(b, 0.25));
+  }
+
+  // Round budget exhausted (vanishingly rare; bench T4 quantifies): finish
+  // deterministically.
+  stats.finisher_used = true;
+  deterministic_contract(forest, arcs, stats);
+}
+
+CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params) {
+  CcResult out;
+  const std::uint64_t n = el.n;
+  ParentForest forest(n);
+  std::vector<Arc> arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  dedup_arcs(arcs);
+  const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
+
+  // PREPARE (§B.2): densify with Vanilla while m/n' is below target.
+  if (has_nonloop(arcs)) {
+    double density = static_cast<double>(m0) /
+                     std::max<double>(1.0, static_cast<double>(n));
+    if (density < params.prepare_target_density) {
+      out.stats.prepare_used = true;
+      VanillaOptions vo;
+      vo.max_phases = 1;
+      const std::uint64_t phases_before = out.stats.phases;
+      std::uint64_t budget = params.prepare_max_phases;
+      if (budget == Theorem1Params::kAutoPreparePhases)
+        budget = static_cast<std::uint64_t>(
+                     2.0 * util::loglog_density(n, m0)) +
+                 4;
+      std::uint64_t prepare_phases = 0;
+      while (prepare_phases < budget && has_nonloop(arcs)) {
+        std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+        if (static_cast<double>(m0) /
+                std::max<double>(1.0, static_cast<double>(ongoing.size())) >=
+            params.prepare_target_density)
+          break;
+        vo.seed = util::mix64(params.seed, 0xAA00 + prepare_phases);
+        vanilla_phases(forest, arcs, vo, out.stats);
+        ++prepare_phases;
+      }
+      // Report densification separately from the theorem's phase loop.
+      out.stats.prepare_phases += out.stats.phases - phases_before;
+      out.stats.phases = phases_before;
+    }
+  }
+
+  theorem1_phases(forest, arcs, m0, params, out.stats);
+
+  forest.flatten();
+  out.labels = forest.root_labels();
+  return out;
+}
+
+}  // namespace logcc::core

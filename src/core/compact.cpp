@@ -1,0 +1,136 @@
+#include "core/compact.hpp"
+
+#include <algorithm>
+
+#include "core/vanilla.hpp"
+#include "util/bitutil.hpp"
+#include "util/check.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+std::optional<std::vector<std::uint32_t>> approximate_compaction_vec(
+    const std::vector<std::uint8_t>& flags, std::uint64_t seed,
+    std::uint32_t max_rounds) {
+  const std::uint64_t n = flags.size();
+  std::vector<std::uint32_t> items;
+  for (std::uint64_t i = 0; i < n; ++i)
+    if (flags[i]) items.push_back(static_cast<std::uint32_t>(i));
+  std::vector<std::uint32_t> slot(n, static_cast<std::uint32_t>(-1));
+  if (items.empty()) return slot;
+  const std::uint64_t cells = 2 * items.size();
+
+  std::vector<std::uint32_t> owner(cells, static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> unplaced = std::move(items);
+  for (std::uint32_t round = 0; round < max_rounds && !unplaced.empty();
+       ++round) {
+    auto h = util::PairwiseHash::from_seed(seed, 0xC0417 + round);
+    // Contend: last write per cell wins (the arbitrary resolution); winners
+    // re-read and claim.
+    std::vector<std::uint32_t> contender(cells, static_cast<std::uint32_t>(-1));
+    for (std::uint32_t id : unplaced) {
+      std::uint64_t c = h(id, cells);
+      if (owner[c] == static_cast<std::uint32_t>(-1)) contender[c] = id;
+    }
+    std::vector<std::uint32_t> still;
+    for (std::uint32_t id : unplaced) {
+      std::uint64_t c = h(id, cells);
+      if (owner[c] == static_cast<std::uint32_t>(-1) && contender[c] == id) {
+        owner[c] = id;
+        slot[id] = static_cast<std::uint32_t>(c);
+      } else {
+        still.push_back(id);
+      }
+    }
+    unplaced.swap(still);
+  }
+  if (!unplaced.empty()) return std::nullopt;
+  return slot;
+}
+
+CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
+  CompactResult out;
+  const std::uint64_t n = el.n;
+  out.outer.reset(n);
+  std::vector<Arc> arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  dedup_arcs(arcs);
+  const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
+
+  // PREPARE: Vanilla phases until density target or the phase budget.
+  std::uint64_t phases = 0;
+  std::uint64_t budget = params.prepare_max_phases;
+  if (budget == CompactParams::kAutoPreparePhases)
+    budget =
+        static_cast<std::uint64_t>(2.0 * util::loglog_density(n, m0)) + 4;
+  VanillaOptions vo;
+  vo.max_phases = 1;
+  auto count_ongoing = [&]() {
+    std::vector<std::uint8_t> seen(n, 0);
+    std::uint64_t count = 0;
+    for (const Arc& a : arcs) {
+      if (a.u == a.v) continue;
+      for (VertexId v : {a.u, a.v}) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+  while (phases < budget && has_nonloop(arcs)) {
+    std::uint64_t ongoing = count_ongoing();
+    if (static_cast<double>(m0) /
+            std::max<double>(1.0, static_cast<double>(ongoing)) >=
+        params.target_density)
+      break;
+    out.stats.prepare_used = true;
+    vo.seed = util::mix64(params.seed, 0xC0DE00 + phases);
+    vanilla_phases(out.outer, arcs, vo, out.stats);
+    ++phases;
+  }
+  // COMPACT's densification is PREPARE work, not theorem-loop phases.
+  out.stats.prepare_phases += out.stats.phases;
+  out.stats.phases = 0;
+
+  // Rename ongoing roots via approximate compaction.
+  std::vector<std::uint8_t> ongoing_flag(n, 0);
+  for (const Arc& a : arcs) {
+    if (a.u == a.v) continue;
+    ongoing_flag[a.u] = 1;
+    ongoing_flag[a.v] = 1;
+  }
+  std::uint64_t k = 0;
+  for (std::uint64_t v = 0; v < n; ++v) k += ongoing_flag[v];
+
+  out.renamed_of.assign(n, CompactResult::kInvalid);
+  if (k == 0) {
+    out.n_compact = 0;
+    return out;
+  }
+
+  auto slots = approximate_compaction_vec(ongoing_flag, params.seed);
+  LOGCC_CHECK_MSG(slots.has_value(), "approximate compaction failed");
+  out.n_compact = 2 * k;
+  out.exists.assign(out.n_compact, 0);
+  out.orig_of.assign(out.n_compact, graph::kInvalidVertex);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!ongoing_flag[v]) continue;
+    std::uint32_t cid = (*slots)[v];
+    out.renamed_of[v] = cid;
+    out.exists[cid] = 1;
+    out.orig_of[cid] = static_cast<VertexId>(v);
+  }
+  out.arcs.reserve(arcs.size());
+  for (const Arc& a : arcs) {
+    if (a.u == a.v) continue;
+    out.arcs.push_back({static_cast<VertexId>(out.renamed_of[a.u]),
+                        static_cast<VertexId>(out.renamed_of[a.v]), a.orig});
+  }
+  out.stats.pram_steps += 3;  // compaction is O(log* n); modeled as O(1) here
+  return out;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,162 @@
+#include "core/connectivity.hpp"
+
+#include "baselines/awerbuch_shiloach.hpp"
+#include "baselines/bfs_cc.hpp"
+#include "baselines/label_propagation.hpp"
+#include "baselines/shiloach_vishkin.hpp"
+#include "baselines/union_find.hpp"
+#include "core/vanilla.hpp"
+#include "graph/graph_algos.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace logcc {
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> kAll = {
+      Algorithm::kFasterCC,   Algorithm::kTheorem1,
+      Algorithm::kVanilla,    Algorithm::kShiloachVishkin,
+      Algorithm::kAwerbuchShiloach, Algorithm::kLabelProp,
+      Algorithm::kLiuTarjan,  Algorithm::kUnionFind,
+      Algorithm::kBFS};
+  return kAll;
+}
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kFasterCC: return "faster-cc";
+    case Algorithm::kTheorem1: return "theorem1";
+    case Algorithm::kVanilla: return "vanilla";
+    case Algorithm::kShiloachVishkin: return "sv";
+    case Algorithm::kAwerbuchShiloach: return "as";
+    case Algorithm::kLabelProp: return "label-prop";
+    case Algorithm::kLiuTarjan: return "liu-tarjan";
+    case Algorithm::kUnionFind: return "union-find";
+    case Algorithm::kBFS: return "bfs";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_string(const std::string& name) {
+  for (Algorithm a : all_algorithms())
+    if (name == to_string(a)) return a;
+  LOGCC_CHECK_MSG(false, "unknown algorithm name");
+  return Algorithm::kBFS;
+}
+
+ComponentsResult connected_components(const graph::EdgeList& el,
+                                      Algorithm algorithm,
+                                      const Options& options) {
+  ComponentsResult out;
+  util::Timer timer;
+  switch (algorithm) {
+    case Algorithm::kFasterCC: {
+      core::FasterCcParams p = options.faster;
+      p.seed = options.seed;
+      p.policy = options.policy;
+      auto r = core::faster_cc(el, p);
+      out.labels = std::move(r.labels);
+      out.stats = r.stats;
+      break;
+    }
+    case Algorithm::kTheorem1: {
+      core::Theorem1Params p =
+          options.policy == core::ParamPolicy::Kind::kPaper
+              ? core::Theorem1Params::paper(el.n, el.edges.size())
+              : options.theorem1;
+      p.seed = options.seed;
+      auto r = core::theorem1_cc(el, p);
+      out.labels = std::move(r.labels);
+      out.stats = r.stats;
+      break;
+    }
+    case Algorithm::kVanilla: {
+      auto r = core::vanilla_cc(el, options.seed);
+      out.labels = std::move(r.labels);
+      out.stats = r.stats;
+      break;
+    }
+    case Algorithm::kShiloachVishkin: {
+      auto r = baselines::shiloach_vishkin(el);
+      out.labels = std::move(r.labels);
+      out.stats.rounds = r.rounds;
+      break;
+    }
+    case Algorithm::kAwerbuchShiloach: {
+      auto r = baselines::awerbuch_shiloach(el);
+      out.labels = std::move(r.labels);
+      out.stats.rounds = r.rounds;
+      break;
+    }
+    case Algorithm::kLabelProp: {
+      auto r = baselines::label_propagation(el);
+      out.labels = std::move(r.labels);
+      out.stats.rounds = r.rounds;
+      break;
+    }
+    case Algorithm::kLiuTarjan: {
+      auto r = baselines::liu_tarjan(el);
+      out.labels = std::move(r.labels);
+      out.stats.rounds = r.rounds;
+      break;
+    }
+    case Algorithm::kUnionFind: {
+      auto r = baselines::union_find_cc(el);
+      out.labels = std::move(r.labels);
+      out.stats.rounds = r.rounds;
+      break;
+    }
+    case Algorithm::kBFS: {
+      auto r = baselines::bfs_cc(el);
+      out.labels = std::move(r.labels);
+      out.stats.rounds = r.rounds;
+      break;
+    }
+  }
+  out.seconds = timer.seconds();
+  out.labels = graph::canonical_labels(out.labels);
+  out.num_components = graph::count_components(out.labels);
+  return out;
+}
+
+ForestResult spanning_forest(const graph::EdgeList& el, SfAlgorithm algorithm,
+                             const Options& options) {
+  ForestResult out;
+  util::Timer timer;
+  switch (algorithm) {
+    case SfAlgorithm::kTheorem2: {
+      core::SpanningForestParams p = options.theorem1;
+      p.seed = options.seed;
+      auto r = core::theorem2_sf(el, p);
+      out.forest_edges = std::move(r.forest_edges);
+      out.stats = r.stats;
+      break;
+    }
+    case SfAlgorithm::kVanillaSF: {
+      auto r = core::vanilla_sf(el, options.seed);
+      out.forest_edges = std::move(r.forest_edges);
+      out.stats = r.stats;
+      break;
+    }
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+bool verify_components(const graph::EdgeList& el,
+                       const std::vector<graph::VertexId>& labels) {
+  if (labels.size() != el.n) return false;
+  // (1) Edges never cross label classes.
+  for (const auto& e : el.edges) {
+    if (e.u >= el.n || e.v >= el.n) return false;
+    if (labels[e.u] != labels[e.v]) return false;
+  }
+  // (2) Label classes are not coarser than the true partition: the number
+  // of distinct labels must equal the union-find component count. Together
+  // with (1) (not finer), the partitions coincide.
+  baselines::DisjointSets ds(el.n);
+  for (const auto& e : el.edges) ds.unite(e.u, e.v);
+  return graph::count_components(labels) == ds.num_sets();
+}
+
+}  // namespace logcc

@@ -1,0 +1,87 @@
+// Public API of logcc.
+//
+// One call computes connected components (or a spanning forest) of an
+// undirected edge list with the algorithm of your choice — the paper's three
+// algorithms plus the classical baselines — and reports the paper-relevant
+// cost metrics alongside the answer.
+//
+//   #include "core/connectivity.hpp"
+//   auto g = logcc::graph::make_gnm(1'000'000, 4'000'000, /*seed=*/42);
+//   auto r = logcc::connected_components(g);     // Theorem-3 algorithm
+//   // r.labels[v] == r.labels[w]  iff  v and w are connected
+//   // r.stats.rounds, r.stats.peak_space_words, ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cc_theorem1.hpp"
+#include "core/faster_cc.hpp"
+#include "core/metrics.hpp"
+#include "core/spanning_forest.hpp"
+#include "graph/graph.hpp"
+
+namespace logcc {
+
+enum class Algorithm {
+  kFasterCC,          // Theorem 3: O(log d + log log_{m/n} n)
+  kTheorem1,          // Theorem 1: O(log d · log log_{m/n} n)
+  kVanilla,           // Reif random-vote: O(log n)
+  kShiloachVishkin,   // SV'82: O(log n), deterministic
+  kAwerbuchShiloach,  // AS'87: O(log n), deterministic
+  kLabelProp,         // min-label propagation: O(d)
+  kLiuTarjan,         // LT'19 style hook+shortcut+alter: O(log n)
+  kUnionFind,         // sequential union-find
+  kBFS,               // sequential BFS (the oracle)
+};
+
+/// All algorithms, for sweeps.
+const std::vector<Algorithm>& all_algorithms();
+const char* to_string(Algorithm a);
+/// Parses the names printed by to_string; aborts on unknown names.
+Algorithm algorithm_from_string(const std::string& name);
+
+struct Options {
+  std::uint64_t seed = 1;
+  core::ParamPolicy::Kind policy = core::ParamPolicy::Kind::kPractical;
+  /// Overrides for the paper drivers; leave default for auto.
+  core::FasterCcParams faster;
+  core::Theorem1Params theorem1;
+};
+
+struct ComponentsResult {
+  std::vector<graph::VertexId> labels;  // canonical: min id per component
+  core::RunStats stats;
+  double seconds = 0.0;
+  std::uint64_t num_components = 0;
+};
+
+ComponentsResult connected_components(const graph::EdgeList& el,
+                                      Algorithm algorithm = Algorithm::kFasterCC,
+                                      const Options& options = {});
+
+enum class SfAlgorithm {
+  kTheorem2,  // §C
+  kVanillaSF  // §C.1
+};
+
+struct ForestResult {
+  std::vector<std::uint64_t> forest_edges;  // indices into el.edges
+  core::RunStats stats;
+  double seconds = 0.0;
+};
+
+ForestResult spanning_forest(const graph::EdgeList& el,
+                             SfAlgorithm algorithm = SfAlgorithm::kTheorem2,
+                             const Options& options = {});
+
+/// Independent O(m α(n)) verification that `labels` is exactly the
+/// component labeling of `el`: every edge joins equal labels, and the
+/// number of distinct labels equals the true component count (via
+/// union-find, no shared code with the PRAM algorithms). Use when the
+/// caller wants a certificate rather than trust.
+bool verify_components(const graph::EdgeList& el,
+                       const std::vector<graph::VertexId>& labels);
+
+}  // namespace logcc

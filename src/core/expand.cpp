@@ -1,0 +1,186 @@
+#include "core/expand.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace logcc::core {
+
+ExpandEngine::ExpandEngine(std::uint64_t n, std::span<const VertexId> ongoing,
+                           std::span<const Arc> arcs,
+                           const ExpandParams& params, RunStats& stats)
+    : n_(n),
+      ongoing_(ongoing.begin(), ongoing.end()),
+      arcs_(arcs),
+      params_(params),
+      stats_(stats),
+      hb_(util::PairwiseHash::from_seed(params.seed, 0xb10c)),
+      hv_(util::PairwiseHash::from_seed(params.seed, 0x7ab1e)) {
+  LOGCC_CHECK(params_.block_count >= 1);
+  LOGCC_CHECK(params_.table_capacity >= 2);
+  slot_of_.assign(n_, kNoSlot);
+  for (std::uint32_t s = 0; s < ongoing_.size(); ++s) {
+    LOGCC_CHECK(ongoing_[s] < n_);
+    LOGCC_CHECK_MSG(slot_of_[ongoing_[s]] == kNoSlot, "duplicate ongoing id");
+    slot_of_[ongoing_[s]] = s;
+  }
+  owns_block_.assign(ongoing_.size(), 0);
+  dormant_round_.assign(ongoing_.size(), kNeverDormant);
+  tables_.assign(ongoing_.size(), VertexTable(params_.table_capacity));
+}
+
+void ExpandEngine::mark_dormant(std::uint32_t slot, std::uint32_t round) {
+  if (dormant_round_[slot] == kNeverDormant) dormant_round_[slot] = round;
+}
+
+void ExpandEngine::assign_blocks() {
+  // h_B maps each ongoing vertex to a block; owning = unique occupant
+  // (detected CRCW-style: write your id, re-read, then a second pass where
+  // losers invalidate the cell — host-side we just count occupants).
+  std::unordered_map<std::uint64_t, std::uint32_t> occupancy;
+  occupancy.reserve(ongoing_.size() * 2);
+  for (VertexId v : ongoing_) ++occupancy[hb_(v, params_.block_count)];
+  for (std::uint32_t s = 0; s < ongoing_.size(); ++s) {
+    owns_block_[s] = occupancy[hb_(ongoing_[s], params_.block_count)] == 1;
+    if (!owns_block_[s]) mark_dormant(s, 0);
+  }
+  stats_.pram_steps += 2;
+}
+
+void ExpandEngine::seed_tables() {
+  // Step (3): every arc (v, w), both directions. Live v hashes v and w into
+  // H(v); a v without a block instead marks its neighbours dormant.
+  for (const Arc& a : arcs_) {
+    for (int dir = 0; dir < 2; ++dir) {
+      VertexId v = dir ? a.v : a.u;
+      VertexId w = dir ? a.u : a.v;
+      std::uint32_t sv = slot_of_[v];
+      std::uint32_t sw = slot_of_[w];
+      if (sv == kNoSlot || sw == kNoSlot) continue;
+      if (owns_block_[sv]) {
+        VertexTable& t = tables_[sv];
+        if (t.insert_at(static_cast<std::uint32_t>(hv_(v, t.capacity())), v) ==
+            VertexTable::Insert::kCollision)
+          ++stats_.hash_collisions;
+        if (t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w) ==
+            VertexTable::Insert::kCollision)
+          ++stats_.hash_collisions;
+      } else {
+        mark_dormant(sw, 0);
+      }
+    }
+  }
+  // Isolated block owner still holds itself.
+  for (std::uint32_t s = 0; s < ongoing_.size(); ++s) {
+    if (!owns_block_[s]) continue;
+    VertexTable& t = tables_[s];
+    VertexId v = ongoing_[s];
+    if (t.insert_at(static_cast<std::uint32_t>(hv_(v, t.capacity())), v) ==
+        VertexTable::Insert::kCollision)
+      ++stats_.hash_collisions;
+  }
+  // Step (4): collisions observed in round 0.
+  for (std::uint32_t s = 0; s < ongoing_.size(); ++s)
+    if (tables_[s].collided()) mark_dormant(s, 0);
+  stats_.pram_steps += 2;
+}
+
+void ExpandEngine::snapshot_history() {
+  if (!params_.keep_history) return;
+  history_.emplace_back();
+  auto& snap = history_.back();
+  snap.resize(ongoing_.size());
+  for (std::uint32_t s = 0; s < ongoing_.size(); ++s)
+    snap[s] = tables_[s].items();
+}
+
+void ExpandEngine::doubling_rounds() {
+  const std::uint32_t num = num_slots();
+  std::vector<std::uint8_t> changed(num, 1);  // table changed last round
+  std::vector<std::uint8_t> went_dormant(num, 0);
+  for (std::uint32_t s = 0; s < num; ++s)
+    went_dormant[s] = dormant_round_[s] != kNeverDormant;
+
+  for (std::uint32_t round = 1; round <= params_.max_rounds; ++round) {
+    ++stats_.pram_steps;
+    ++stats_.expand_rounds;
+
+    // Snapshot table contents (synchronous semantics: this round reads the
+    // previous round's tables) and dormancy entering this round.
+    std::vector<std::vector<VertexId>> prev(num);
+    for (std::uint32_t s = 0; s < num; ++s) prev[s] = tables_[s].items();
+    std::vector<std::uint8_t> dormant_in(num);
+    for (std::uint32_t s = 0; s < num; ++s)
+      dormant_in[s] = dormant_round_[s] != kNeverDormant;
+
+    std::vector<std::uint8_t> changed_now(num, 0);
+    std::vector<std::uint8_t> dormant_now(num, 0);
+    bool any_change = false;
+
+    for (std::uint32_t s = 0; s < num; ++s) {
+      if (!owns_block_[s]) continue;
+      // Skip slots whose whole 2-neighbourhood in table space is stable.
+      bool needs_work = changed[s] != 0;
+      if (!needs_work) {
+        for (VertexId v : prev[s]) {
+          std::uint32_t sv = slot_of_[v];
+          if (sv != kNoSlot && (changed[sv] || went_dormant[sv])) {
+            needs_work = true;
+            break;
+          }
+        }
+      }
+      if (!needs_work) continue;
+
+      VertexTable& t = tables_[s];
+      for (VertexId v : prev[s]) {
+        std::uint32_t sv = slot_of_[v];
+        if (sv == kNoSlot) continue;
+        if (dormant_in[sv]) {
+          if (dormant_round_[s] == kNeverDormant) {
+            mark_dormant(s, round);
+            dormant_now[s] = 1;
+            any_change = true;
+          }
+        }
+        for (VertexId w : prev[sv]) {
+          auto r = t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w);
+          if (r == VertexTable::Insert::kNew) {
+            changed_now[s] = 1;
+            any_change = true;
+          } else if (r == VertexTable::Insert::kCollision) {
+            ++stats_.hash_collisions;
+            if (dormant_round_[s] == kNeverDormant) {
+              mark_dormant(s, round);
+              dormant_now[s] = 1;
+              any_change = true;
+            }
+          }
+        }
+      }
+    }
+
+    rounds_ = round;
+    snapshot_history();
+    changed.swap(changed_now);
+    went_dormant.swap(dormant_now);
+    if (!any_change) break;
+  }
+}
+
+void ExpandEngine::run() {
+  assign_blocks();
+  seed_tables();
+  snapshot_history();  // H_0
+  doubling_rounds();
+}
+
+const std::vector<VertexId>& ExpandEngine::history(std::uint32_t j,
+                                                   std::uint32_t slot) const {
+  LOGCC_CHECK_MSG(params_.keep_history, "history not retained");
+  LOGCC_CHECK(j < history_.size());
+  return history_[j][slot];
+}
+
+}  // namespace logcc::core

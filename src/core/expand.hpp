@@ -1,0 +1,113 @@
+// The EXPAND procedure (§B.3): repeated neighbourhood doubling through
+// per-vertex hash tables.
+//
+// Mechanics per phase:
+//   1. ongoing vertices are hashed to blocks via h_B; a vertex that is not
+//      the unique occupant of its block is *fully dormant*;
+//   2. each block owner u gets a hash table H(u); round 0 hashes u and its
+//      graph neighbours into H(u) (collision ⇒ dormant);
+//   3. each subsequent round replaces H(u) by ∪_{v∈H(u)} H(v) (hashing via
+//      h_V; collision or a dormant member ⇒ u dormant);
+// so while u stays live and collision-free, H_j(u) = B(u, 2^j) (Lemma B.7):
+// the ball of radius 2^j around u. The loop runs until no table grows and no
+// status changes — O(log d) rounds.
+//
+// Dormancy never stops the table from being *used*; it stops the guarantee
+// that the table equals the ball and signals VOTE to treat u pessimistically.
+//
+// `keep_history` retains H_j(u) and per-round liveness for every round j —
+// required by the spanning forest's TREE-LINK (§C.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/building_blocks.hpp"
+#include "core/hash_table.hpp"
+#include "core/metrics.hpp"
+#include "util/hashing.hpp"
+
+namespace logcc::core {
+
+struct ExpandParams {
+  std::uint64_t block_count = 1;   // number of h_B blocks (≈ m / δ^{2/3})
+  std::uint32_t table_capacity = 4;  // |H(u)| (≈ δ^{1/3})
+  std::uint64_t seed = 1;          // h_B, h_V derived deterministically
+  std::uint32_t max_rounds = 64;   // safety cap on doubling rounds
+  bool keep_history = false;       // retain H_j for TREE-LINK
+};
+
+class ExpandEngine {
+ public:
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  static constexpr std::uint32_t kNeverDormant = static_cast<std::uint32_t>(-1);
+
+  /// `ongoing` lists the roots participating this phase; `arcs` are the
+  /// current (altered) arcs — only those whose both endpoints are ongoing
+  /// are used.
+  ExpandEngine(std::uint64_t n, std::span<const VertexId> ongoing,
+               std::span<const Arc> arcs, const ExpandParams& params,
+               RunStats& stats);
+
+  /// Executes Steps (1)–(5); fills all result accessors below.
+  void run();
+
+  std::uint32_t num_slots() const {
+    return static_cast<std::uint32_t>(ongoing_.size());
+  }
+  std::uint32_t slot_of(VertexId v) const { return slot_of_[v]; }
+  VertexId vertex_of(std::uint32_t slot) const { return ongoing_[slot]; }
+
+  bool owns_block(std::uint32_t slot) const { return owns_block_[slot]; }
+  bool fully_dormant(std::uint32_t slot) const { return !owns_block_[slot]; }
+  /// Round at which the vertex became dormant; kNeverDormant if it stayed
+  /// live throughout. Fully dormant vertices report round 0.
+  std::uint32_t dormant_round(std::uint32_t slot) const {
+    return dormant_round_[slot];
+  }
+  bool live_after(std::uint32_t slot) const {
+    return dormant_round_[slot] == kNeverDormant;
+  }
+  /// "v is live in round j of Step (5)" in the paper's sense.
+  bool live_in_round(std::uint32_t slot, std::uint32_t j) const {
+    return owns_block_[slot] &&
+           (dormant_round_[slot] == kNeverDormant || dormant_round_[slot] > j);
+  }
+
+  const VertexTable& table(std::uint32_t slot) const { return tables_[slot]; }
+
+  /// Total doubling rounds executed (the paper's T).
+  std::uint32_t rounds() const { return rounds_; }
+
+  /// History: items of H_j(slot); valid when keep_history, for j in
+  /// [0, rounds()].
+  const std::vector<VertexId>& history(std::uint32_t j,
+                                       std::uint32_t slot) const;
+
+  const util::PairwiseHash& hv() const { return hv_; }
+  std::uint32_t table_capacity() const { return params_.table_capacity; }
+
+ private:
+  void assign_blocks();
+  void seed_tables();      // Steps (3) and (4)
+  void doubling_rounds();  // Step (5)
+  void mark_dormant(std::uint32_t slot, std::uint32_t round);
+  void snapshot_history();
+
+  std::uint64_t n_;
+  std::vector<VertexId> ongoing_;
+  std::span<const Arc> arcs_;
+  ExpandParams params_;
+  RunStats& stats_;
+
+  util::PairwiseHash hb_, hv_;
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::uint8_t> owns_block_;
+  std::vector<std::uint32_t> dormant_round_;
+  std::vector<VertexTable> tables_;
+  std::vector<std::vector<std::vector<VertexId>>> history_;  // [round][slot]
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace logcc::core

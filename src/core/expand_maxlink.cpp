@@ -1,0 +1,280 @@
+#include "core/expand_maxlink.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+ExpandMaxlink::ExpandMaxlink(std::uint64_t n, std::vector<Arc> arcs,
+                             std::vector<std::uint8_t> exists,
+                             const ParamPolicy& policy, std::uint64_t seed,
+                             RunStats& stats)
+    : n_(n),
+      arcs_(std::move(arcs)),
+      exists_(std::move(exists)),
+      forest_(n),
+      level_(n, 0),
+      budget_(n, 0),
+      policy_(policy),
+      seed_(seed),
+      stats_(stats) {
+  LOGCC_CHECK(exists_.size() == n_);
+  const std::uint64_t b1 = policy_.budget_for_level(1);
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (exists_[v]) {
+      level_[v] = 1;
+      budget_[v] = b1;
+      stats_.total_block_words += b1;
+    }
+  }
+  drop_loops(arcs_);
+  dedup_arcs(arcs_);
+}
+
+template <typename Fn>
+void ExpandMaxlink::for_each_neighbor_arc(Fn&& fn) const {
+  for (const Arc& a : arcs_) {
+    if (a.u == a.v) continue;
+    fn(a.u, a.v);
+    fn(a.v, a.u);
+  }
+  for (const graph::Edge& e : added_) {
+    if (e.u == e.v) continue;
+    fn(e.u, e.v);
+    fn(e.v, e.u);
+  }
+}
+
+void ExpandMaxlink::maxlink(int iterations, bool& parent_changed) {
+  for (int it = 0; it < iterations; ++it) {
+    ++stats_.pram_steps;
+    // Candidate = the neighbourhood parent with maximal (level, id); v's own
+    // parent is always a candidate because v ∈ N(v).
+    std::vector<VertexId> best(n_);
+    for (std::uint64_t v = 0; v < n_; ++v)
+      best[v] = forest_.parent(static_cast<VertexId>(v));
+    auto better = [&](VertexId a, VertexId b) {
+      // true if a beats b by (level, id).
+      return level_[a] != level_[b] ? level_[a] > level_[b] : a > b;
+    };
+    for_each_neighbor_arc([&](VertexId v, VertexId w) {
+      VertexId cand = forest_.parent(w);
+      if (better(cand, best[v])) best[v] = cand;
+    });
+    for (std::uint64_t v = 0; v < n_; ++v) {
+      if (level_[best[v]] > level_[v] &&
+          best[v] != forest_.parent(static_cast<VertexId>(v))) {
+        forest_.set_parent(static_cast<VertexId>(v), best[v]);
+        parent_changed = true;
+      }
+    }
+  }
+}
+
+void ExpandMaxlink::alter_all() {
+  ++stats_.pram_steps;
+  alter(arcs_, forest_);
+  for (graph::Edge& e : added_) {
+    e.u = forest_.parent(e.u);
+    e.v = forest_.parent(e.v);
+  }
+  // Set semantics: loops and duplicates carry no information.
+  drop_loops(arcs_);
+  dedup_arcs(arcs_);
+  std::erase_if(added_, [](const graph::Edge& e) { return e.u == e.v; });
+  for (graph::Edge& e : added_)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(added_.begin(), added_.end(), [](const auto& a, const auto& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  added_.erase(std::unique(added_.begin(), added_.end()), added_.end());
+}
+
+bool ExpandMaxlink::round() {
+  ++round_;
+  const std::uint64_t collisions_before = stats_.hash_collisions;
+  const std::uint64_t raises_before = stats_.level_raises;
+  util::Xoshiro256 rng(util::mix64(seed_, 0x3000 + round_));
+  const util::PairwiseHash h =
+      util::PairwiseHash::from_seed(seed_, 0x4000 + round_);
+
+  bool parent_changed = false;
+  bool level_changed = false;
+  bool closure_new = false;
+
+  // ---- Step (1): MAXLINK; ALTER.
+  maxlink(static_cast<int>(policy_.maxlink_iterations), parent_changed);
+  alter_all();
+
+  // Active roots: roots that still have a non-loop incident edge. Inactive
+  // roots are finished with their component's contraction; exempting them
+  // from the random raise is what lets the break condition fire (their
+  // levels would otherwise churn forever without making progress).
+  std::vector<std::uint8_t> active(n_, 0);
+  for_each_neighbor_arc([&](VertexId v, VertexId) { active[v] = 1; });
+
+  // ---- Step (2): random pre-emptive level raises.
+  std::vector<std::uint8_t> raised(n_, 0);
+  ++stats_.pram_steps;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (!exists_[v] || !active[v] ||
+        !forest_.is_root(static_cast<VertexId>(v)))
+      continue;
+    if (rng.bernoulli(policy_.raise_probability(budget_[v]))) {
+      ++level_[v];
+      raised[v] = 1;
+      level_changed = true;
+      ++stats_.level_raises;
+      stats_.max_level = std::max(stats_.max_level, level_[v]);
+      stats_.bump_level_histogram(level_[v]);
+    }
+  }
+
+  // ---- Step (3): hash equal-budget root neighbours into fresh tables.
+  ++stats_.pram_steps;
+  std::vector<VertexTable> table(n_);
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (exists_[v] && forest_.is_root(static_cast<VertexId>(v)))
+      table[v].reset(policy_.table_capacity(budget_[v]));
+  }
+  auto is_root_vertex = [&](VertexId v) {
+    return exists_[v] && forest_.is_root(v);
+  };
+  // v ∈ N(v): every root hashes itself (without this, Step (5) would keep
+  // "discovering" v through a neighbour's table and the closure test of the
+  // break condition could never settle).
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    VertexTable& t = table[v];
+    if (t.capacity() == 0) continue;
+    if (t.insert_at(static_cast<std::uint32_t>(h(v, t.capacity())),
+                    static_cast<VertexId>(v)) ==
+        VertexTable::Insert::kCollision)
+      ++stats_.hash_collisions;
+  }
+  for_each_neighbor_arc([&](VertexId v, VertexId w) {
+    if (!is_root_vertex(v) || !is_root_vertex(w)) return;
+    if (budget_[w] != budget_[v]) return;
+    VertexTable& t = table[v];
+    if (t.insert_at(static_cast<std::uint32_t>(h(w, t.capacity())), w) ==
+        VertexTable::Insert::kCollision)
+      ++stats_.hash_collisions;
+  });
+
+  // ---- Step (4): collisions mark dormant; dormancy propagates one hop.
+  ++stats_.pram_steps;
+  std::vector<std::uint8_t> dormant(n_, 0);
+  for (std::uint64_t v = 0; v < n_; ++v)
+    if (table[v].collided()) dormant[v] = 1;
+  std::vector<std::uint8_t> dormant0 = dormant;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (table[v].capacity() == 0) continue;
+    table[v].for_each([&](VertexId w) {
+      if (dormant0[w]) dormant[v] = 1;
+    });
+  }
+
+  // ---- Step (5): one doubling step H(v) ∪= H(w), w ∈ H(v).
+  ++stats_.pram_steps;
+  {
+    std::vector<std::vector<VertexId>> snapshot(n_);
+    for (std::uint64_t v = 0; v < n_; ++v)
+      if (table[v].count() > 0) snapshot[v] = table[v].items();
+    for (std::uint64_t v = 0; v < n_; ++v) {
+      if (!is_root_vertex(static_cast<VertexId>(v))) continue;
+      VertexTable& t = table[v];
+      if (t.capacity() == 0) continue;
+      for (VertexId w : snapshot[v]) {
+        for (VertexId u : snapshot[w]) {
+          auto r = t.insert_at(static_cast<std::uint32_t>(h(u, t.capacity())), u);
+          if (r == VertexTable::Insert::kNew) {
+            closure_new = true;
+          } else if (r == VertexTable::Insert::kCollision) {
+            ++stats_.hash_collisions;
+            dormant[v] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  // Table contents become added edges of the current graph.
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    table[v].for_each([&](VertexId w) {
+      if (w != static_cast<VertexId>(v))
+        added_.push_back({static_cast<VertexId>(v), w});
+    });
+  }
+
+  // ---- Step (6): MAXLINK; SHORTCUT; ALTER.
+  maxlink(static_cast<int>(policy_.maxlink_iterations), parent_changed);
+  if (forest_.shortcut()) parent_changed = true;
+  ++stats_.pram_steps;
+  alter_all();
+
+  // ---- Step (7): forced raises for dormant roots that skipped Step (2).
+  ++stats_.pram_steps;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (!exists_[v] || !forest_.is_root(static_cast<VertexId>(v))) continue;
+    if (dormant[v] && !raised[v]) {
+      ++level_[v];
+      level_changed = true;
+      ++stats_.level_raises;
+      stats_.max_level = std::max(stats_.max_level, level_[v]);
+      stats_.bump_level_histogram(level_[v]);
+    }
+  }
+
+  // ---- Step (8): reassign blocks.
+  ++stats_.pram_steps;
+  std::uint64_t block_words_in_use = 0;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    if (!exists_[v]) continue;
+    if (forest_.is_root(static_cast<VertexId>(v))) {
+      std::uint64_t nb = policy_.budget_for_level(level_[v]);
+      if (nb != budget_[v]) {
+        budget_[v] = nb;
+        stats_.total_block_words += nb;
+      }
+    }
+    block_words_in_use += budget_[v];
+  }
+  stats_.peak_space_words =
+      std::max(stats_.peak_space_words,
+               arcs_.size() * 3 + added_.size() * 2 + block_words_in_use);
+  ++stats_.rounds;
+
+  if (trace_enabled_) {
+    RoundTrace t;
+    t.round = round_;
+    std::vector<std::uint8_t> has_edge(n_, 0);
+    for_each_neighbor_arc([&](VertexId v, VertexId) { has_edge[v] = 1; });
+    for (std::uint64_t v = 0; v < n_; ++v) {
+      if (!exists_[v]) continue;
+      if (forest_.is_root(static_cast<VertexId>(v))) {
+        ++t.roots;
+        if (has_edge[v]) ++t.active_roots;
+        t.max_level = std::max(t.max_level, level_[v]);
+      }
+    }
+    t.arcs = arcs_.size();
+    t.added_edges = added_.size();
+    t.collisions = stats_.hash_collisions - collisions_before;
+    t.raises = stats_.level_raises - raises_before;
+    trace_.push_back(t);
+  }
+
+  return !parent_changed && !level_changed && !closure_new;
+}
+
+std::vector<Arc> ExpandMaxlink::remaining_arcs() const {
+  std::vector<Arc> out = arcs_;
+  for (const graph::Edge& e : added_) out.push_back({e.u, e.v, 0});
+  drop_loops(out);
+  dedup_arcs(out);
+  return out;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,95 @@
+#include "core/faster_cc.hpp"
+
+#include <algorithm>
+
+#include "core/compact.hpp"
+#include "core/expand_maxlink.hpp"
+#include "util/bitutil.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params) {
+  CcResult out;
+  const std::uint64_t n = el.n;
+
+  // ---- COMPACT: PREPARE + renaming.
+  CompactParams cp;
+  cp.seed = params.seed;
+  cp.target_density = params.prepare_target_density;
+  cp.prepare_max_phases = params.prepare_max_phases;
+  CompactResult comp = compact(el, cp);
+  out.stats.absorb(comp.stats);
+
+  if (comp.n_compact == 0) {
+    comp.outer.flatten();
+    out.labels = comp.outer.root_labels();
+    return out;
+  }
+
+  // ---- Main loop on the compact graph.
+  const std::uint64_t m0 = std::max<std::uint64_t>(comp.arcs.size(), 1);
+  ParamPolicy policy =
+      params.policy_override.has_value()
+          ? *params.policy_override
+          : (params.policy == ParamPolicy::Kind::kPaper
+                 ? ParamPolicy::paper(comp.n_compact, m0)
+                 : ParamPolicy::practical(comp.n_compact, m0));
+
+  ExpandMaxlink engine(comp.n_compact, comp.arcs, comp.exists, policy,
+                       util::mix64(params.seed, 0xFA57), out.stats);
+
+  std::uint64_t max_rounds = params.max_rounds;
+  if (max_rounds == 0) {
+    max_rounds = 4 * (util::ceil_log2(std::max<std::uint64_t>(n, 4)) +
+                      static_cast<std::uint64_t>(util::loglog_density(n, m0))) +
+                 32;
+  }
+
+  bool broke = false;
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    if (engine.round()) {
+      broke = true;
+      break;
+    }
+  }
+
+  // ---- Postprocess: the remaining graph has diameter ≤ 1 and flat trees
+  // (when `broke`); Theorem 1 finishes it in O(log log) time. If the round
+  // budget ran out instead, Theorem-1's own guards (and ultimately the
+  // deterministic finisher) still guarantee a correct answer.
+  {
+    // Re-establish the flat-trees/arcs-on-roots invariant the phase loop
+    // expects (already true when `broke`, needed when the budget ran out).
+    engine.forest().flatten();
+    std::vector<Arc> rest = engine.remaining_arcs();
+    alter(rest, engine.forest());
+    drop_loops(rest);
+    dedup_arcs(rest);
+    Theorem1Params t1 = params.postprocess;
+    t1.seed = util::mix64(params.seed, 0x7E0);
+    if (!broke) out.stats.finisher_used = true;
+    theorem1_phases(engine.forest(), rest, m0, t1, out.stats);
+  }
+  engine.forest().flatten();
+
+  // ---- Map compact labels back to original ids.
+  comp.outer.flatten();
+  out.labels.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    VertexId r = comp.outer.find_root(static_cast<VertexId>(v));
+    std::uint32_t cid = comp.renamed_of[r];
+    if (cid == CompactResult::kInvalid) {
+      out.labels[v] = r;
+    } else {
+      VertexId croot = engine.forest().find_root(static_cast<VertexId>(cid));
+      VertexId orig = comp.orig_of[croot];
+      LOGCC_CHECK(orig != graph::kInvalidVertex);
+      out.labels[v] = orig;
+    }
+  }
+  return out;
+}
+
+}  // namespace logcc::core

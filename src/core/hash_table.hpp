@@ -1,0 +1,81 @@
+// Fixed-capacity vertex hash table H(v) with CRCW-style collision semantics
+// (§2.2 "Hashing", §3.3): a vertex w is written into cell h(w); a *collision*
+// is a cell already holding a different vertex. Re-inserting a vertex already
+// present is not a collision (concurrent equal writes are harmless on a
+// CRCW machine) — this is exactly how hashing deduplicates neighbours.
+//
+// The table never resolves collisions: the algorithms react to them (mark
+// dormant, raise level), so the table just records that one happened.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace logcc::core {
+
+class VertexTable {
+ public:
+  enum class Insert { kNew, kPresent, kCollision };
+
+  VertexTable() = default;
+  explicit VertexTable(std::uint32_t capacity) { reset(capacity); }
+
+  void reset(std::uint32_t capacity) {
+    cells_.assign(capacity, graph::kInvalidVertex);
+    count_ = 0;
+    collided_ = false;
+  }
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(cells_.size());
+  }
+  std::uint32_t count() const { return count_; }
+  bool collided() const { return collided_; }
+  void mark_collided() { collided_ = true; }
+
+  /// Writes `w` into `cell`; the caller computes cell = h(w, capacity()).
+  Insert insert_at(std::uint32_t cell, graph::VertexId w) {
+    LOGCC_DCHECK(cell < cells_.size());
+    graph::VertexId& slot = cells_[cell];
+    if (slot == w) return Insert::kPresent;
+    if (slot == graph::kInvalidVertex) {
+      slot = w;
+      ++count_;
+      return Insert::kNew;
+    }
+    collided_ = true;
+    return Insert::kCollision;
+  }
+
+  /// True iff `w` sits in `cell` (the paper's collision *detection*: write,
+  /// then re-read the same location).
+  bool contains_at(std::uint32_t cell, graph::VertexId w) const {
+    return cell < cells_.size() && cells_[cell] == w;
+  }
+
+  /// Iterates occupied cells.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (graph::VertexId w : cells_)
+      if (w != graph::kInvalidVertex) fn(w);
+  }
+
+  std::vector<graph::VertexId> items() const {
+    std::vector<graph::VertexId> out;
+    out.reserve(count_);
+    for_each([&](graph::VertexId w) { out.push_back(w); });
+    return out;
+  }
+
+  const std::vector<graph::VertexId>& cells() const { return cells_; }
+
+ private:
+  std::vector<graph::VertexId> cells_;
+  std::uint32_t count_ = 0;
+  bool collided_ = false;
+};
+
+}  // namespace logcc::core

@@ -1,0 +1,83 @@
+#include "core/labels.hpp"
+
+#include "util/check.hpp"
+
+namespace logcc::core {
+
+bool ParentForest::shortcut() {
+  bool changed = false;
+  const std::uint64_t n = parent_.size();
+  std::vector<VertexId> next(n);
+  for (std::uint64_t v = 0; v < n; ++v) next[v] = parent_[parent_[v]];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (next[v] != parent_[v]) {
+      changed = true;
+      break;
+    }
+  }
+  parent_.swap(next);
+  return changed;
+}
+
+std::uint64_t ParentForest::flatten() {
+  std::uint64_t steps = 0;
+  while (shortcut()) ++steps;
+  return steps + 1;  // the final no-op step is still a step
+}
+
+VertexId ParentForest::find_root(VertexId v) const {
+  VertexId steps = 0;
+  while (parent_[v] != v) {
+    v = parent_[v];
+    LOGCC_CHECK_MSG(++steps <= parent_.size(), "cycle in parent forest");
+  }
+  return v;
+}
+
+bool ParentForest::all_flat() const {
+  for (std::uint64_t v = 0; v < parent_.size(); ++v)
+    if (parent_[parent_[v]] != parent_[v]) return false;
+  return true;
+}
+
+bool ParentForest::acyclic() const {
+  // Iterative colouring walk: any vertex returning to an in-progress walk
+  // without reaching a self-loop witnesses a nontrivial cycle.
+  const std::uint64_t n = parent_.size();
+  std::vector<std::uint8_t> state(n, 0);  // 0 unvisited, 1 on path, 2 done
+  std::vector<VertexId> path;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    if (state[s] != 0) continue;
+    VertexId v = static_cast<VertexId>(s);
+    path.clear();
+    while (state[v] == 0) {
+      state[v] = 1;
+      path.push_back(v);
+      VertexId p = parent_[v];
+      if (p == v) break;  // root
+      v = p;
+    }
+    if (state[v] == 1 && parent_[v] != v) return false;  // hit the open path
+    for (VertexId u : path) state[u] = 2;
+  }
+  return true;
+}
+
+std::vector<VertexId> ParentForest::root_labels() const {
+  std::vector<VertexId> out(parent_.size());
+  for (std::uint64_t v = 0; v < parent_.size(); ++v)
+    out[v] = find_root(static_cast<VertexId>(v));
+  return out;
+}
+
+bool level_invariant_holds(const ParentForest& forest,
+                           const std::vector<std::uint32_t>& level) {
+  LOGCC_CHECK(forest.size() == level.size());
+  for (std::uint64_t v = 0; v < forest.size(); ++v) {
+    VertexId p = forest.parent(static_cast<VertexId>(v));
+    if (p != static_cast<VertexId>(v) && level[v] >= level[p]) return false;
+  }
+  return true;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,65 @@
+// The labeled digraph (§2.1): every vertex carries a parent pointer v.p; the
+// digraph's only cycles are self-loops, so it is a forest of rooted trees.
+// ParentForest owns the pointer array plus the operations and invariant
+// checks every algorithm in the paper shares.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace logcc::core {
+
+using graph::VertexId;
+
+class ParentForest {
+ public:
+  ParentForest() = default;
+  explicit ParentForest(std::uint64_t n) { reset(n); }
+
+  void reset(std::uint64_t n) {
+    parent_.resize(n);
+    for (std::uint64_t v = 0; v < n; ++v)
+      parent_[v] = static_cast<VertexId>(v);
+  }
+
+  std::uint64_t size() const { return parent_.size(); }
+
+  VertexId parent(VertexId v) const { return parent_[v]; }
+  void set_parent(VertexId v, VertexId p) { parent_[v] = p; }
+
+  bool is_root(VertexId v) const { return parent_[v] == v; }
+
+  /// One synchronous SHORTCUT step: v.p := v.p.p for all v (reads the old
+  /// pointers). Returns true if any pointer changed.
+  bool shortcut();
+
+  /// Repeats SHORTCUT until every tree is flat; returns the number of steps
+  /// (<= ceil(log2 height) + 1).
+  std::uint64_t flatten();
+
+  /// Root of v's tree by pointer chasing (no mutation).
+  VertexId find_root(VertexId v) const;
+
+  bool all_flat() const;
+
+  /// Invariant check (§2.1): the only cycles are self-loops.
+  bool acyclic() const;
+
+  const std::vector<VertexId>& raw() const { return parent_; }
+  std::vector<VertexId>& raw() { return parent_; }
+
+  /// Labels vector where every vertex maps to its root.
+  std::vector<VertexId> root_labels() const;
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+/// Lemma 3.2 / D.4 invariant: every non-root has level strictly below its
+/// parent's level. Returns true when it holds.
+bool level_invariant_holds(const ParentForest& forest,
+                           const std::vector<std::uint32_t>& level);
+
+}  // namespace logcc::core

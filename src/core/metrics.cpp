@@ -1,0 +1,6 @@
+#include "core/metrics.hpp"
+
+// RunStats is a plain aggregate; this translation unit exists so the header
+// stays cheap to include while leaving room for heavier reporting helpers.
+
+namespace logcc::core {}  // namespace logcc::core

@@ -1,0 +1,262 @@
+#include "core/spanning_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/expand.hpp"
+#include "core/vanilla.hpp"
+#include "core/vote.hpp"
+#include "util/bitutil.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+namespace {
+
+constexpr std::uint64_t kInfDist = static_cast<std::uint64_t>(-1);
+
+std::vector<VertexId> collect_ongoing(const ParentForest& forest,
+                                      const std::vector<Arc>& arcs) {
+  std::vector<VertexId> out;
+  std::vector<std::uint8_t> seen(forest.size(), 0);
+  for (const Arc& a : arcs) {
+    if (a.u == a.v) continue;
+    for (VertexId v : {a.u, a.v}) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        LOGCC_DCHECK(forest.is_root(v));
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+/// One TREE-LINK (§C.3) given the finished EXPAND and leader flags.
+/// Writes parent links into `forest` and marks forest arcs in `in_forest`.
+void tree_link(const ExpandEngine& expand,
+               const std::vector<std::uint8_t>& leader,
+               const std::vector<Arc>& arcs, ParentForest& forest,
+               std::vector<std::uint8_t>& in_forest, RunStats& stats) {
+  const std::uint32_t num = expand.num_slots();
+  const std::uint32_t cap = expand.table_capacity();
+  const auto& hv = expand.hv();
+
+  // Step (1): initialise α and Q.
+  std::vector<std::int64_t> alpha(num, -1);
+  std::vector<std::vector<VertexId>> q(num);
+  for (std::uint32_t s = 0; s < num; ++s) {
+    if (leader[s] || expand.fully_dormant(s)) continue;
+    alpha[s] = 0;
+    q[s] = {expand.vertex_of(s)};
+  }
+
+  // Step (2): grow Q by halving radii, j = T .. 0.
+  for (std::int64_t j = static_cast<std::int64_t>(expand.rounds()); j >= 0;
+       --j) {
+    ++stats.pram_steps;
+    for (std::uint32_t s = 0; s < num; ++s) {
+      if (alpha[s] < 0) continue;
+      // Every member of Q(u) must be live in round j.
+      bool all_live = true;
+      for (VertexId v : q[s]) {
+        std::uint32_t sv = expand.slot_of(v);
+        if (sv == ExpandEngine::kNoSlot ||
+            !expand.live_in_round(sv, static_cast<std::uint32_t>(j))) {
+          all_live = false;
+          break;
+        }
+      }
+      if (!all_live) continue;
+      // Q'(u) = hash of ∪_{v∈Q(u)} H_j(v); reject on collision or leader.
+      VertexTable qp(cap);
+      bool has_leader = false;
+      for (VertexId v : q[s]) {
+        std::uint32_t sv = expand.slot_of(v);
+        for (VertexId w : expand.history(static_cast<std::uint32_t>(j), sv)) {
+          std::uint32_t sw = expand.slot_of(w);
+          if (sw != ExpandEngine::kNoSlot && leader[sw]) {
+            has_leader = true;
+            break;
+          }
+          if (qp.insert_at(static_cast<std::uint32_t>(hv(w, cap)), w) ==
+              VertexTable::Insert::kCollision) {
+            ++stats.hash_collisions;
+            break;
+          }
+        }
+        if (has_leader || qp.collided()) break;
+      }
+      if (!has_leader && !qp.collided()) {
+        q[s] = qp.items();
+        alpha[s] += std::int64_t{1} << j;
+      }
+    }
+  }
+
+  // Step (3): leader-neighbour marks over current graph arcs.
+  std::vector<std::uint8_t> leader_neighbor(num, 0);
+  for (const Arc& a : arcs) {
+    if (a.u == a.v) continue;
+    std::uint32_t su = expand.slot_of(a.u);
+    std::uint32_t sv = expand.slot_of(a.v);
+    if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) continue;
+    if (leader[su]) leader_neighbor[sv] = 1;
+    if (leader[sv]) leader_neighbor[su] = 1;
+  }
+
+  // Step (4): β = exact distance to the nearest leader when within α + 1.
+  std::vector<std::uint64_t> beta(num, kInfDist);
+  for (std::uint32_t s = 0; s < num; ++s) {
+    if (leader[s]) {
+      beta[s] = 0;
+      continue;
+    }
+    if (alpha[s] < 0) continue;
+    for (VertexId w : q[s]) {
+      std::uint32_t sw = expand.slot_of(w);
+      if (sw != ExpandEngine::kNoSlot && leader_neighbor[sw]) {
+        beta[s] = static_cast<std::uint64_t>(alpha[s]) + 1;
+        break;
+      }
+    }
+  }
+  stats.pram_steps += 2;
+
+  // Steps (5)+(6): each u with β > 0 links to a graph neighbour one layer
+  // closer to the leader; the original arc joins the forest.
+  const std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> chosen(num, kNone);
+  std::vector<VertexId> chosen_target(num, graph::kInvalidVertex);
+  for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+    const Arc& a = arcs[i];
+    if (a.u == a.v) continue;
+    std::uint32_t su = expand.slot_of(a.u);
+    std::uint32_t sv = expand.slot_of(a.v);
+    if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) continue;
+    if (beta[su] != kInfDist && beta[sv] != kInfDist) {
+      if (beta[su] == beta[sv] + 1) {
+        chosen[su] = i;
+        chosen_target[su] = a.v;
+      }
+      if (beta[sv] == beta[su] + 1) {
+        chosen[sv] = i;
+        chosen_target[sv] = a.u;
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < num; ++s) {
+    if (chosen[s] == kNone) continue;
+    VertexId v = expand.vertex_of(s);
+    LOGCC_DCHECK(forest.is_root(v));
+    forest.set_parent(v, chosen_target[s]);
+    in_forest[arcs[chosen[s]].orig] = 1;
+  }
+  stats.pram_steps += 2;
+}
+
+}  // namespace
+
+SfResult theorem2_sf(const graph::EdgeList& el,
+                     const SpanningForestParams& params) {
+  SfResult out;
+  const std::uint64_t n = el.n;
+  ParentForest forest(n);
+  std::vector<Arc> arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  dedup_arcs(arcs);
+  const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
+  std::vector<std::uint8_t> in_forest(el.edges.size(), 0);
+
+  // FOREST-PREPARE: Vanilla-SF densification.
+  if (has_nonloop(arcs)) {
+    std::uint64_t prepare_phases = 0;
+    const std::uint64_t phases_before = out.stats.phases;
+    std::uint64_t budget = params.prepare_max_phases;
+    if (budget == SpanningForestParams::kAutoPreparePhases)
+      budget =
+          static_cast<std::uint64_t>(2.0 * util::loglog_density(n, m0)) + 4;
+    VanillaOptions vo;
+    vo.max_phases = 1;
+    while (prepare_phases < budget && has_nonloop(arcs)) {
+      std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+      if (static_cast<double>(m0) /
+              std::max<double>(1.0, static_cast<double>(ongoing.size())) >=
+          params.prepare_target_density)
+        break;
+      out.stats.prepare_used = true;
+      vo.seed = util::mix64(params.seed, 0xF0AE57 + prepare_phases);
+      vanilla_sf_phases(forest, arcs, in_forest, vo, out.stats);
+      ++prepare_phases;
+    }
+    out.stats.prepare_phases += out.stats.phases - phases_before;
+    out.stats.phases = phases_before;
+  }
+
+  std::uint64_t max_phases = params.max_phases;
+  if (max_phases == 0) {
+    max_phases =
+        static_cast<std::uint64_t>(8.0 * util::loglog_density(n, m0)) + 24;
+  }
+
+  std::uint64_t phase = 0;
+  while (true) {
+    dedup_arcs(arcs);
+    drop_loops(arcs);
+    if (!has_nonloop(arcs)) break;
+    if (phase >= max_phases) {
+      out.stats.finisher_used = true;
+      deterministic_contract_sf(forest, arcs, in_forest, out.stats);
+      break;
+    }
+    ++phase;
+    ++out.stats.phases;
+
+    std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+    const double delta =
+        std::max(2.0, static_cast<double>(m0) /
+                          std::max<double>(1.0, static_cast<double>(ongoing.size())));
+    const double b = std::max(2.0, std::pow(delta, params.b_exp));
+
+    ExpandParams ep;
+    ep.seed = util::mix64(params.seed, 0x5F00 + phase);
+    ep.table_capacity = static_cast<std::uint32_t>(
+        std::clamp<double>(std::pow(delta, params.table_exp),
+                           params.min_table_capacity, double(1u << 22)));
+    const double block_size = std::max(4.0, std::pow(delta, params.block_exp));
+    ep.block_count = std::max<std::uint64_t>(
+        2 * ongoing.size() + 1,
+        static_cast<std::uint64_t>(static_cast<double>(m0) / block_size));
+    ep.max_rounds = util::ceil_log2(std::max<std::uint64_t>(n, 2)) + 4;
+    ep.keep_history = true;  // TREE-LINK consumes H_j
+
+    ExpandEngine expand(n, ongoing, arcs, ep, out.stats);
+    expand.run();
+
+    VoteParams vp;
+    vp.dormant_leader_prob = std::pow(b, -2.0 / 3.0);
+    vp.seed = util::mix64(params.seed, 0x5F0E + phase);
+    std::vector<std::uint8_t> leader = vote(expand, vp, out.stats);
+
+    out.stats.peak_space_words = std::max<std::uint64_t>(
+        out.stats.peak_space_words,
+        arcs.size() * 3 + static_cast<std::uint64_t>(ongoing.size()) *
+                              ep.table_capacity * (expand.rounds() + 2));
+    out.stats.total_block_words +=
+        static_cast<std::uint64_t>(ongoing.size()) * ep.table_capacity;
+
+    tree_link(expand, leader, arcs, forest, in_forest, out.stats);
+
+    // TREE-SHORTCUT: BFS trees have height ≤ d; flatten fully.
+    out.stats.pram_steps += forest.flatten();
+    alter(arcs, forest);
+    drop_loops(arcs);
+  }
+
+  for (std::uint64_t i = 0; i < in_forest.size(); ++i)
+    if (in_forest[i]) out.forest_edges.push_back(i);
+  return out;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,105 @@
+#include "core/vanilla.hpp"
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+namespace {
+
+// Shared phase body; `mark` is null for plain Vanilla and receives
+// (vertex, arc) for every winning MARK-EDGE in the SF variant.
+template <typename MarkFn>
+std::uint64_t run_phases(ParentForest& forest, std::vector<Arc>& arcs,
+                         const VanillaOptions& opt, RunStats& stats,
+                         MarkFn&& mark) {
+  const std::uint64_t n = forest.size();
+  util::Xoshiro256 rng(opt.seed);
+  std::vector<std::uint8_t> leader(n, 0);
+  // v.e of §C: the arc index that realises v's link this phase.
+  std::vector<std::uint32_t> chosen(n, static_cast<std::uint32_t>(-1));
+
+  std::uint64_t phases = 0;
+  while (has_nonloop(arcs)) {
+    if (opt.max_phases && phases >= opt.max_phases) break;
+    ++phases;
+    ++stats.phases;
+    stats.pram_steps += 5;  // vote, mark, link, shortcut, alter
+
+    // RANDOM-VOTE.
+    for (std::uint64_t v = 0; v < n; ++v)
+      leader[v] = rng.bernoulli(0.5) ? 1 : 0;
+
+    // MARK-EDGE (arbitrary write wins; the seeded sweep order is the
+    // "arbitrary" resolution).
+    for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+      const Arc& a = arcs[i];
+      if (a.u == a.v) continue;
+      // Both directions of the undirected arc.
+      if (forest.is_root(a.u) && !leader[a.u] && leader[a.v]) chosen[a.u] = i;
+      if (forest.is_root(a.v) && !leader[a.v] && leader[a.u]) chosen[a.v] = i;
+    }
+    // LINK.
+    for (std::uint64_t v = 0; v < n; ++v) {
+      std::uint32_t i = chosen[v];
+      if (i == static_cast<std::uint32_t>(-1)) continue;
+      chosen[v] = static_cast<std::uint32_t>(-1);
+      const Arc& a = arcs[i];
+      VertexId w = (a.u == static_cast<VertexId>(v)) ? a.v : a.u;
+      forest.set_parent(static_cast<VertexId>(v), w);
+      mark(static_cast<VertexId>(v), a);
+    }
+    // SHORTCUT (one step suffices: link trees have height <= 2).
+    forest.shortcut();
+    // ALTER + loop cleanup.
+    alter(arcs, forest);
+    drop_loops(arcs);
+    if (opt.dedup) dedup_arcs(arcs);
+
+    LOGCC_CHECK_MSG(stats.phases <= 100000, "Vanilla failed to converge");
+  }
+  return phases;
+}
+
+}  // namespace
+
+std::uint64_t vanilla_phases(ParentForest& forest, std::vector<Arc>& arcs,
+                             const VanillaOptions& opt, RunStats& stats) {
+  return run_phases(forest, arcs, opt, stats, [](VertexId, const Arc&) {});
+}
+
+std::uint64_t vanilla_sf_phases(ParentForest& forest, std::vector<Arc>& arcs,
+                                std::vector<std::uint8_t>& in_forest,
+                                const VanillaOptions& opt, RunStats& stats) {
+  return run_phases(forest, arcs, opt, stats,
+                    [&](VertexId, const Arc& a) { in_forest[a.orig] = 1; });
+}
+
+VanillaCcResult vanilla_cc(const graph::EdgeList& el, std::uint64_t seed) {
+  VanillaCcResult out;
+  ParentForest forest(el.n);
+  std::vector<Arc> arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  VanillaOptions opt;
+  opt.seed = seed;
+  vanilla_phases(forest, arcs, opt, out.stats);
+  forest.flatten();
+  out.labels = forest.root_labels();
+  return out;
+}
+
+VanillaSfResult vanilla_sf(const graph::EdgeList& el, std::uint64_t seed) {
+  VanillaSfResult out;
+  ParentForest forest(el.n);
+  std::vector<Arc> arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  std::vector<std::uint8_t> in_forest(el.edges.size(), 0);
+  VanillaOptions opt;
+  opt.seed = seed;
+  vanilla_sf_phases(forest, arcs, in_forest, opt, out.stats);
+  for (std::uint64_t i = 0; i < in_forest.size(); ++i)
+    if (in_forest[i]) out.forest_edges.push_back(i);
+  return out;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,27 @@
+#include "core/vote.hpp"
+
+#include "util/random.hpp"
+
+namespace logcc::core {
+
+std::vector<std::uint8_t> vote(const ExpandEngine& expand,
+                               const VoteParams& params, RunStats& stats) {
+  const std::uint32_t num = expand.num_slots();
+  std::vector<std::uint8_t> leader(num, 1);
+  util::Xoshiro256 rng(params.seed);
+  for (std::uint32_t s = 0; s < num; ++s) {
+    VertexId u = expand.vertex_of(s);
+    if (expand.live_after(s)) {
+      // Deterministic: the minimum id in the (complete) table wins.
+      expand.table(s).for_each([&](VertexId v) {
+        if (v < u) leader[s] = 0;
+      });
+    } else {
+      if (!rng.bernoulli(params.dormant_leader_prob)) leader[s] = 0;
+    }
+  }
+  stats.pram_steps += 1;
+  return leader;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,268 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/bitutil.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace logcc::graph {
+
+using util::Xoshiro256;
+
+EdgeList make_path(std::uint64_t n) {
+  EdgeList el;
+  el.n = n;
+  for (std::uint64_t i = 0; i + 1 < n; ++i)
+    el.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  return el;
+}
+
+EdgeList make_cycle(std::uint64_t n) {
+  EdgeList el = make_path(n);
+  if (n >= 3) el.add(static_cast<VertexId>(n - 1), 0);
+  return el;
+}
+
+EdgeList make_star(std::uint64_t n) {
+  EdgeList el;
+  el.n = n;
+  for (std::uint64_t i = 1; i < n; ++i) el.add(0, static_cast<VertexId>(i));
+  return el;
+}
+
+EdgeList make_complete(std::uint64_t n) {
+  LOGCC_CHECK_MSG(n <= 4096, "complete graph too large");
+  EdgeList el;
+  el.n = n;
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = i + 1; j < n; ++j)
+      el.add(static_cast<VertexId>(i), static_cast<VertexId>(j));
+  return el;
+}
+
+EdgeList make_grid(std::uint64_t rows, std::uint64_t cols) {
+  EdgeList el;
+  el.n = rows * cols;
+  auto id = [cols](std::uint64_t r, std::uint64_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) el.add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) el.add(id(r, c), id(r + 1, c));
+    }
+  }
+  return el;
+}
+
+EdgeList make_binary_tree(std::uint64_t n) {
+  EdgeList el;
+  el.n = n;
+  for (std::uint64_t i = 1; i < n; ++i)
+    el.add(static_cast<VertexId>((i - 1) / 2), static_cast<VertexId>(i));
+  return el;
+}
+
+EdgeList make_hypercube(std::uint32_t dim) {
+  LOGCC_CHECK(dim <= 24);
+  EdgeList el;
+  el.n = 1ULL << dim;
+  for (std::uint64_t v = 0; v < el.n; ++v)
+    for (std::uint32_t b = 0; b < dim; ++b)
+      if ((v & (1ULL << b)) == 0)
+        el.add(static_cast<VertexId>(v), static_cast<VertexId>(v | (1ULL << b)));
+  return el;
+}
+
+namespace {
+std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+EdgeList make_gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  LOGCC_CHECK(n >= 2);
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  LOGCC_CHECK_MSG(m <= max_edges / 2 || n <= 4096,
+                  "G(n,m) rejection sampling needs m well below n^2/2");
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(m);
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (el.edges.size() < std::min(m, max_edges)) {
+    VertexId u = static_cast<VertexId>(rng.below(n));
+    VertexId v = static_cast<VertexId>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) el.add(u, v);
+  }
+  return el;
+}
+
+EdgeList make_random_regular(std::uint64_t n, std::uint32_t k,
+                             std::uint64_t seed, bool connected) {
+  EdgeList el;
+  el.n = n;
+  Xoshiro256 rng(seed);
+  std::vector<VertexId> perm(n);
+  for (std::uint64_t i = 0; i < n; ++i) perm[i] = static_cast<VertexId>(i);
+  std::uint32_t matchings = std::max<std::uint32_t>(1, k / 2);
+  for (std::uint32_t t = 0; t < matchings; ++t) {
+    // Fisher–Yates shuffle, then pair up consecutive entries.
+    for (std::uint64_t i = n - 1; i > 0; --i)
+      std::swap(perm[i], perm[rng.below(i + 1)]);
+    for (std::uint64_t i = 0; i + 1 < n; i += 2) el.add(perm[i], perm[i + 1]);
+  }
+  if (connected && n >= 3) {
+    for (std::uint64_t i = 0; i + 1 < n; ++i)
+      el.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+    el.add(static_cast<VertexId>(n - 1), 0);
+  }
+  el.canonicalize();
+  return el;
+}
+
+EdgeList make_rmat(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
+                   double a, double b, double c) {
+  LOGCC_CHECK(scale <= 28);
+  LOGCC_CHECK(a + b + c < 1.0);
+  const std::uint64_t n = 1ULL << scale;
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(m);
+  Xoshiro256 rng(seed);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.uniform();
+      std::uint64_t du = 0, dv = 0;
+      if (r < a) {
+      } else if (r < a + b) {
+        dv = 1;
+      } else if (r < a + b + c) {
+        du = 1;
+      } else {
+        du = 1;
+        dv = 1;
+      }
+      u = (u << 1) | du;
+      v = (v << 1) | dv;
+    }
+    if (u != v) el.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return el;
+}
+
+EdgeList make_preferential(std::uint64_t n, std::uint32_t k,
+                           std::uint64_t seed) {
+  LOGCC_CHECK(n >= 2 && k >= 1);
+  EdgeList el;
+  el.n = n;
+  Xoshiro256 rng(seed);
+  // `targets` holds one entry per arc endpoint; sampling uniformly from it
+  // realises degree-proportional attachment.
+  std::vector<VertexId> targets;
+  targets.reserve(2 * n * k);
+  el.add(0, 1);
+  targets.push_back(0);
+  targets.push_back(1);
+  for (std::uint64_t v = 2; v < n; ++v) {
+    std::uint32_t added = 0;
+    std::unordered_set<VertexId> picked;
+    while (added < k && picked.size() < v) {
+      VertexId t = targets[rng.below(targets.size())];
+      if (t == v || !picked.insert(t).second) continue;
+      el.add(static_cast<VertexId>(v), t);
+      ++added;
+    }
+    for (VertexId t : picked) {
+      targets.push_back(t);
+      targets.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return el;
+}
+
+EdgeList make_caterpillar(std::uint64_t spine, std::uint32_t legs) {
+  EdgeList el;
+  el.n = spine * (1 + legs);
+  for (std::uint64_t i = 0; i + 1 < spine; ++i)
+    el.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  std::uint64_t next = spine;
+  for (std::uint64_t i = 0; i < spine; ++i)
+    for (std::uint32_t l = 0; l < legs; ++l)
+      el.add(static_cast<VertexId>(i), static_cast<VertexId>(next++));
+  return el;
+}
+
+EdgeList make_lollipop(std::uint64_t k, std::uint64_t tail) {
+  EdgeList el = make_complete(k);
+  el.n = k + tail;
+  VertexId prev = static_cast<VertexId>(k - 1);
+  for (std::uint64_t i = 0; i < tail; ++i) {
+    VertexId next = static_cast<VertexId>(k + i);
+    el.add(prev, next);
+    prev = next;
+  }
+  return el;
+}
+
+EdgeList disjoint_union(const std::vector<EdgeList>& parts) {
+  EdgeList out;
+  std::uint64_t base = 0;
+  for (const EdgeList& p : parts) {
+    for (const Edge& e : p.edges)
+      out.add(static_cast<VertexId>(base + e.u),
+              static_cast<VertexId>(base + e.v));
+    base += p.n;
+  }
+  out.n = base;
+  return out;
+}
+
+EdgeList make_path_forest(std::uint64_t count, std::uint64_t len) {
+  std::vector<EdgeList> parts(count, make_path(len + 1));
+  return disjoint_union(parts);
+}
+
+EdgeList make_family(const std::string& family, std::uint64_t n,
+                     std::uint64_t seed) {
+  if (family == "path") return make_path(n);
+  if (family == "cycle") return make_cycle(n);
+  if (family == "star") return make_star(n);
+  if (family == "grid") {
+    std::uint64_t side = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n))));
+    return make_grid(side, side);
+  }
+  if (family == "tree") return make_binary_tree(n);
+  if (family == "hypercube")
+    return make_hypercube(std::max<std::uint32_t>(1, util::floor_log2(n)));
+  if (family == "gnm2") return make_gnm(n, 2 * n, seed);
+  if (family == "gnm8") return make_gnm(n, 8 * n, seed);
+  if (family == "rmat") {
+    std::uint32_t scale = std::max<std::uint32_t>(4, util::ceil_log2(n));
+    return make_rmat(scale, 8 * n, seed);
+  }
+  if (family == "pref") return make_preferential(n, 4, seed);
+  if (family == "caterpillar")
+    return make_caterpillar(std::max<std::uint64_t>(2, n / 4), 3);
+  if (family == "lollipop")
+    return make_lollipop(std::min<std::uint64_t>(256, std::max<std::uint64_t>(4, n / 8)),
+                         n - std::min<std::uint64_t>(256, std::max<std::uint64_t>(4, n / 8)));
+  LOGCC_CHECK_MSG(false, "unknown graph family");
+  return {};
+}
+
+std::vector<std::string> family_names() {
+  return {"path",      "cycle", "star",       "grid",     "tree", "hypercube",
+          "gnm2",      "gnm8",  "rmat",       "pref",     "caterpillar",
+          "lollipop"};
+}
+
+}  // namespace logcc::graph

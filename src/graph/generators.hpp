@@ -1,0 +1,84 @@
+// Workload generators. These realise the graph families the paper's analysis
+// distinguishes: small-diameter dense graphs (where the m/n density term
+// dominates) vs. large-diameter sparse graphs (where log d dominates), plus
+// the skewed-degree families that motivate the work ("many graphs in
+// applications have components of small diameter").
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace logcc::graph {
+
+/// Path 0-1-2-...-(n-1): diameter n-1, the log d stress test.
+EdgeList make_path(std::uint64_t n);
+
+/// Cycle over n vertices: diameter floor(n/2).
+EdgeList make_cycle(std::uint64_t n);
+
+/// Star centred at 0: diameter 2.
+EdgeList make_star(std::uint64_t n);
+
+/// Complete graph K_n (n small): diameter 1, maximum density.
+EdgeList make_complete(std::uint64_t n);
+
+/// rows x cols grid: diameter rows+cols-2 — the "road network" family.
+EdgeList make_grid(std::uint64_t rows, std::uint64_t cols);
+
+/// Complete binary tree on n vertices: diameter ~2 log2 n.
+EdgeList make_binary_tree(std::uint64_t n);
+
+/// Hypercube on 2^dim vertices: diameter dim.
+EdgeList make_hypercube(std::uint32_t dim);
+
+/// Erdos–Renyi G(n, m): m edges sampled uniformly without replacement
+/// (rejection on duplicates/self-loops). Diameter O(log n) once m ≳ n.
+EdgeList make_gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed);
+
+/// Approximately k-regular random graph (union of k/2 random perfect
+/// matchings plus a Hamilton cycle for connectivity when `connected`).
+EdgeList make_random_regular(std::uint64_t n, std::uint32_t k,
+                             std::uint64_t seed, bool connected = true);
+
+/// RMAT / Kronecker-style skewed graph (a=0.57,b=c=0.19,d=0.05 defaults):
+/// the social-network family with heavy-tailed degrees, tiny diameter.
+EdgeList make_rmat(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
+                   double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Preferential attachment (Barabasi–Albert), k edges per arriving vertex.
+EdgeList make_preferential(std::uint64_t n, std::uint32_t k,
+                           std::uint64_t seed);
+
+/// Caterpillar: a spine path of length `spine` with `legs` pendant vertices
+/// per spine vertex. Large diameter *and* many low-degree vertices — stresses
+/// the dormant/level machinery.
+EdgeList make_caterpillar(std::uint64_t spine, std::uint32_t legs);
+
+/// "Lollipop": clique of size k joined to a path of length tail. Mixes a
+/// dense core with a long sparse tail; crossover stress test.
+EdgeList make_lollipop(std::uint64_t k, std::uint64_t tail);
+
+/// Disjoint union: relabels each part into its own id range. The result has
+/// one component per connected input part; component diameters are
+/// inherited. Used to build multi-component workloads with known structure.
+EdgeList disjoint_union(const std::vector<EdgeList>& parts);
+
+/// Union of `count` disjoint paths each of length `len` — many components,
+/// all with the same known diameter.
+EdgeList make_path_forest(std::uint64_t count, std::uint64_t len);
+
+/// Named registry used by benches/examples: family in {path, cycle, grid,
+/// tree, hypercube, gnm2 (m=2n), gnm8 (m=8n), rmat, pref, caterpillar,
+/// lollipop, star}. `n` is the approximate vertex count.
+EdgeList make_family(const std::string& family, std::uint64_t n,
+                     std::uint64_t seed);
+
+/// All registry names (for sweeps).
+std::vector<std::string> family_names();
+
+}  // namespace logcc::graph

@@ -1,0 +1,70 @@
+// Graph types: EdgeList (what the PRAM algorithms consume — one processor per
+// arc) and Graph (CSR adjacency, used by sequential oracles and generators).
+//
+// Vertices are dense ids in [0, n). Graphs are undirected and may contain
+// isolated vertices; self-loops and parallel edges are allowed in EdgeList
+// (the paper's ALTER creates both) but the CSR builder can deduplicate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace logcc::graph {
+
+using VertexId = std::uint32_t;
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Flat list of undirected edges over n vertices.
+struct EdgeList {
+  std::uint64_t n = 0;
+  std::vector<Edge> edges;
+
+  std::uint64_t num_vertices() const { return n; }
+  std::uint64_t num_edges() const { return edges.size(); }
+
+  void add(VertexId u, VertexId v) { edges.push_back({u, v}); }
+
+  /// Removes self-loops and duplicate {u,v}/{v,u} pairs (keeps the graph's
+  /// connectivity structure; used before handing workloads to algorithms that
+  /// expect simple graphs).
+  void canonicalize();
+};
+
+/// Compressed sparse row adjacency. Each undirected edge appears as two arcs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list; if `dedup` removes self-loops and parallel
+  /// edges first.
+  static Graph from_edges(const EdgeList& el, bool dedup = true);
+
+  std::uint64_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  /// Number of undirected edges (arcs / 2).
+  std::uint64_t num_edges() const { return adj_.size() / 2; }
+  std::uint64_t num_arcs() const { return adj_.size(); }
+
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Re-exports as an edge list (one entry per undirected edge, u <= v).
+  EdgeList to_edges() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<VertexId> adj_;           // size 2m
+};
+
+}  // namespace logcc::graph

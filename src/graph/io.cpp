@@ -1,0 +1,66 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace logcc::graph {
+
+void write_edge_list(std::ostream& os, const EdgeList& el) {
+  os << el.n << ' ' << el.edges.size() << '\n';
+  for (const Edge& e : el.edges) os << e.u << ' ' << e.v << '\n';
+}
+
+bool write_edge_list_file(const std::string& path, const EdgeList& el) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_edge_list(os, el);
+  return static_cast<bool>(os);
+}
+
+bool read_edge_list(std::istream& is, EdgeList& out) {
+  out = EdgeList{};
+  std::string line;
+  bool saw_first = false;
+  std::uint64_t first_a = 0, first_b = 0;
+  std::uint64_t max_vertex = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) return false;
+    if (!saw_first) {
+      // Tentatively treat the first data line as the `n m` header; if a
+      // later endpoint is >= n the file had no header and this line was an
+      // edge — resolved after the loop.
+      first_a = a;
+      first_b = b;
+      saw_first = true;
+      continue;
+    }
+    out.add(static_cast<VertexId>(a), static_cast<VertexId>(b));
+    max_vertex = std::max({max_vertex, a, b});
+  }
+  if (!saw_first) return false;  // no data at all
+  const bool header_plausible =
+      first_a > max_vertex && first_b == out.edges.size();
+  if (header_plausible) {
+    out.n = first_a;
+  } else {
+    out.edges.insert(out.edges.begin(),
+                     Edge{static_cast<VertexId>(first_a),
+                          static_cast<VertexId>(first_b)});
+    max_vertex = std::max({max_vertex, first_a, first_b});
+    out.n = max_vertex + 1;
+  }
+  return true;
+}
+
+bool read_edge_list_file(const std::string& path, EdgeList& out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return read_edge_list(is, out);
+}
+
+}  // namespace logcc::graph

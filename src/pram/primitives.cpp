@@ -1,0 +1,108 @@
+#include "pram/primitives.hpp"
+
+#include <algorithm>
+
+#include "util/hashing.hpp"
+
+namespace logcc::pram {
+
+void broadcast(Machine& m, std::size_t base, std::size_t count, Word value) {
+  m.step(count, [&](std::size_t p) { m.write(base + p, value, p); });
+}
+
+std::uint64_t pointer_jump(Machine& m, std::size_t base, std::size_t n) {
+  std::uint64_t jumps = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot for host-side convergence detection (a real PRAM uses a flag
+    // cell; the step structure and count are identical).
+    std::vector<Word> before(n);
+    for (std::size_t v = 0; v < n; ++v) before[v] = m.peek(base + v);
+    m.step(n, [&](std::size_t v) {
+      Word p = m.read(base + v);
+      Word pp = m.read(base + p);
+      if (p != pp) m.write(base + v, pp, v);
+    });
+    ++jumps;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (m.peek(base + v) != before[v]) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  return jumps;
+}
+
+std::optional<std::vector<std::uint32_t>> approximate_compaction(
+    Machine& m, const std::vector<bool>& flags, std::uint64_t seed,
+    std::uint32_t max_rounds) {
+  const std::size_t n = flags.size();
+  std::vector<std::uint32_t> items;
+  for (std::size_t i = 0; i < n; ++i)
+    if (flags[i]) items.push_back(static_cast<std::uint32_t>(i));
+  const std::size_t k = items.size();
+  std::vector<std::uint32_t> slot(n, static_cast<std::uint32_t>(-1));
+  if (k == 0) return slot;
+  const std::size_t cells = 2 * k;
+  LOGCC_CHECK_MSG(m.memory_size() >= cells,
+                  "machine memory too small for compaction target");
+
+  // Save the scratch region so the primitive is non-destructive.
+  std::vector<Word> saved(cells);
+  for (std::size_t c = 0; c < cells; ++c) saved[c] = m.peek(c);
+
+  constexpr Word kEmpty = static_cast<Word>(-1);
+  std::vector<bool> claimed(cells, false);
+  std::vector<std::uint32_t> unplaced = items;
+  for (std::uint32_t round = 0; round < max_rounds && !unplaced.empty();
+       ++round) {
+    auto h = util::PairwiseHash::from_seed(seed, round);
+    // Clear unclaimed cells (1 step), then contend (1 step): each unplaced
+    // element writes its id into a random cell; ARBITRARY resolution picks
+    // the surviving writer; each element then re-reads to learn if it won.
+    m.step(cells, [&](std::size_t c) {
+      if (!claimed[c]) m.write(c, kEmpty, c);
+    });
+    m.step(unplaced.size(), [&](std::size_t p) {
+      std::size_t c = h(unplaced[p], cells);
+      if (!claimed[c]) m.write(c, unplaced[p], p);
+    });
+    std::vector<std::uint32_t> still;
+    for (std::uint32_t id : unplaced) {
+      std::size_t c = h(id, cells);
+      if (!claimed[c] && m.peek(c) == id) {
+        slot[id] = static_cast<std::uint32_t>(c);
+        claimed[c] = true;
+      } else {
+        still.push_back(id);
+      }
+    }
+    unplaced.swap(still);
+  }
+
+  for (std::size_t c = 0; c < cells; ++c) m.poke(c, saved[c]);
+  if (!unplaced.empty()) return std::nullopt;
+  return slot;
+}
+
+std::vector<Word> prefix_sum(Machine& m, std::size_t base, std::size_t n) {
+  // Hillis–Steele doubling: O(log n) steps, conflict-free writes. The paper's
+  // point stands: even on a CRCW PRAM this costs Theta(log n) steps, whereas
+  // an MPC gets it in O(1) rounds — which is exactly why logcc avoids prefix
+  // sums in its algorithms.
+  for (std::size_t d = 1; d < std::max<std::size_t>(n, 1); d <<= 1) {
+    m.step(n, [&](std::size_t v) {
+      if (v >= d) {
+        Word sum = m.read(base + v) + m.read(base + v - d);
+        m.write(base + v, sum, v);
+      }
+    });
+  }
+  std::vector<Word> out(n);
+  for (std::size_t v = 0; v < n; ++v) out[v] = m.peek(base + v);
+  return out;
+}
+
+}  // namespace logcc::pram

@@ -1,0 +1,47 @@
+// PRAM primitives built on the Machine, used both as substrate for the
+// on-machine algorithms and as fidelity witnesses in tests/benches:
+//
+//  * broadcast            — O(1) on CRCW.
+//  * pointer jumping      — flattens a parent forest in O(log n) steps
+//                           (the SHORTCUT building block, §2.2).
+//  * approximate compaction — Definition D.1 / [Goo91]: maps k distinguished
+//                           elements one-to-one into an array of length 2k,
+//                           O(log* n)-style randomized retry rounds.
+//  * prefix sum           — on the COMBINING machine via doubling, O(log n);
+//                           included because the paper contrasts its cost
+//                           against O(1) on an MPC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pram/machine.hpp"
+
+namespace logcc::pram {
+
+/// Writes `value` into every cell of [base, base+count) in one step using
+/// `count` processors.
+void broadcast(Machine& m, std::size_t base, std::size_t count, Word value);
+
+/// Parent array lives at [base, base+n). Repeats p[v] = p[p[v]] until no
+/// change; returns the number of jump steps (≤ ceil(log2 n) + 1).
+std::uint64_t pointer_jump(Machine& m, std::size_t base, std::size_t n);
+
+/// Approximate compaction (Definition D.1). `flags` marks the distinguished
+/// elements of a length-n conceptual array; on success returns slot[i] in
+/// [0, 2k) for each distinguished i, distinct across them. Fails (nullopt)
+/// only if `max_rounds` retry rounds cannot place everything — with the
+/// default rounds this has vanishing probability; tests also exercise the
+/// failure path with adversarial parameters.
+std::optional<std::vector<std::uint32_t>> approximate_compaction(
+    Machine& m, const std::vector<bool>& flags, std::uint64_t seed,
+    std::uint32_t max_rounds = 32);
+
+/// Prefix sums of [base, base+n) computed by doubling; requires the
+/// kCombineSum policy for the final gather but works on any policy since the
+/// doubling writes are conflict-free. Returns inclusive prefix sums via
+/// `out`, leaves machine memory restored.
+std::vector<Word> prefix_sum(Machine& m, std::size_t base, std::size_t n);
+
+}  // namespace logcc::pram

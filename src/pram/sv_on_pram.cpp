@@ -1,0 +1,110 @@
+#include "pram/sv_on_pram.hpp"
+
+#include "pram/primitives.hpp"
+
+namespace logcc::pram {
+
+namespace {
+
+// Memory layout: D (parents) at [0, n); star flags at [n, 2n).
+// Edge endpoints live in the edge processors' private memory (each edge
+// processor is identified with its arc), matching the model's O(1) private
+// words per processor.
+
+void star_detect(Machine& m, std::size_t n) {
+  // st(v) := true
+  m.step(n, [&](std::size_t v) { m.write(n + v, 1, v); });
+  // if D(v) != D(D(v)): st(v) := false, st(D(D(v))) := false
+  m.step(n, [&](std::size_t v) {
+    Word d = m.read(v);
+    Word dd = m.read(d);
+    if (d != dd) {
+      m.write(n + v, 0, v);
+      m.write(n + dd, 0, v);
+    }
+  });
+  // st(v) := st(v) AND st(D(v)). The AND matters: a depth-2 vertex already
+  // flagged itself false in the previous substep, and its *parent's* flag is
+  // only corrected in this substep — plain st(v) := st(D(v)) would overwrite
+  // the own-flag with the parent's stale `true` and mis-classify non-star
+  // trees, letting hooks fire from them and create parent cycles.
+  m.step(n, [&](std::size_t v) {
+    Word d = m.read(v);
+    Word st = m.read(n + v) & m.read(n + d);
+    m.write(n + v, st, v);
+  });
+}
+
+}  // namespace
+
+SvResult shiloach_vishkin_on_pram(const graph::EdgeList& el,
+                                  WritePolicy policy, std::uint64_t seed) {
+  const std::size_t n = el.n;
+  Machine m(2 * n + 1, policy, seed);
+  for (std::size_t v = 0; v < n; ++v) m.poke(v, v);
+
+  // Arcs: both directions of each undirected edge.
+  std::vector<graph::Edge> arcs;
+  arcs.reserve(2 * el.edges.size());
+  for (const auto& e : el.edges) {
+    arcs.push_back({e.u, e.v});
+    arcs.push_back({e.v, e.u});
+  }
+
+  SvResult out;
+  bool changed = true;
+  while (changed) {
+    ++out.iterations;
+    std::vector<Word> before(n);
+    for (std::size_t v = 0; v < n; ++v) before[v] = m.peek(v);
+
+    // (1) conditional hooking: star roots hook onto smaller-labeled
+    // neighbours.
+    star_detect(m, n);
+    m.step(arcs.size(), [&](std::size_t p) {
+      const auto& a = arcs[p];
+      Word du = m.read(a.u);
+      Word dv = m.read(a.v);
+      Word st_u = m.read(n + a.u);
+      if (st_u && dv < du) m.write(du, dv, p);
+    });
+
+    // (2) stagnant-star hooking: stars untouched by (1) hook onto any
+    // neighbouring tree (at most one endpoint's tree can still be a star,
+    // so no mutual hooking can create a cycle).
+    star_detect(m, n);
+    m.step(arcs.size(), [&](std::size_t p) {
+      const auto& a = arcs[p];
+      Word du = m.read(a.u);
+      Word dv = m.read(a.v);
+      Word st_u = m.read(n + a.u);
+      if (st_u && dv != du) m.write(du, dv, p);
+    });
+
+    // (3) shortcut.
+    m.step(n, [&](std::size_t v) {
+      Word d = m.read(v);
+      Word dd = m.read(d);
+      if (d != dd) m.write(v, dd, v);
+    });
+
+    changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (m.peek(v) != before[v]) {
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Final flatten so every label is a root id.
+  pointer_jump(m, 0, n);
+
+  out.labels.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    out.labels[v] = static_cast<graph::VertexId>(m.peek(v));
+  out.ledger = m.ledger();
+  return out;
+}
+
+}  // namespace pram

@@ -1,0 +1,31 @@
+// Shiloach–Vishkin / Awerbuch–Shiloach connected components executed *on* the
+// Machine simulator, one PRAM step at a time.
+//
+// This is the fidelity witness for the substrate: it demonstrates that the
+// simulator's CRCW semantics support the classical O(log n)-step algorithm,
+// that its answer is independent of the write-resolution policy, and it lets
+// benches report exact step/work ledgers for the baseline the paper's
+// introduction starts from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/machine.hpp"
+
+namespace logcc::pram {
+
+struct SvResult {
+  std::vector<graph::VertexId> labels;  // root id per vertex
+  std::uint64_t iterations = 0;         // hook+shortcut iterations
+  Ledger ledger;                        // machine cost ledger
+};
+
+/// Runs Awerbuch–Shiloach (the simplified Shiloach–Vishkin) on a fresh
+/// Machine with the given write policy and seed.
+SvResult shiloach_vishkin_on_pram(const graph::EdgeList& el,
+                                  WritePolicy policy = WritePolicy::kArbitrary,
+                                  std::uint64_t seed = 1);
+
+}  // namespace logcc::pram

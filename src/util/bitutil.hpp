@@ -1,0 +1,48 @@
+// Small integer helpers shared by the budget/level machinery and generators.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace logcc::util {
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return x <= 1 ? 1 : (1ULL << ceil_log2(x));
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x && !(x & (x - 1)); }
+
+/// log base `base` of x, for doubles; callers guard the domain.
+inline double log_base(double x, double base) {
+  LOGCC_CHECK(x > 0 && base > 1);
+  return std::log(x) / std::log(base);
+}
+
+/// The paper's log log_{m/n} n term, made total: returns
+/// max(1, log2(log_{beta}(n))) where beta = max(m/n, 2).
+inline double loglog_density(std::uint64_t n, std::uint64_t m) {
+  double beta = std::max(2.0, static_cast<double>(m) / std::max<std::uint64_t>(n, 1));
+  double inner = log_base(std::max<double>(n, 4), beta);
+  return std::max(1.0, std::log2(std::max(2.0, inner)));
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace logcc::util

@@ -1,0 +1,36 @@
+// Lightweight runtime-check macros used across logcc.
+//
+// LOGCC_CHECK is always on (programmer-error guard, aborts with a message);
+// LOGCC_DCHECK compiles out in NDEBUG builds and is meant for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logcc::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "LOGCC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace logcc::util
+
+#define LOGCC_CHECK(cond)                                            \
+  do {                                                               \
+    if (!(cond)) ::logcc::util::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LOGCC_CHECK_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::logcc::util::check_failed(#cond, __FILE__, __LINE__, msg);       \
+  } while (0)
+
+#ifdef NDEBUG
+#define LOGCC_DCHECK(cond) ((void)0)
+#else
+#define LOGCC_DCHECK(cond) LOGCC_CHECK(cond)
+#endif

@@ -1,0 +1,16 @@
+#include "util/hashing.hpp"
+
+namespace logcc::util {
+
+PairwiseHash PairwiseHash::sample(Xoshiro256& rng) {
+  std::uint64_t a = 1 + rng.below(kPrime - 1);  // a in [1, p)
+  std::uint64_t b = rng.below(kPrime);          // b in [0, p)
+  return PairwiseHash(a, b);
+}
+
+PairwiseHash PairwiseHash::from_seed(std::uint64_t seed, std::uint64_t stream) {
+  Xoshiro256 rng(mix64(seed, stream));
+  return sample(rng);
+}
+
+}  // namespace logcc::util

@@ -1,0 +1,81 @@
+// Hash families used by the paper's algorithms.
+//
+// The paper (§2.2, §B.3) requires pairwise-independent hash functions: `h`
+// for the per-vertex tables H(v), `h_B` for mapping vertices to blocks and
+// `h_V` for hashing into tables. PairwiseHash implements the classic
+// (a·x + b) mod p construction over the Mersenne prime p = 2^61 − 1, which is
+// exactly pairwise independent on [p] and cheap to evaluate (no division).
+//
+// A processor "reads two words" (a and b) to evaluate it — matching the
+// paper's remark that each hashing processor needs only O(1) private memory.
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace logcc::util {
+
+/// Pairwise-independent hash over the Mersenne prime 2^61 - 1, reduced to a
+/// caller-chosen range.
+class PairwiseHash {
+ public:
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  PairwiseHash() : a_(1), b_(0) {}
+
+  /// Draws a random function from the family (a != 0 ensures injective-ish
+  /// behaviour before range reduction).
+  static PairwiseHash sample(Xoshiro256& rng);
+
+  /// Deterministically derives a function from (seed, stream); used so each
+  /// round of an algorithm gets an independent hash without carrying state.
+  static PairwiseHash from_seed(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Raw value in [0, kPrime).
+  std::uint64_t raw(std::uint64_t x) const {
+    // (a*x + b) mod (2^61-1) using 128-bit multiply and Mersenne folding.
+    __uint128_t t = static_cast<__uint128_t>(a_) * mod_p(x) + b_;
+    return fold(t);
+  }
+
+  /// Value reduced to [0, range) by the multiply-shift map (keeps pairwise
+  /// independence up to the usual 1/range rounding slack).
+  std::uint64_t operator()(std::uint64_t x, std::uint64_t range) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(raw(x)) * range) >> 61);
+  }
+
+  std::uint64_t a() const { return a_; }
+  std::uint64_t b() const { return b_; }
+
+ private:
+  PairwiseHash(std::uint64_t a, std::uint64_t b) : a_(a), b_(b) {}
+
+  static std::uint64_t mod_p(std::uint64_t x) {
+    std::uint64_t r = (x & kPrime) + (x >> 61);
+    return r >= kPrime ? r - kPrime : r;
+  }
+  static std::uint64_t fold(__uint128_t t) {
+    std::uint64_t lo = static_cast<std::uint64_t>(t) & kPrime;
+    std::uint64_t hi = static_cast<std::uint64_t>(t >> 61);
+    std::uint64_t r = lo + hi;
+    if (r >= kPrime) r -= kPrime;
+    // One more fold covers the full 128-bit range.
+    std::uint64_t r2 = (r & kPrime) + (r >> 61);
+    return r2 >= kPrime ? r2 - kPrime : r2;
+  }
+
+  std::uint64_t a_, b_;
+};
+
+/// Adversarial hash used by failure-injection tests: maps everything to a
+/// single cell, forcing the maximum possible collision rate.
+struct ConstantHash {
+  std::uint64_t value = 0;
+  std::uint64_t operator()(std::uint64_t, std::uint64_t range) const {
+    return range == 0 ? 0 : value % range;
+  }
+};
+
+}  // namespace logcc::util

@@ -1,0 +1,32 @@
+#include "util/parallel.hpp"
+
+#ifdef LOGCC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace logcc::util {
+
+int hardware_parallelism() {
+#ifdef LOGCC_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+namespace detail {
+
+void parallel_for_impl(std::size_t begin, std::size_t end, void* ctx,
+                       void (*body)(void*, std::size_t)) {
+#ifdef LOGCC_HAVE_OPENMP
+  const std::int64_t b = static_cast<std::int64_t>(begin);
+  const std::int64_t e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = b; i < e; ++i) body(ctx, static_cast<std::size_t>(i));
+#else
+  for (std::size_t i = begin; i < end; ++i) body(ctx, i);
+#endif
+}
+
+}  // namespace detail
+}  // namespace logcc::util

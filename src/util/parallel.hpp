@@ -1,0 +1,40 @@
+// Data-parallel loop primitive.
+//
+// One PRAM step over k processors maps to `parallel_for(0, k, fn)`. With
+// OpenMP available the loop is work-shared across hardware threads; without
+// it (or when the range is small) it degrades to a serial loop. Algorithms
+// never depend on the execution order inside a step: all cross-processor
+// communication goes through buffered writes resolved between steps (see
+// pram/machine.hpp) or through commutative atomics-free patterns
+// (idempotent writes / seeded arbitrary-winner resolution).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace logcc::util {
+
+/// Number of worker threads parallel_for may use (1 when OpenMP is absent).
+int hardware_parallelism();
+
+/// Grain below which parallel_for always runs serially.
+inline constexpr std::size_t kSerialGrain = 4096;
+
+namespace detail {
+void parallel_for_impl(std::size_t begin, std::size_t end, void* ctx,
+                       void (*body)(void*, std::size_t));
+}
+
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+  if (end <= begin) return;
+  if (end - begin < kSerialGrain || hardware_parallelism() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  detail::parallel_for_impl(begin, end, &fn, [](void* ctx, std::size_t i) {
+    (*static_cast<Fn*>(ctx))(i);
+  });
+}
+
+}  // namespace logcc::util

@@ -1,0 +1,24 @@
+#include "util/random.hpp"
+
+#include "util/check.hpp"
+
+namespace logcc::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  LOGCC_CHECK(bound > 0);
+  // Lemire 2019: multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace logcc::util

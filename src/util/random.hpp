@@ -1,0 +1,91 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All randomness in logcc flows through these types so that every algorithm
+// run is reproducible from a single 64-bit seed. SplitMix64 is used to seed
+// and to hash seeds; Xoshiro256** is the general-purpose engine (it satisfies
+// the C++ UniformRandomBitGenerator concept, so it composes with <random>).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace logcc::util {
+
+/// SplitMix64: tiny, statistically solid, used for seeding and seed-mixing.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix: maps (seed, index) to a well-distributed 64-bit value.
+/// Used to derive independent streams (one per round, per vertex, ...).
+constexpr std::uint64_t mix64(std::uint64_t seed, std::uint64_t index = 0) {
+  SplitMix64 s(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return s.next();
+}
+
+/// Xoshiro256**: the workhorse engine.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace logcc::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace logcc::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() >= 2) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  s.median = percentile(xs, 50.0);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  LOGCC_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  LOGCC_CHECK(x.size() == y.size());
+  LOGCC_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit f;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    f.slope = 0.0;
+    f.intercept = sy / n;
+  } else {
+    f.slope = (n * sxy - sx * sy) / denom;
+    f.intercept = (sy - f.slope * sx) / n;
+  }
+  double ybar = sy / n, ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double pred = f.slope * x[i] + f.intercept;
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+  }
+  f.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+LinearFit log2_fit(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    LOGCC_CHECK(x[i] > 0.0);
+    lx[i] = std::log2(x[i]);
+  }
+  return linear_fit(lx, y);
+}
+
+Summary Accumulator::summary() const { return summarize(xs_); }
+
+}  // namespace logcc::util

@@ -1,0 +1,51 @@
+// Descriptive statistics and tiny regressions for the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace logcc::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1), 0 if count < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Summarises a sample; empty input yields an all-zero Summary.
+Summary summarize(std::span<const double> xs);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation on the sorted
+/// sample; empty input yields 0.
+double percentile(std::span<const double> xs, double p);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+/// Ordinary least squares y ~ slope*x + intercept. Needs >= 2 points.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ~ a * log2(x) + b — used to verify "rounds grow like log d".
+/// x values must be positive.
+LinearFit log2_fit(std::span<const double> x, std::span<const double> y);
+
+/// Convenience: collect doubles then summarize.
+class Accumulator {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  Summary summary() const;
+  std::span<const double> values() const { return xs_; }
+  std::size_t size() const { return xs_.size(); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace logcc::util

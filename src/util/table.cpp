@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace logcc::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LOGCC_CHECK(!header_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  LOGCC_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return add(buf);
+}
+
+TextTable& TextTable::add_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return add(buf);
+}
+
+void TextTable::print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), cell.c_str(),
+                   c + 1 == width.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 == width.size() ? 0 : 2);
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string sparkline(const std::vector<double>& ys) {
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr int kNumLevels = static_cast<int>(sizeof(kLevels)) - 2;
+  if (ys.empty()) return "";
+  double lo = ys[0], hi = ys[0];
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  std::string s;
+  s.reserve(ys.size());
+  for (double y : ys) {
+    int level = hi == lo ? kNumLevels / 2
+                         : static_cast<int>(std::lround(
+                               (y - lo) / (hi - lo) * kNumLevels));
+    level = std::clamp(level, 0, kNumLevels);
+    s.push_back(kLevels[level]);
+  }
+  return s;
+}
+
+void print_series(const std::string& name, const std::vector<double>& xs,
+                  const std::vector<double>& ys, const std::string& xlabel,
+                  const std::string& ylabel, std::FILE* out) {
+  LOGCC_CHECK(xs.size() == ys.size());
+  std::fprintf(out, "series: %s\n", name.c_str());
+  TextTable t({xlabel, ylabel});
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    t.row().add_double(xs[i], 2).add_double(ys[i], 3);
+  t.print(out);
+  std::fprintf(out, "trend: [%s]\n", sparkline(ys).c_str());
+}
+
+}  // namespace logcc::util

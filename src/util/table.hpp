@@ -1,0 +1,47 @@
+// Text table / series printers used by the bench harness to regenerate the
+// experiment tables and "figures" (figures are emitted as aligned numeric
+// series plus an ASCII sparkline, which is what a paper plot reduces to in a
+// terminal).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace logcc::util {
+
+/// Column-aligned table with a header row. Cells are strings; numeric helpers
+/// format in place.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add* calls fill it left to right.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add_int(long long v);
+  TextTable& add_double(double v, int precision = 3);
+
+  /// Renders with column padding, a rule under the header, to `out`
+  /// (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// ASCII sparkline: scales ys into levels " .:-=+*#%@" — enough to eyeball a
+/// trend in a log file.
+std::string sparkline(const std::vector<double>& ys);
+
+/// Prints a named (x, y) series with a sparkline footer; the textual stand-in
+/// for a figure panel.
+void print_series(const std::string& name, const std::vector<double>& xs,
+                  const std::vector<double>& ys, const std::string& xlabel,
+                  const std::string& ylabel, std::FILE* out = stdout);
+
+}  // namespace logcc::util

@@ -1,0 +1,122 @@
+#include "core/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+
+namespace logcc {
+namespace {
+
+TEST(Api, DefaultAlgorithmIsFasterCc) {
+  auto el = graph::make_gnm(100, 300, 1);
+  auto r = connected_components(el);
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels));
+  EXPECT_GT(r.stats.rounds + r.stats.phases, 0u);
+}
+
+TEST(Api, LabelsAreCanonicalMinIds) {
+  auto el = graph::disjoint_union({graph::make_path(5), graph::make_path(4)});
+  auto r = connected_components(el, Algorithm::kFasterCC);
+  for (std::uint64_t v = 0; v < 5; ++v) EXPECT_EQ(r.labels[v], 0u);
+  for (std::uint64_t v = 5; v < 9; ++v) EXPECT_EQ(r.labels[v], 5u);
+}
+
+TEST(Api, NumComponentsReported) {
+  auto el = graph::make_path_forest(7, 5);
+  for (auto alg : all_algorithms()) {
+    auto r = connected_components(el, alg);
+    EXPECT_EQ(r.num_components, 7u) << to_string(alg);
+  }
+}
+
+TEST(Api, SecondsMeasured) {
+  auto el = graph::make_gnm(500, 2000, 3);
+  auto r = connected_components(el, Algorithm::kTheorem1);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Api, AlgorithmNamesRoundTrip) {
+  for (auto alg : all_algorithms())
+    EXPECT_EQ(algorithm_from_string(to_string(alg)), alg);
+}
+
+TEST(ApiDeath, UnknownAlgorithmNameAborts) {
+  EXPECT_DEATH((void)algorithm_from_string("bogus"), "unknown algorithm");
+}
+
+TEST(Api, SpanningForestBothAlgorithms) {
+  auto el = graph::make_gnm(150, 450, 5);
+  for (auto alg : {SfAlgorithm::kTheorem2, SfAlgorithm::kVanillaSF}) {
+    auto r = spanning_forest(el, alg);
+    auto check = graph::validate_spanning_forest(el, r.forest_edges);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+TEST(Api, OptionsSeedThreadsThrough) {
+  auto el = graph::make_gnm(100, 250, 9);
+  Options a, b;
+  a.seed = 1;
+  b.seed = 2;
+  auto ra = connected_components(el, Algorithm::kVanilla, a);
+  auto rb = connected_components(el, Algorithm::kVanilla, b);
+  // Different seeds: same partition (correctness) even if internals differ.
+  EXPECT_TRUE(graph::same_partition(ra.labels, rb.labels));
+}
+
+TEST(Api, StatsAbsorbMergesSubRuns) {
+  core::RunStats a, b;
+  a.rounds = 3;
+  a.max_level = 2;
+  a.level_histogram = {0, 5};
+  b.rounds = 4;
+  b.max_level = 7;
+  b.finisher_used = true;
+  b.level_histogram = {1, 2, 3};
+  a.absorb(b);
+  EXPECT_EQ(a.rounds, 7u);
+  EXPECT_EQ(a.max_level, 7u);
+  EXPECT_TRUE(a.finisher_used);
+  ASSERT_EQ(a.level_histogram.size(), 3u);
+  EXPECT_EQ(a.level_histogram[1], 7u);
+}
+
+TEST(Api, VerifyComponentsAcceptsTrueLabels) {
+  auto el = graph::make_gnm(150, 300, 5);
+  for (auto alg : all_algorithms()) {
+    auto r = connected_components(el, alg);
+    EXPECT_TRUE(verify_components(el, r.labels)) << to_string(alg);
+  }
+}
+
+TEST(Api, VerifyComponentsRejectsMergedClasses) {
+  // Two components labeled as one: edge check passes, count check fails.
+  auto el = graph::disjoint_union({graph::make_path(4), graph::make_path(3)});
+  std::vector<graph::VertexId> merged(el.n, 0);
+  EXPECT_FALSE(verify_components(el, merged));
+}
+
+TEST(Api, VerifyComponentsRejectsSplitClasses) {
+  // One component labeled as two: some edge crosses classes.
+  auto el = graph::make_path(6);
+  std::vector<graph::VertexId> split{0, 0, 0, 3, 3, 3};
+  EXPECT_FALSE(verify_components(el, split));
+}
+
+TEST(Api, VerifyComponentsRejectsSizeMismatch) {
+  auto el = graph::make_path(5);
+  EXPECT_FALSE(verify_components(el, {0, 0, 0}));
+}
+
+TEST(Api, QuickstartSnippetWorks) {
+  // The exact shape shown in the README / connectivity.hpp header comment.
+  auto g = graph::make_gnm(10'000, 40'000, 42);
+  auto r = connected_components(g);
+  EXPECT_EQ(r.labels.size(), g.n);
+  EXPECT_GE(r.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace logcc

@@ -1,0 +1,69 @@
+#include "util/bitutil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logcc::util {
+namespace {
+
+TEST(BitUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(~0ULL), 63u);
+}
+
+TEST(BitUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1ULL << 40), 40u);
+  EXPECT_EQ(ceil_log2((1ULL << 40) + 1), 41u);
+}
+
+TEST(BitUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(BitUtil, LogBase) {
+  EXPECT_NEAR(log_base(8, 2), 3.0, 1e-12);
+  EXPECT_NEAR(log_base(81, 3), 4.0, 1e-12);
+}
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 100), 1u);
+}
+
+TEST(BitUtil, LoglogDensityMonotoneInDensity) {
+  // Denser graphs => smaller log log_{m/n} n.
+  std::uint64_t n = 1 << 20;
+  double sparse = loglog_density(n, 2 * n);
+  double dense = loglog_density(n, 64 * n);
+  EXPECT_GE(sparse, dense);
+  EXPECT_GE(dense, 1.0);  // total function, floored at 1
+}
+
+TEST(BitUtil, LoglogDensityHandlesDegenerate) {
+  EXPECT_GE(loglog_density(0, 0), 1.0);
+  EXPECT_GE(loglog_density(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace logcc::util

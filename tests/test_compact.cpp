@@ -1,0 +1,119 @@
+#include "core/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+
+namespace logcc::core {
+namespace {
+
+TEST(ApproxCompactionVec, InjectiveIntoTwoK) {
+  std::vector<std::uint8_t> flags(100, 0);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < 100; i += 2) {
+    flags[i] = 1;
+    ++k;
+  }
+  auto slots = approximate_compaction_vec(flags, 5);
+  ASSERT_TRUE(slots.has_value());
+  std::set<std::uint32_t> used;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (flags[i]) {
+      EXPECT_LT((*slots)[i], 2 * k);
+      EXPECT_TRUE(used.insert((*slots)[i]).second);
+    } else {
+      EXPECT_EQ((*slots)[i], static_cast<std::uint32_t>(-1));
+    }
+  }
+}
+
+TEST(ApproxCompactionVec, AllFlagged) {
+  std::vector<std::uint8_t> flags(257, 1);
+  auto slots = approximate_compaction_vec(flags, 3);
+  ASSERT_TRUE(slots.has_value());
+  std::set<std::uint32_t> used(slots->begin(), slots->end());
+  EXPECT_EQ(used.size(), 257u);
+}
+
+TEST(ApproxCompactionVec, EmptyFlags) {
+  std::vector<std::uint8_t> flags(10, 0);
+  auto slots = approximate_compaction_vec(flags, 1);
+  ASSERT_TRUE(slots.has_value());
+}
+
+TEST(ApproxCompactionVec, ZeroRoundsFails) {
+  std::vector<std::uint8_t> flags(4, 1);
+  EXPECT_FALSE(approximate_compaction_vec(flags, 1, 0).has_value());
+}
+
+TEST(Compact, RenamesOngoingBijectively) {
+  auto el = graph::make_gnm(200, 500, 9);
+  CompactParams cp;
+  cp.seed = 3;
+  cp.target_density = 1.0;  // skip PREPARE: everything stays ongoing
+  auto r = compact(el, cp);
+  EXPECT_FALSE(r.stats.prepare_used);
+  // Every vertex with an edge must be renamed, bijectively.
+  std::set<std::uint32_t> cids;
+  std::uint64_t renamed = 0;
+  for (std::uint64_t v = 0; v < el.n; ++v) {
+    if (r.renamed_of[v] == CompactResult::kInvalid) continue;
+    ++renamed;
+    EXPECT_TRUE(cids.insert(r.renamed_of[v]).second);
+    EXPECT_EQ(r.orig_of[r.renamed_of[v]], v);
+    EXPECT_TRUE(r.exists[r.renamed_of[v]]);
+  }
+  EXPECT_EQ(r.n_compact, 2 * renamed);
+  // Arcs faithfully relabeled.
+  EXPECT_EQ(r.arcs.size(), el.edges.size());
+}
+
+TEST(Compact, PrepareShrinksOngoing) {
+  // A sparse path forces PREPARE; afterwards the compact graph must be
+  // smaller than the input and preserve the component structure end to end.
+  auto el = graph::make_path(512);
+  CompactParams cp;
+  cp.seed = 11;
+  cp.target_density = 8.0;
+  auto r = compact(el, cp);
+  EXPECT_TRUE(r.stats.prepare_used);
+  EXPECT_GT(r.stats.prepare_phases, 0u);
+  EXPECT_EQ(r.stats.phases, 0u);  // densification is not theorem-loop work
+  std::uint64_t ongoing = r.n_compact / 2;
+  EXPECT_LT(ongoing, el.n / 4);  // 512/8 survivors at target density 8
+  EXPECT_TRUE(r.outer.acyclic());
+}
+
+TEST(Compact, SolvedGraphYieldsEmptyCompact) {
+  auto el = graph::make_star(64);  // Vanilla solves a star almost instantly
+  CompactParams cp;
+  cp.seed = 2;
+  cp.target_density = 1e9;       // never reached ...
+  cp.prepare_max_phases = 4096;  // ... so PREPARE runs to completion
+  auto r = compact(el, cp);
+  EXPECT_EQ(r.n_compact, 0u);
+  // The outer forest alone already answers the query.
+  r.outer.flatten();
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.outer.root_labels()));
+}
+
+TEST(Compact, ArcsConnectRenamedRoots) {
+  auto el = graph::make_cycle(100);
+  CompactParams cp;
+  cp.seed = 4;
+  cp.target_density = 4.0;
+  auto r = compact(el, cp);
+  for (const Arc& a : r.arcs) {
+    ASSERT_LT(a.u, r.n_compact);
+    ASSERT_LT(a.v, r.n_compact);
+    EXPECT_TRUE(r.exists[a.u]);
+    EXPECT_TRUE(r.exists[a.v]);
+  }
+}
+
+}  // namespace
+}  // namespace logcc::core

@@ -1,0 +1,149 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.hpp"
+
+namespace logcc::graph {
+namespace {
+
+std::uint64_t components_of(const EdgeList& el) {
+  return count_components(bfs_components(Graph::from_edges(el)));
+}
+
+TEST(Generators, PathShape) {
+  EdgeList el = make_path(10);
+  EXPECT_EQ(el.n, 10u);
+  EXPECT_EQ(el.edges.size(), 9u);
+  EXPECT_EQ(components_of(el), 1u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 9u);
+}
+
+TEST(Generators, CycleShape) {
+  EdgeList el = make_cycle(11);
+  EXPECT_EQ(el.edges.size(), 11u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 5u);
+}
+
+TEST(Generators, StarShape) {
+  EdgeList el = make_star(33);
+  EXPECT_EQ(el.edges.size(), 32u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 2u);
+}
+
+TEST(Generators, CompleteShape) {
+  EdgeList el = make_complete(10);
+  EXPECT_EQ(el.edges.size(), 45u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 1u);
+}
+
+TEST(Generators, GridShape) {
+  EdgeList el = make_grid(4, 6);
+  EXPECT_EQ(el.n, 24u);
+  EXPECT_EQ(el.edges.size(), 4u * 5 + 3u * 6);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 8u);  // 3 + 5
+}
+
+TEST(Generators, BinaryTreeShape) {
+  EdgeList el = make_binary_tree(15);
+  EXPECT_EQ(el.edges.size(), 14u);
+  EXPECT_EQ(components_of(el), 1u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 6u);
+}
+
+TEST(Generators, HypercubeShape) {
+  EdgeList el = make_hypercube(5);
+  EXPECT_EQ(el.n, 32u);
+  EXPECT_EQ(el.edges.size(), 32u * 5 / 2);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 5u);
+}
+
+TEST(Generators, GnmCountsAndDeterminism) {
+  EdgeList a = make_gnm(100, 300, 5);
+  EXPECT_EQ(a.n, 100u);
+  EXPECT_EQ(a.edges.size(), 300u);
+  EdgeList b = make_gnm(100, 300, 5);
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i)
+    EXPECT_EQ(a.edges[i], b.edges[i]);
+  EdgeList c = make_gnm(100, 300, 6);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.edges.size() && !differs; ++i)
+    differs = !(a.edges[i] == c.edges[i]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, GnmSimpleGraph) {
+  EdgeList el = make_gnm(50, 200, 9);
+  EdgeList copy = el;
+  copy.canonicalize();
+  EXPECT_EQ(copy.edges.size(), el.edges.size());  // no dups, no loops
+}
+
+TEST(Generators, RandomRegularConnected) {
+  EdgeList el = make_random_regular(64, 4, 3, /*connected=*/true);
+  EXPECT_EQ(components_of(el), 1u);
+}
+
+TEST(Generators, RmatSkewedDegrees) {
+  EdgeList el = make_rmat(8, 2048, 11);
+  Graph g = Graph::from_edges(el);
+  std::uint32_t max_deg = 0;
+  std::uint64_t nonzero = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+    nonzero += g.degree(v) > 0;
+  }
+  // Skew: the max degree should dwarf the average degree.
+  EXPECT_GT(max_deg, 4 * (2 * g.num_edges() / std::max<std::uint64_t>(nonzero, 1)));
+}
+
+TEST(Generators, PreferentialConnected) {
+  EdgeList el = make_preferential(200, 3, 17);
+  EXPECT_EQ(el.n, 200u);
+  EXPECT_EQ(components_of(el), 1u);
+}
+
+TEST(Generators, CaterpillarShape) {
+  EdgeList el = make_caterpillar(10, 2);
+  EXPECT_EQ(el.n, 30u);
+  EXPECT_EQ(el.edges.size(), 9u + 20u);
+  EXPECT_EQ(components_of(el), 1u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 11u);
+}
+
+TEST(Generators, LollipopShape) {
+  EdgeList el = make_lollipop(8, 20);
+  EXPECT_EQ(el.n, 28u);
+  EXPECT_EQ(components_of(el), 1u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 21u);
+}
+
+TEST(Generators, DisjointUnionRelabels) {
+  EdgeList el = disjoint_union({make_path(3), make_path(4)});
+  EXPECT_EQ(el.n, 7u);
+  EXPECT_EQ(el.edges.size(), 2u + 3u);
+  EXPECT_EQ(components_of(el), 2u);
+}
+
+TEST(Generators, PathForestComponents) {
+  EdgeList el = make_path_forest(5, 10);
+  EXPECT_EQ(components_of(el), 5u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 10u);
+}
+
+TEST(Generators, FamilyRegistryAllBuild) {
+  for (const std::string& name : family_names()) {
+    EdgeList el = make_family(name, 256, 3);
+    EXPECT_GT(el.n, 0u) << name;
+    Graph g = Graph::from_edges(el);
+    EXPECT_EQ(g.num_vertices(), el.n) << name;
+  }
+}
+
+TEST(GeneratorsDeath, UnknownFamilyAborts) {
+  EXPECT_DEATH(make_family("no-such-family", 10, 1), "unknown graph family");
+}
+
+}  // namespace
+}  // namespace logcc::graph

@@ -1,0 +1,116 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace logcc::graph {
+namespace {
+
+TEST(EdgeList, CanonicalizeRemovesLoopsAndDuplicates) {
+  EdgeList el;
+  el.n = 4;
+  el.add(0, 1);
+  el.add(1, 0);  // duplicate reversed
+  el.add(2, 2);  // loop
+  el.add(1, 2);
+  el.add(1, 2);  // duplicate
+  el.canonicalize();
+  EXPECT_EQ(el.edges.size(), 2u);
+  for (const Edge& e : el.edges) {
+    EXPECT_LE(e.u, e.v);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(Graph, FromEdgesBasic) {
+  EdgeList el;
+  el.n = 4;
+  el.add(0, 1);
+  el.add(1, 2);
+  Graph g = Graph::from_edges(el);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  EdgeList el;
+  el.n = 5;
+  el.add(2, 4);
+  el.add(2, 0);
+  el.add(2, 3);
+  Graph g = Graph::from_edges(el);
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(Graph, DedupOnBuild) {
+  EdgeList el;
+  el.n = 3;
+  el.add(0, 1);
+  el.add(1, 0);
+  el.add(0, 0);
+  Graph g = Graph::from_edges(el, /*dedup=*/true);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, KeepParallelWithoutDedup) {
+  EdgeList el;
+  el.n = 3;
+  el.add(0, 1);
+  el.add(0, 1);
+  Graph g = Graph::from_edges(el, /*dedup=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Graph, SelfLoopWithoutDedupCountsOnce) {
+  EdgeList el;
+  el.n = 2;
+  el.add(1, 1);
+  Graph g = Graph::from_edges(el, /*dedup=*/false);
+  EXPECT_EQ(g.degree(1), 1u);  // one arc entry for the loop
+}
+
+TEST(Graph, ToEdgesRoundTrip) {
+  EdgeList el;
+  el.n = 6;
+  el.add(0, 5);
+  el.add(2, 3);
+  el.add(1, 4);
+  Graph g = Graph::from_edges(el);
+  EdgeList back = g.to_edges();
+  EXPECT_EQ(back.n, el.n);
+  back.canonicalize();
+  EdgeList expect = el;
+  expect.canonicalize();
+  EXPECT_EQ(back.edges.size(), expect.edges.size());
+  for (std::size_t i = 0; i < back.edges.size(); ++i)
+    EXPECT_EQ(back.edges[i], expect.edges[i]);
+}
+
+TEST(Graph, EmptyGraph) {
+  EdgeList el;
+  el.n = 0;
+  Graph g = Graph::from_edges(el);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  EdgeList el;
+  el.n = 10;
+  el.add(0, 1);
+  Graph g = Graph::from_edges(el);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  for (VertexId v = 2; v < 10; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+}  // namespace
+}  // namespace logcc::graph

@@ -1,0 +1,123 @@
+#include "graph/graph_algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace logcc::graph {
+namespace {
+
+TEST(BfsComponents, MinIdLabels) {
+  EdgeList el;
+  el.n = 6;
+  el.add(3, 4);
+  el.add(4, 5);
+  el.add(0, 1);
+  auto labels = bfs_components(Graph::from_edges(el));
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 3u);
+  EXPECT_EQ(labels[5], 3u);
+  EXPECT_EQ(count_components(labels), 3u);
+}
+
+TEST(SamePartition, DetectsEquivalentRelabelings) {
+  std::vector<VertexId> a{0, 0, 2, 2};
+  std::vector<VertexId> b{1, 1, 3, 3};  // same partition, different reps
+  std::vector<VertexId> c{0, 0, 0, 2};  // different partition
+  EXPECT_TRUE(same_partition(a, b));
+  EXPECT_FALSE(same_partition(a, c));
+  EXPECT_FALSE(same_partition(a, {0, 0}));  // size mismatch
+}
+
+TEST(CanonicalLabels, MapsToMinId) {
+  std::vector<VertexId> raw{7, 7, 9, 9, 7};
+  auto canon = canonical_labels(raw);
+  EXPECT_EQ(canon, (std::vector<VertexId>{0, 0, 2, 2, 0}));
+}
+
+TEST(Eccentricity, PathEndpoints) {
+  Graph g = Graph::from_edges(make_path(10));
+  EXPECT_EQ(eccentricity(g, 0), 9u);
+  EXPECT_EQ(eccentricity(g, 5), 5u);
+}
+
+TEST(ExactDiameter, KnownGraphs) {
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(make_path(17))), 16u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(make_star(9))), 2u);
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(make_complete(8))), 1u);
+}
+
+TEST(ExactDiameter, MaxOverComponents) {
+  EdgeList el = disjoint_union({make_path(5), make_path(12)});
+  EXPECT_EQ(exact_max_diameter(Graph::from_edges(el)), 11u);
+}
+
+TEST(PseudoDiameter, ExactOnTrees) {
+  EXPECT_EQ(pseudo_diameter(Graph::from_edges(make_path(33))), 32u);
+  EXPECT_EQ(pseudo_diameter(Graph::from_edges(make_binary_tree(63))), 10u);
+  EXPECT_EQ(pseudo_diameter(Graph::from_edges(make_caterpillar(10, 2))), 11u);
+}
+
+TEST(PseudoDiameter, LowerBoundsExact) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Graph g = Graph::from_edges(make_gnm(80, 160, seed));
+    EXPECT_LE(pseudo_diameter(g), exact_max_diameter(g));
+  }
+}
+
+TEST(PseudoDiameter, CoversAllComponents) {
+  EdgeList el = disjoint_union({make_star(20), make_path(30)});
+  EXPECT_EQ(pseudo_diameter(Graph::from_edges(el)), 29u);
+}
+
+TEST(ValidateForest, AcceptsPathForest) {
+  EdgeList el = make_path(10);
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t i = 0; i < el.edges.size(); ++i) all.push_back(i);
+  EXPECT_TRUE(validate_spanning_forest(el, all).ok);
+}
+
+TEST(ValidateForest, RejectsCycle) {
+  EdgeList el = make_cycle(5);
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t i = 0; i < el.edges.size(); ++i) all.push_back(i);
+  auto check = validate_spanning_forest(el, all);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("cycle"), std::string::npos);
+}
+
+TEST(ValidateForest, RejectsIncomplete) {
+  EdgeList el = make_path(6);
+  // Missing one edge: not spanning.
+  auto check = validate_spanning_forest(el, {0, 1, 2, 3});
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(ValidateForest, RejectsOutOfRangeIndex) {
+  EdgeList el = make_path(4);
+  auto check = validate_spanning_forest(el, {0, 1, 99});
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(ValidateForest, MultiComponent) {
+  EdgeList el = disjoint_union({make_path(4), make_path(3)});
+  // 3 + 2 edges, all of them form the spanning forest.
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t i = 0; i < el.edges.size(); ++i) all.push_back(i);
+  EXPECT_TRUE(validate_spanning_forest(el, all).ok);
+}
+
+TEST(ComponentSizes, SortedDescending) {
+  EdgeList el = disjoint_union({make_path(5), make_path(2), make_path(9)});
+  auto sizes = component_sizes(bfs_components(Graph::from_edges(el)));
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 9u);
+  EXPECT_EQ(sizes[1], 5u);
+  EXPECT_EQ(sizes[2], 2u);
+}
+
+}  // namespace
+}  // namespace logcc::graph

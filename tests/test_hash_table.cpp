@@ -1,0 +1,87 @@
+#include "core/hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hashing.hpp"
+
+namespace logcc::core {
+namespace {
+
+TEST(VertexTable, InsertNewAndPresent) {
+  VertexTable t(4);
+  EXPECT_EQ(t.insert_at(2, 7), VertexTable::Insert::kNew);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_EQ(t.insert_at(2, 7), VertexTable::Insert::kPresent);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_FALSE(t.collided());
+}
+
+TEST(VertexTable, CollisionDetected) {
+  VertexTable t(4);
+  t.insert_at(1, 5);
+  EXPECT_EQ(t.insert_at(1, 6), VertexTable::Insert::kCollision);
+  EXPECT_TRUE(t.collided());
+  EXPECT_EQ(t.count(), 1u);  // loser is not stored
+}
+
+TEST(VertexTable, CollisionKeepsFirstOccupant) {
+  // CRCW semantics in our rendering: the first write wins, later different
+  // writes are collisions; re-reading the cell shows the original value.
+  VertexTable t(2);
+  t.insert_at(0, 9);
+  t.insert_at(0, 10);
+  EXPECT_TRUE(t.contains_at(0, 9));
+  EXPECT_FALSE(t.contains_at(0, 10));
+}
+
+TEST(VertexTable, ResetClearsEverything) {
+  VertexTable t(2);
+  t.insert_at(0, 1);
+  t.insert_at(0, 2);  // collision
+  t.reset(8);
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_FALSE(t.collided());
+}
+
+TEST(VertexTable, ItemsAndForEach) {
+  VertexTable t(8);
+  t.insert_at(1, 11);
+  t.insert_at(5, 55);
+  auto items = t.items();
+  ASSERT_EQ(items.size(), 2u);
+  std::uint32_t visits = 0;
+  t.for_each([&](graph::VertexId v) {
+    EXPECT_TRUE(v == 11 || v == 55);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2u);
+}
+
+TEST(VertexTable, ContainsAtBounds) {
+  VertexTable t(2);
+  EXPECT_FALSE(t.contains_at(5, 1));  // out of range is just "no"
+}
+
+TEST(VertexTable, MarkCollidedManually) {
+  VertexTable t(2);
+  EXPECT_FALSE(t.collided());
+  t.mark_collided();
+  EXPECT_TRUE(t.collided());
+}
+
+TEST(VertexTable, DedupByHashingMatchesPaperClaim) {
+  // "Hashing naturally removes the duplicate neighbors": inserting the same
+  // vertex many times through a hash function keeps one copy, no collision.
+  VertexTable t(16);
+  auto h = util::PairwiseHash::from_seed(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto cell = static_cast<std::uint32_t>(h(42, t.capacity()));
+    t.insert_at(cell, 42);
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_FALSE(t.collided());
+}
+
+}  // namespace
+}  // namespace logcc::core

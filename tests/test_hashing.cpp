@@ -1,0 +1,90 @@
+#include "util/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace logcc::util {
+namespace {
+
+TEST(PairwiseHash, DefaultIsIdentityLike) {
+  PairwiseHash h;  // a = 1, b = 0
+  EXPECT_EQ(h.raw(5), 5u);
+  EXPECT_EQ(h.raw(0), 0u);
+}
+
+TEST(PairwiseHash, RawStaysBelowPrime) {
+  Xoshiro256 rng(3);
+  for (int t = 0; t < 16; ++t) {
+    PairwiseHash h = PairwiseHash::sample(rng);
+    for (std::uint64_t x : std::initializer_list<std::uint64_t>{
+             0, 1, 12345, PairwiseHash::kPrime - 1, ~0ULL}) {
+      EXPECT_LT(h.raw(x), PairwiseHash::kPrime);
+    }
+  }
+}
+
+TEST(PairwiseHash, RangeReductionInRange) {
+  PairwiseHash h = PairwiseHash::from_seed(42);
+  for (std::uint64_t range : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (std::uint64_t x = 0; x < 500; ++x) EXPECT_LT(h(x, range), range);
+  }
+}
+
+TEST(PairwiseHash, FromSeedDeterministic) {
+  PairwiseHash a = PairwiseHash::from_seed(5, 1);
+  PairwiseHash b = PairwiseHash::from_seed(5, 1);
+  EXPECT_EQ(a.a(), b.a());
+  EXPECT_EQ(a.b(), b.b());
+  PairwiseHash c = PairwiseHash::from_seed(5, 2);
+  EXPECT_TRUE(c.a() != a.a() || c.b() != a.b());
+}
+
+TEST(PairwiseHash, InjectiveBeforeRangeReduction) {
+  // (a x + b) mod p is a bijection on [0, p) when a != 0.
+  PairwiseHash h = PairwiseHash::from_seed(99);
+  std::map<std::uint64_t, std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    auto [it, inserted] = seen.emplace(h.raw(x), x);
+    EXPECT_TRUE(inserted) << "raw collision between " << x << " and "
+                          << it->second;
+  }
+}
+
+TEST(PairwiseHash, BucketsRoughlyBalanced) {
+  PairwiseHash h = PairwiseHash::from_seed(1234);
+  constexpr std::uint64_t kRange = 16;
+  constexpr int kSamples = 64000;
+  std::vector<int> count(kRange, 0);
+  for (int x = 0; x < kSamples; ++x) ++count[h(x, kRange)];
+  for (std::uint64_t bkt = 0; bkt < kRange; ++bkt) {
+    EXPECT_GT(count[bkt], kSamples / kRange * 0.85);
+    EXPECT_LT(count[bkt], kSamples / kRange * 1.15);
+  }
+}
+
+TEST(PairwiseHash, PairwiseCollisionRateNearUniform) {
+  // Empirical pairwise independence check: for random distinct x != y,
+  // Pr[h(x) == h(y)] over functions should be ~ 1/range.
+  constexpr std::uint64_t kRange = 64;
+  int collisions = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    PairwiseHash h = PairwiseHash::from_seed(777, t);
+    collisions += h(2 * t + 1, kRange) == h(2 * t + 2, kRange);
+  }
+  double rate = static_cast<double>(collisions) / kTrials;
+  EXPECT_NEAR(rate, 1.0 / kRange, 0.008);
+}
+
+TEST(ConstantHash, AlwaysSameCell) {
+  ConstantHash h{3};
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h(x, 8), 3u);
+  EXPECT_EQ(h(5, 2), 1u);  // value % range
+}
+
+}  // namespace
+}  // namespace logcc::util

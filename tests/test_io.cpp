@@ -1,0 +1,69 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace logcc::graph {
+namespace {
+
+TEST(GraphIo, RoundTrip) {
+  EdgeList el = make_gnm(40, 80, 2);
+  std::stringstream ss;
+  write_edge_list(ss, el);
+  EdgeList back;
+  ASSERT_TRUE(read_edge_list(ss, back));
+  EXPECT_EQ(back.n, el.n);
+  ASSERT_EQ(back.edges.size(), el.edges.size());
+  for (std::size_t i = 0; i < el.edges.size(); ++i)
+    EXPECT_EQ(back.edges[i], el.edges[i]);
+}
+
+TEST(GraphIo, CommentsSkipped) {
+  std::stringstream ss("# comment\n% another\n4 2\n0 1\n2 3\n");
+  EdgeList el;
+  ASSERT_TRUE(read_edge_list(ss, el));
+  EXPECT_EQ(el.n, 4u);
+  EXPECT_EQ(el.edges.size(), 2u);
+}
+
+TEST(GraphIo, HeaderlessInputInfersN) {
+  std::stringstream ss("0 1\n1 5\n2 3\n");
+  EdgeList el;
+  ASSERT_TRUE(read_edge_list(ss, el));
+  EXPECT_EQ(el.n, 6u);  // max endpoint + 1
+  EXPECT_EQ(el.edges.size(), 3u);
+  EXPECT_EQ(el.edges[0], (Edge{0, 1}));
+}
+
+TEST(GraphIo, EmptyInputFails) {
+  std::stringstream ss("");
+  EdgeList el;
+  EXPECT_FALSE(read_edge_list(ss, el));
+}
+
+TEST(GraphIo, MalformedLineFails) {
+  std::stringstream ss("3 1\n0 not-a-number\n");
+  EdgeList el;
+  EXPECT_FALSE(read_edge_list(ss, el));
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  EdgeList el = make_path(12);
+  std::string path = ::testing::TempDir() + "/logcc_io_test.txt";
+  ASSERT_TRUE(write_edge_list_file(path, el));
+  EdgeList back;
+  ASSERT_TRUE(read_edge_list_file(path, back));
+  EXPECT_EQ(back.n, el.n);
+  EXPECT_EQ(back.edges.size(), el.edges.size());
+}
+
+TEST(GraphIo, MissingFileFails) {
+  EdgeList el;
+  EXPECT_FALSE(read_edge_list_file("/nonexistent/definitely/missing", el));
+}
+
+}  // namespace
+}  // namespace logcc::graph

@@ -1,0 +1,106 @@
+#include "pram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace logcc::pram {
+namespace {
+
+TEST(Machine, ReadsSeePreStepSnapshot) {
+  Machine m(4, WritePolicy::kArbitrary, 1);
+  m.poke(0, 10);
+  m.step(2, [&](std::size_t p) {
+    if (p == 0) m.write(0, 99, p);
+    // Processor 1 reads cell 0 during the same step: must see 10, not 99.
+    if (p == 1) m.write(1, m.read(0), p);
+  });
+  EXPECT_EQ(m.peek(0), 99u);
+  EXPECT_EQ(m.peek(1), 10u);
+}
+
+TEST(Machine, PriorityLowestProcWins) {
+  Machine m(1, WritePolicy::kPriority, 1);
+  m.step(8, [&](std::size_t p) { m.write(0, 100 + p, p); });
+  EXPECT_EQ(m.peek(0), 100u);
+}
+
+TEST(Machine, CombineMin) {
+  Machine m(1, WritePolicy::kCombineMin, 1);
+  m.step(5, [&](std::size_t p) { m.write(0, 50 - p, p); });
+  EXPECT_EQ(m.peek(0), 46u);
+}
+
+TEST(Machine, CombineSum) {
+  Machine m(1, WritePolicy::kCombineSum, 1);
+  m.step(5, [&](std::size_t p) { m.write(0, p + 1, p); });
+  EXPECT_EQ(m.peek(0), 15u);
+}
+
+TEST(Machine, ArbitraryPicksAmongWriters) {
+  Machine m(1, WritePolicy::kArbitrary, 7);
+  m.step(8, [&](std::size_t p) { m.write(0, 100 + p, p); });
+  Word w = m.peek(0);
+  EXPECT_GE(w, 100u);
+  EXPECT_LT(w, 108u);
+}
+
+TEST(Machine, ArbitrarySeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Machine m(1, WritePolicy::kArbitrary, seed);
+    m.step(8, [&](std::size_t p) { m.write(0, 100 + p, p); });
+    return m.peek(0);
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+TEST(Machine, ArbitrarySeedVariesWinner) {
+  std::set<Word> winners;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Machine m(1, WritePolicy::kArbitrary, seed);
+    m.step(8, [&](std::size_t p) { m.write(0, 100 + p, p); });
+    winners.insert(m.peek(0));
+  }
+  EXPECT_GT(winners.size(), 1u) << "arbitrary policy never varied its winner";
+}
+
+TEST(Machine, ArbitraryIndependentOfExecutionOrder) {
+  // The winner must not depend on the order the host executes processors:
+  // run the same step with processors issuing writes in reverse order.
+  Machine fwd(1, WritePolicy::kArbitrary, 5);
+  fwd.step(8, [&](std::size_t p) { fwd.write(0, 100 + p, p); });
+  Machine rev(1, WritePolicy::kArbitrary, 5);
+  rev.step(8, [&](std::size_t p) {
+    std::size_t q = 7 - p;
+    rev.write(0, 100 + q, q);
+  });
+  EXPECT_EQ(fwd.peek(0), rev.peek(0));
+}
+
+TEST(Machine, LedgerCountsStepsWorkWritesConflicts) {
+  Machine m(4, WritePolicy::kArbitrary, 1);
+  m.step(4, [&](std::size_t p) { m.write(p % 2, p, p); });
+  m.step(2, [&](std::size_t p) { m.write(2 + p, p, p); });
+  const Ledger& l = m.ledger();
+  EXPECT_EQ(l.steps, 2u);
+  EXPECT_EQ(l.work, 6u);
+  EXPECT_EQ(l.writes, 6u);
+  EXPECT_EQ(l.conflicts, 2u);  // cells 0 and 1 in step 1
+}
+
+TEST(Machine, PokePeekOutOfBand) {
+  Machine m(3, WritePolicy::kArbitrary, 1);
+  m.poke(2, 77);
+  EXPECT_EQ(m.peek(2), 77u);
+  EXPECT_EQ(m.ledger().steps, 0u);
+}
+
+TEST(Machine, ToStringPolicies) {
+  EXPECT_STREQ(to_string(WritePolicy::kArbitrary), "arbitrary");
+  EXPECT_STREQ(to_string(WritePolicy::kPriority), "priority");
+  EXPECT_STREQ(to_string(WritePolicy::kCombineMin), "combine-min");
+  EXPECT_STREQ(to_string(WritePolicy::kCombineSum), "combine-sum");
+}
+
+}  // namespace
+}  // namespace logcc::pram

@@ -1,0 +1,132 @@
+#include "pram/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace logcc::pram {
+namespace {
+
+TEST(Broadcast, FillsRegion) {
+  Machine m(10, WritePolicy::kArbitrary, 1);
+  broadcast(m, 2, 5, 42);
+  for (std::size_t i = 2; i < 7; ++i) EXPECT_EQ(m.peek(i), 42u);
+  EXPECT_EQ(m.peek(0), 0u);
+  EXPECT_EQ(m.peek(7), 0u);
+}
+
+TEST(PointerJump, FlattensChain) {
+  constexpr std::size_t n = 16;
+  Machine m(n, WritePolicy::kArbitrary, 1);
+  // Chain: v -> v-1, root 0.
+  for (std::size_t v = 0; v < n; ++v) m.poke(v, v == 0 ? 0 : v - 1);
+  std::uint64_t jumps = pointer_jump(m, 0, n);
+  for (std::size_t v = 0; v < n; ++v) EXPECT_EQ(m.peek(v), 0u);
+  // Chain of length 15 flattens in ceil(log2 15) = 4 jumps + 1 fixpoint
+  // check.
+  EXPECT_LE(jumps, 5u);
+  EXPECT_GE(jumps, 4u);
+}
+
+TEST(PointerJump, AlreadyFlatIsOneStep) {
+  Machine m(8, WritePolicy::kArbitrary, 1);
+  for (std::size_t v = 0; v < 8; ++v) m.poke(v, v < 4 ? 0 : 4);
+  EXPECT_EQ(pointer_jump(m, 0, 8), 1u);
+}
+
+TEST(PointerJump, MultipleTrees) {
+  Machine m(6, WritePolicy::kArbitrary, 1);
+  // Two chains: 0<-1<-2 and 3<-4<-5.
+  m.poke(0, 0);
+  m.poke(1, 0);
+  m.poke(2, 1);
+  m.poke(3, 3);
+  m.poke(4, 3);
+  m.poke(5, 4);
+  pointer_jump(m, 0, 6);
+  EXPECT_EQ(m.peek(2), 0u);
+  EXPECT_EQ(m.peek(5), 3u);
+}
+
+TEST(ApproximateCompaction, InjectiveWithinBound) {
+  constexpr std::size_t n = 256;
+  std::vector<bool> flags(n, false);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; i += 3) {
+    flags[i] = true;
+    ++k;
+  }
+  Machine m(2 * k, WritePolicy::kArbitrary, 9);
+  auto slots = approximate_compaction(m, flags, 11);
+  ASSERT_TRUE(slots.has_value());
+  std::set<std::uint32_t> used;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flags[i]) {
+      ASSERT_NE((*slots)[i], static_cast<std::uint32_t>(-1));
+      EXPECT_LT((*slots)[i], 2 * k);
+      EXPECT_TRUE(used.insert((*slots)[i]).second) << "slot reused";
+    } else {
+      EXPECT_EQ((*slots)[i], static_cast<std::uint32_t>(-1));
+    }
+  }
+}
+
+TEST(ApproximateCompaction, EmptyInput) {
+  Machine m(4, WritePolicy::kArbitrary, 1);
+  std::vector<bool> flags(10, false);
+  auto slots = approximate_compaction(m, flags, 1);
+  ASSERT_TRUE(slots.has_value());
+}
+
+TEST(ApproximateCompaction, SingleItem) {
+  Machine m(2, WritePolicy::kArbitrary, 1);
+  std::vector<bool> flags(5, false);
+  flags[3] = true;
+  auto slots = approximate_compaction(m, flags, 2);
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_LT((*slots)[3], 2u);
+}
+
+TEST(ApproximateCompaction, FailsWithZeroRounds) {
+  Machine m(8, WritePolicy::kArbitrary, 1);
+  std::vector<bool> flags(4, true);  // k=4 => 8 target cells
+  auto slots = approximate_compaction(m, flags, 3, /*max_rounds=*/0);
+  EXPECT_FALSE(slots.has_value());
+}
+
+TEST(ApproximateCompactionDeath, TooSmallMachineAborts) {
+  Machine m(4, WritePolicy::kArbitrary, 1);
+  std::vector<bool> flags(4, true);  // needs 8 cells, machine has 4
+  EXPECT_DEATH((void)approximate_compaction(m, flags, 3), "memory too small");
+}
+
+TEST(ApproximateCompaction, RestoresScratchMemory) {
+  std::vector<bool> flags(8, true);
+  Machine m(16, WritePolicy::kArbitrary, 2);
+  for (std::size_t c = 0; c < 16; ++c) m.poke(c, 1000 + c);
+  auto slots = approximate_compaction(m, flags, 3);
+  ASSERT_TRUE(slots.has_value());
+  for (std::size_t c = 0; c < 16; ++c) EXPECT_EQ(m.peek(c), 1000 + c);
+}
+
+TEST(PrefixSum, InclusiveSums) {
+  constexpr std::size_t n = 9;
+  Machine m(n, WritePolicy::kArbitrary, 1);
+  for (std::size_t v = 0; v < n; ++v) m.poke(v, v + 1);
+  auto sums = prefix_sum(m, 0, n);
+  for (std::size_t v = 0; v < n; ++v)
+    EXPECT_EQ(sums[v], (v + 1) * (v + 2) / 2);
+}
+
+TEST(PrefixSum, TakesLogSteps) {
+  constexpr std::size_t n = 64;
+  Machine m(n, WritePolicy::kArbitrary, 1);
+  for (std::size_t v = 0; v < n; ++v) m.poke(v, 1);
+  prefix_sum(m, 0, n);
+  // Doubling: exactly ceil(log2 64) = 6 steps. The paper's point: this is
+  // Θ(log n) on a PRAM, O(1) on an MPC.
+  EXPECT_EQ(m.ledger().steps, 6u);
+}
+
+}  // namespace
+}  // namespace logcc::pram

@@ -1,0 +1,99 @@
+// Property sweep: every algorithm × every graph family × several sizes and
+// seeds must induce exactly the oracle partition. This is the library's main
+// correctness safety net (hundreds of cases via TEST_P).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+
+namespace logcc {
+namespace {
+
+using Param = std::tuple<std::string /*family*/, std::uint64_t /*n*/,
+                         std::uint64_t /*seed*/, Algorithm>;
+
+class CcProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CcProperty, MatchesOracle) {
+  const auto& [family, n, seed, algorithm] = GetParam();
+  graph::EdgeList el = graph::make_family(family, n, seed);
+  Options opt;
+  opt.seed = seed * 7919 + 13;
+  auto r = connected_components(el, algorithm, opt);
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels))
+      << family << " n=" << n << " seed=" << seed << " alg="
+      << to_string(algorithm);
+  EXPECT_EQ(r.num_components,
+            graph::count_components(logcc::testing::oracle_labels(el)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CcProperty,
+    ::testing::Combine(
+        ::testing::Values("path", "cycle", "star", "grid", "tree", "gnm2",
+                          "rmat", "caterpillar", "lollipop"),
+        ::testing::Values<std::uint64_t>(33, 257),
+        ::testing::Values<std::uint64_t>(1, 2, 3),
+        ::testing::Values(Algorithm::kFasterCC, Algorithm::kTheorem1,
+                          Algorithm::kVanilla, Algorithm::kShiloachVishkin,
+                          Algorithm::kAwerbuchShiloach, Algorithm::kLabelProp,
+                          Algorithm::kLiuTarjan, Algorithm::kUnionFind)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_n" + std::to_string(std::get<1>(info.param));
+      name += "_s" + std::to_string(std::get<2>(info.param));
+      name += std::string("_") + to_string(std::get<3>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Paper-policy sweep (smaller: paper constants degenerate but must stay
+// correct).
+class CcPaperPolicy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CcPaperPolicy, MatchesOracle) {
+  graph::EdgeList el = graph::make_family(GetParam(), 128, 5);
+  Options opt;
+  opt.policy = core::ParamPolicy::Kind::kPaper;
+  auto r = connected_components(el, Algorithm::kFasterCC, opt);
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CcPaperPolicy,
+                         ::testing::Values("path", "star", "gnm2", "rmat",
+                                           "grid"));
+
+// CRCW-independence: the partition must not depend on the seed that drives
+// every "arbitrary write wins" choice.
+class CcSeedIndependence
+    : public ::testing::TestWithParam<std::tuple<std::string, Algorithm>> {};
+
+TEST_P(CcSeedIndependence, PartitionStableAcrossSeeds) {
+  const auto& [family, algorithm] = GetParam();
+  graph::EdgeList el = graph::make_family(family, 200, 4);
+  Options opt;
+  opt.seed = 1;
+  auto ref = connected_components(el, algorithm, opt);
+  for (std::uint64_t seed : {2ULL, 77ULL, 4099ULL}) {
+    opt.seed = seed;
+    auto r = connected_components(el, algorithm, opt);
+    EXPECT_TRUE(graph::same_partition(ref.labels, r.labels))
+        << family << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CcSeedIndependence,
+    ::testing::Combine(::testing::Values("path", "gnm2", "rmat"),
+                       ::testing::Values(Algorithm::kFasterCC,
+                                         Algorithm::kTheorem1,
+                                         Algorithm::kVanilla)));
+
+}  // namespace
+}  // namespace logcc

@@ -1,0 +1,65 @@
+// Property sweep for spanning forests: validity (acyclic, spanning,
+// input-edge subset) across families × seeds × both SF algorithms.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+
+namespace logcc {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t /*seed*/, SfAlgorithm>;
+
+class SfProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SfProperty, ValidSpanningForest) {
+  const auto& [family, seed, algorithm] = GetParam();
+  graph::EdgeList el = graph::make_family(family, 200, seed);
+  Options opt;
+  opt.seed = seed + 101;
+  auto r = spanning_forest(el, algorithm, opt);
+  auto check = graph::validate_spanning_forest(el, r.forest_edges);
+  EXPECT_TRUE(check.ok) << family << " seed=" << seed << ": " << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SfProperty,
+    ::testing::Combine(
+        ::testing::Values("path", "cycle", "star", "grid", "tree", "gnm2",
+                          "gnm8", "rmat", "caterpillar", "lollipop"),
+        ::testing::Values<std::uint64_t>(1, 2, 3, 4),
+        ::testing::Values(SfAlgorithm::kTheorem2, SfAlgorithm::kVanillaSF)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_s" + std::to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) == SfAlgorithm::kTheorem2 ? "_thm2"
+                                                                : "_vsf";
+      return name;
+    });
+
+// The forest must connect exactly what the graph connects: contracting the
+// forest edges yields the oracle partition.
+class SfConnectivity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SfConnectivity, ForestInducesSamePartition) {
+  graph::EdgeList el = graph::make_family(GetParam(), 300, 9);
+  auto r = spanning_forest(el, SfAlgorithm::kTheorem2);
+  graph::EdgeList forest;
+  forest.n = el.n;
+  for (std::uint64_t idx : r.forest_edges) forest.edges.push_back(el.edges[idx]);
+  auto from_forest = logcc::testing::oracle_labels(forest);
+  auto from_graph = logcc::testing::oracle_labels(el);
+  EXPECT_TRUE(graph::same_partition(from_forest, from_graph)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SfConnectivity,
+                         ::testing::Values("path", "grid", "gnm2", "rmat",
+                                           "lollipop", "caterpillar"));
+
+}  // namespace
+}  // namespace logcc

@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace logcc::util {
+namespace {
+
+TEST(Summarize, EmptyIsZeros) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  std::vector<double> xs{5.0};
+  Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.median, 5.0);
+}
+
+TEST(Summarize, KnownSample) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.median, 4.5, 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_NEAR(percentile(xs, 25), 1.75, 1e-12);
+}
+
+TEST(Percentile, UnsortedInput) {
+  std::vector<double> xs{9, 1, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4}, y{3, 5, 7, 9};  // y = 2x + 1
+  LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ConstantX) {
+  std::vector<double> x{2, 2, 2}, y{1, 2, 3};
+  LinearFit f = linear_fit(x, y);
+  EXPECT_EQ(f.slope, 0.0);
+  EXPECT_NEAR(f.intercept, 2.0, 1e-12);
+}
+
+TEST(Log2Fit, RecoversLogRelationship) {
+  // y = 3*log2(x) + 1
+  std::vector<double> x, y;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 64.0, 256.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::log2(v) + 1.0);
+  }
+  LinearFit f = log2_fit(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Accumulator, CollectsAndSummarizes) {
+  Accumulator acc;
+  for (int i = 1; i <= 5; ++i) acc.add(i);
+  EXPECT_EQ(acc.size(), 5u);
+  EXPECT_DOUBLE_EQ(acc.summary().mean, 3.0);
+}
+
+}  // namespace
+}  // namespace logcc::util

@@ -1,0 +1,84 @@
+#include "pram/sv_on_pram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+
+namespace logcc::pram {
+namespace {
+
+using logcc::testing::matches_oracle;
+
+TEST(SvOnPram, Path) {
+  auto el = graph::make_path(50);
+  auto r = shiloach_vishkin_on_pram(el);
+  EXPECT_TRUE(matches_oracle(el, r.labels));
+}
+
+TEST(SvOnPram, MultiComponent) {
+  auto el = graph::disjoint_union(
+      {graph::make_path(10), graph::make_cycle(12), graph::make_star(8)});
+  auto r = shiloach_vishkin_on_pram(el);
+  EXPECT_TRUE(matches_oracle(el, r.labels));
+  EXPECT_EQ(graph::count_components(r.labels), 3u);
+}
+
+TEST(SvOnPram, LogIterations) {
+  auto el = graph::make_path(512);
+  auto r = shiloach_vishkin_on_pram(el);
+  // Classical bound: O(log n) hook+shortcut iterations.
+  EXPECT_LE(r.iterations, 6 * 9 + 8u);  // generous constant over log2(512)=9
+  EXPECT_GE(r.iterations, 3u);
+}
+
+TEST(SvOnPram, ResultIndependentOfWritePolicy) {
+  auto el = graph::make_gnm(120, 300, 21);
+  auto arb = shiloach_vishkin_on_pram(el, WritePolicy::kArbitrary, 1);
+  auto pri = shiloach_vishkin_on_pram(el, WritePolicy::kPriority, 1);
+  EXPECT_TRUE(graph::same_partition(arb.labels, pri.labels));
+}
+
+TEST(SvOnPram, ResultIndependentOfArbitrarySeed) {
+  auto el = graph::make_gnm(100, 220, 33);
+  auto a = shiloach_vishkin_on_pram(el, WritePolicy::kArbitrary, 1);
+  auto b = shiloach_vishkin_on_pram(el, WritePolicy::kArbitrary, 999);
+  EXPECT_TRUE(graph::same_partition(a.labels, b.labels));
+}
+
+TEST(SvOnPram, LedgerPopulated) {
+  auto el = graph::make_cycle(64);
+  auto r = shiloach_vishkin_on_pram(el);
+  EXPECT_GT(r.ledger.steps, 0u);
+  EXPECT_GT(r.ledger.work, 0u);
+  EXPECT_GT(r.ledger.writes, 0u);
+}
+
+TEST(SvOnPram, RegressionArbitrarySeed999NoCycle) {
+  // Regression: with the buggy star detection (st(v) := st(D(v)) instead of
+  // st(v) := st(v) AND st(D(v))), depth-2 vertices of non-star trees were
+  // mis-classified as star members, their hooks created a parent cycle and
+  // this exact configuration livelocked.
+  auto el = graph::make_gnm(1024, 3072, 1024);
+  auto r = shiloach_vishkin_on_pram(el, WritePolicy::kArbitrary, 999);
+  EXPECT_TRUE(matches_oracle(el, r.labels));
+}
+
+TEST(SvOnPram, ManySeedsTerminate) {
+  auto el = graph::make_gnm(512, 1536, 7);
+  for (std::uint64_t seed : {1ULL, 2ULL, 99ULL, 999ULL, 31337ULL}) {
+    auto r = shiloach_vishkin_on_pram(el, WritePolicy::kArbitrary, seed);
+    EXPECT_TRUE(matches_oracle(el, r.labels)) << seed;
+  }
+}
+
+TEST(SvOnPram, Zoo) {
+  for (const auto& [name, el] : logcc::testing::small_zoo()) {
+    auto r = shiloach_vishkin_on_pram(el);
+    EXPECT_TRUE(matches_oracle(el, r.labels)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace logcc::pram

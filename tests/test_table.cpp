@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logcc::util {
+namespace {
+
+TEST(TextTable, BuildsRows) {
+  TextTable t({"a", "b"});
+  t.row().add("x").add_int(42);
+  t.row().add_double(1.5, 1).add("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][1], "42");
+  EXPECT_EQ(t.rows()[1][0], "1.5");
+}
+
+TEST(TextTable, PrintsAligned) {
+  TextTable t({"name", "v"});
+  t.row().add("long-name").add_int(1);
+  t.row().add("s").add_int(22);
+  char buf[4096];
+  std::FILE* f = fmemopen(buf, sizeof buf, "w");
+  t.print(f);
+  std::fclose(f);
+  std::string s(buf);
+  // Header, rule, two rows.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Columns aligned: '22' appears right under '1' column start.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Sparkline, EmptyAndFlat) {
+  EXPECT_EQ(sparkline({}), "");
+  std::string flat = sparkline({1.0, 1.0, 1.0});
+  EXPECT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0], flat[1]);
+}
+
+TEST(Sparkline, MonotoneRampIsNonDecreasing) {
+  std::string s = sparkline({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  static const std::string kLevels = " .:-=+*#%@";
+  for (std::size_t i = 1; i < s.size(); ++i)
+    EXPECT_LE(kLevels.find(s[i - 1]), kLevels.find(s[i]));
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '@');
+}
+
+TEST(PrintSeries, EmitsAllPoints) {
+  char buf[8192];
+  std::FILE* f = fmemopen(buf, sizeof buf, "w");
+  print_series("test", {1, 2, 4}, {10, 20, 40}, "x", "y", f);
+  std::fclose(f);
+  std::string s(buf);
+  EXPECT_NE(s.find("series: test"), std::string::npos);
+  EXPECT_NE(s.find("40.000"), std::string::npos);
+  EXPECT_NE(s.find("trend:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logcc::util
