@@ -13,11 +13,23 @@
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
 #include "util/hashing.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace {
 
 using namespace logcc;
+
+// Captured before any benchmark runs so threaded variants can restore the
+// ambient thread count when they finish.
+const int kDefaultThreads = util::hardware_parallelism();
+
+/// Applies the benchmark's thread-count argument (range(1)) for its run.
+struct ThreadGuard {
+  explicit ThreadGuard(int threads) { util::set_parallelism(threads); }
+  ~ThreadGuard() { util::set_parallelism(kDefaultThreads); }
+};
 
 void BM_PairwiseHash(benchmark::State& state) {
   auto h = util::PairwiseHash::from_seed(42);
@@ -86,8 +98,9 @@ BENCHMARK(BM_Alter)->Arg(1 << 12);
 void BM_DedupArcs(benchmark::State& state) {
   const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
   auto el = graph::make_gnm(n, 4 * n, 5);
-  auto arcs = core::arcs_from_edges(el);
-  arcs.insert(arcs.end(), arcs.begin(), arcs.end());  // force duplicates
+  const auto half = core::arcs_from_edges(el);
+  auto arcs = half;
+  arcs.insert(arcs.end(), half.begin(), half.end());  // force duplicates
   for (auto _ : state) {
     auto copy = arcs;
     core::dedup_arcs(copy);
@@ -95,6 +108,85 @@ void BM_DedupArcs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DedupArcs)->Arg(1 << 12);
+
+// ---- Threaded variants of the phase-loop hot path. Args are {n, threads};
+// items/sec makes the speedup visible in the bench JSON (compare the same n
+// across thread counts).
+
+void BM_AlterThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  auto el = graph::make_gnm(n, 4 * n, 3);
+  auto arcs = core::arcs_from_edges(el);
+  core::ParentForest f(n);
+  for (graph::VertexId v = 0; v < n; ++v) f.set_parent(v, v / 2);
+  for (auto _ : state) {
+    core::alter(arcs, f);
+    benchmark::DoNotOptimize(arcs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arcs.size()));
+}
+BENCHMARK(BM_AlterThreaded)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8})
+    ->UseRealTime();
+
+void BM_ShortcutThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  core::ParentForest f(n);
+  for (graph::VertexId v = 1; v < n; ++v) f.set_parent(v, v / 2);
+  // Steady state after ~log n calls: every later iteration is one full
+  // synchronous pass over n pointers (the phase-loop cost being measured).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.shortcut());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ShortcutThreaded)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8})
+    ->UseRealTime();
+
+void BM_DedupArcsThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  auto el = graph::make_gnm(n, 2 * n, 5);
+  const auto half = core::arcs_from_edges(el);
+  auto arcs = half;
+  arcs.insert(arcs.end(), half.begin(), half.end());  // force duplicates
+  for (auto _ : state) {
+    auto copy = arcs;
+    core::dedup_arcs(copy);
+    benchmark::DoNotOptimize(copy.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arcs.size()));
+}
+BENCHMARK(BM_DedupArcsThreaded)
+    ->Args({1 << 19, 1})
+    ->Args({1 << 19, 4})
+    ->Args({1 << 19, 8})
+    ->UseRealTime();
+
+void BM_PrefixSumThreaded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  std::vector<std::uint64_t> base(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = util::mix64(1, i) & 0xff;
+  for (auto _ : state) {
+    auto copy = base;
+    benchmark::DoNotOptimize(util::parallel_prefix_sum(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PrefixSumThreaded)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->UseRealTime();
 
 void BM_ApproximateCompaction(benchmark::State& state) {
   const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));

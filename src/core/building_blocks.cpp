@@ -1,52 +1,200 @@
 #include "core/building_blocks.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
 std::vector<Arc> arcs_from_edges(const graph::EdgeList& el) {
-  std::vector<Arc> arcs;
-  arcs.reserve(el.edges.size());
-  for (std::uint32_t i = 0; i < el.edges.size(); ++i) {
+  std::vector<Arc> arcs(el.edges.size());
+  util::parallel_for(0, el.edges.size(), [&](std::size_t i) {
     const auto& e = el.edges[i];
     LOGCC_CHECK(e.u < el.n && e.v < el.n);
-    arcs.push_back({e.u, e.v, i});
-  }
+    arcs[i] = {e.u, e.v, static_cast<std::uint32_t>(i)};
+  });
   return arcs;
 }
 
 void alter(std::vector<Arc>& arcs, const ParentForest& forest) {
-  for (Arc& a : arcs) {
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+    Arc& a = arcs[i];
     a.u = forest.parent(a.u);
     a.v = forest.parent(a.v);
-  }
+  });
 }
 
 std::uint64_t drop_loops(std::vector<Arc>& arcs) {
-  std::uint64_t before = arcs.size();
-  std::erase_if(arcs, [](const Arc& a) { return a.u == a.v; });
-  return before - arcs.size();
-}
-
-void dedup_arcs(std::vector<Arc>& arcs) {
-  for (Arc& a : arcs)
-    if (a.u > a.v) std::swap(a.u, a.v);
-  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  arcs.erase(std::unique(arcs.begin(), arcs.end(),
-                         [](const Arc& a, const Arc& b) {
-                           return a.u == b.u && a.v == b.v;
-                         }),
-             arcs.end());
+  return util::parallel_pack(arcs, [](const Arc& a) { return a.u != a.v; });
 }
 
 bool has_nonloop(const std::vector<Arc>& arcs) {
-  for (const Arc& a : arcs)
-    if (a.u != a.v) return true;
-  return false;
+  const std::size_t n = arcs.size();
+  if (n < util::kSerialGrain) {
+    for (const Arc& a : arcs)
+      if (a.u != a.v) return true;
+    return false;
+  }
+  // Blocked OR with early exit: phase loops call this right after
+  // drop_loops, so the answer is usually decided by the very first arc —
+  // blocks bail as soon as any worker finds a witness.
+  const std::size_t blocks = util::scan_block_count(n);
+  std::atomic<bool> found{false};
+  util::parallel_for_blocks(blocks, [&](std::size_t b) {
+    if (found.load(std::memory_order_relaxed)) return;
+    const std::size_t hi = util::detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = util::detail::block_begin(n, blocks, b); i < hi;
+         ++i) {
+      if (arcs[i].u != arcs[i].v) {
+        found.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  return found.load();
+}
+
+std::vector<VertexId> collect_ongoing(const ParentForest& forest,
+                                      const std::vector<Arc>& arcs,
+                                      std::vector<std::uint8_t>& seen) {
+  std::vector<VertexId> out;
+  out.reserve(arcs.size() / 2);
+  seen.resize(forest.size(), 0);
+  for (const Arc& a : arcs) {
+    if (a.u == a.v) continue;
+    for (VertexId v : {a.u, a.v}) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        LOGCC_DCHECK(forest.is_root(v));
+        out.push_back(v);
+      }
+    }
+  }
+  for (VertexId v : out) seen[v] = 0;
+  return out;
+}
+
+std::uint64_t count_ongoing(const ParentForest& forest,
+                            const std::vector<Arc>& arcs,
+                            std::vector<std::uint8_t>& seen) {
+  return collect_ongoing(forest, arcs, seen).size();
+}
+
+namespace {
+
+/// (u, v, orig) order: groups undirected duplicates, min orig first.
+bool arc_less(const Arc& a, const Arc& b) {
+  if (a.u != b.u) return a.u < b.u;
+  if (a.v != b.v) return a.v < b.v;
+  return a.orig < b.orig;
+}
+
+bool arc_same_pair(const Arc& a, const Arc& b) {
+  return a.u == b.u && a.v == b.v;
+}
+
+/// Serial dedup path (and the semantics contract for the bucketed path):
+/// normalize u <= v, then keep the minimum-orig arc per (u, v) pair.
+void dedup_serial(std::vector<Arc>& arcs) {
+  std::sort(arcs.begin(), arcs.end(), arc_less);
+  arcs.erase(std::unique(arcs.begin(), arcs.end(), arc_same_pair),
+             arcs.end());
+}
+
+// Arc lists big enough that the bucketed path amortises its two extra
+// passes. Chosen by size only — never by thread count — so a given input
+// always takes the same path and yields the same output (see scan.hpp on
+// the determinism contract).
+constexpr std::size_t kDedupBucketCutoff = 4 * util::kSerialGrain;
+
+std::size_t dedup_bucket_count(std::size_t n) {
+  std::size_t buckets = 1;
+  while (buckets < 256 && buckets * util::kSerialGrain < n) buckets <<= 1;
+  return buckets;
+}
+
+/// Bucket-partitioned dedup: scatter arcs by mix64(u) high bits (all copies
+/// of a pair share u after normalization, hence a bucket), sort + unique
+/// each bucket independently, then pack the survivors back. Output order is
+/// bucket-major — deterministic, but different from the fully sorted serial
+/// path, which is why the path choice above keys on size alone.
+void dedup_bucketed(std::vector<Arc>& arcs) {
+  const std::size_t n = arcs.size();
+  const std::size_t buckets = dedup_bucket_count(n);
+  const int shift = 64 - std::countr_zero(buckets);
+  auto bucket_of = [shift](const Arc& a) {
+    return static_cast<std::size_t>(util::mix64(a.u) >> shift);
+  };
+
+  const std::size_t blocks = util::scan_block_count(n);
+  // counts[b * buckets + k]: arcs of block b landing in bucket k.
+  std::vector<std::size_t> counts(blocks * buckets, 0);
+  util::parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t* row = counts.data() + b * buckets;
+    const std::size_t hi = util::detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = util::detail::block_begin(n, blocks, b); i < hi; ++i)
+      ++row[bucket_of(arcs[i])];
+  });
+
+  // Column-major exclusive scan: write cursor for (block, bucket), and the
+  // bucket boundaries in the scattered array.
+  std::vector<std::size_t> bucket_begin(buckets + 1, 0);
+  std::size_t run = 0;
+  for (std::size_t k = 0; k < buckets; ++k) {
+    bucket_begin[k] = run;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::size_t c = counts[b * buckets + k];
+      counts[b * buckets + k] = run;
+      run += c;
+    }
+  }
+  bucket_begin[buckets] = run;
+
+  std::vector<Arc> scattered(n);
+  util::parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t* row = counts.data() + b * buckets;
+    const std::size_t hi = util::detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = util::detail::block_begin(n, blocks, b); i < hi; ++i)
+      scattered[row[bucket_of(arcs[i])]++] = arcs[i];
+  });
+
+  // Sort + unique each bucket in place; record surviving sizes.
+  std::vector<std::size_t> kept(buckets);
+  util::parallel_for_blocks(buckets, [&](std::size_t k) {
+    Arc* lo = scattered.data() + bucket_begin[k];
+    Arc* hi = scattered.data() + bucket_begin[k + 1];
+    std::sort(lo, hi, arc_less);
+    kept[k] = static_cast<std::size_t>(
+        std::unique(lo, hi, arc_same_pair) - lo);
+  });
+
+  const std::size_t total = util::parallel_prefix_sum(kept.data(), buckets);
+  arcs.resize(total);
+  util::parallel_for_blocks(buckets, [&](std::size_t k) {
+    const Arc* src = scattered.data() + bucket_begin[k];
+    Arc* dst = arcs.data() + kept[k];
+    const std::size_t len = (k + 1 < buckets ? kept[k + 1] : total) - kept[k];
+    std::copy(src, src + len, dst);
+  });
+}
+
+}  // namespace
+
+void dedup_arcs(std::vector<Arc>& arcs) {
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+    Arc& a = arcs[i];
+    if (a.u > a.v) std::swap(a.u, a.v);
+  });
+  if (arcs.size() < kDedupBucketCutoff) {
+    dedup_serial(arcs);
+  } else {
+    dedup_bucketed(arcs);
+  }
 }
 
 namespace {
@@ -59,6 +207,8 @@ std::uint64_t contract_impl(ParentForest& forest, std::vector<Arc>& arcs,
   alter(arcs, forest);
   drop_loops(arcs);
 
+  constexpr std::uint32_t kNoArc = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint64_t> best;  // (candidate parent << 32) | arc index
   std::uint64_t rounds = 0;
   while (has_nonloop(arcs)) {
     ++rounds;
@@ -66,29 +216,29 @@ std::uint64_t contract_impl(ParentForest& forest, std::vector<Arc>& arcs,
     stats.pram_steps += 3;  // hook, flatten(amortised), alter
     // Every root hooks onto the minimum neighbouring root label (strictly
     // smaller than itself): Boruvka hooking. Local-minima roots survive, so
-    // the root count at least halves per component per round.
+    // the root count at least halves per component per round. The packed
+    // (label, arc) fetch-min keeps the winning arc the lowest-indexed one
+    // realising the minimum label — same answer on every thread count.
     const std::uint64_t n = forest.size();
-    std::vector<VertexId> best(n);
-    std::vector<std::uint32_t> best_arc(n, static_cast<std::uint32_t>(-1));
-    for (std::uint64_t v = 0; v < n; ++v) best[v] = static_cast<VertexId>(v);
-    for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+    best.resize(n);
+    util::parallel_for(0, n, [&](std::size_t v) {
+      best[v] = (static_cast<std::uint64_t>(v) << 32) | kNoArc;
+    });
+    util::parallel_for(0, arcs.size(), [&](std::size_t i) {
       const Arc& a = arcs[i];
-      if (a.u == a.v) continue;
-      if (a.v < best[a.u]) {
-        best[a.u] = a.v;
-        best_arc[a.u] = i;
+      if (a.u == a.v) return;
+      util::atomic_min(best[a.u], (static_cast<std::uint64_t>(a.v) << 32) |
+                                      static_cast<std::uint32_t>(i));
+      util::atomic_min(best[a.v], (static_cast<std::uint64_t>(a.u) << 32) |
+                                      static_cast<std::uint32_t>(i));
+    });
+    util::parallel_for(0, n, [&](std::size_t v) {
+      const VertexId target = static_cast<VertexId>(best[v] >> 32);
+      if (target < v && forest.is_root(static_cast<VertexId>(v))) {
+        forest.set_parent(static_cast<VertexId>(v), target);
+        mark(arcs[static_cast<std::uint32_t>(best[v])]);
       }
-      if (a.u < best[a.v]) {
-        best[a.v] = a.u;
-        best_arc[a.v] = i;
-      }
-    }
-    for (std::uint64_t v = 0; v < n; ++v) {
-      if (best[v] < v && forest.is_root(static_cast<VertexId>(v))) {
-        forest.set_parent(static_cast<VertexId>(v), best[v]);
-        mark(arcs[best_arc[v]]);
-      }
-    }
+    });
     forest.flatten();
     alter(arcs, forest);
     drop_loops(arcs);

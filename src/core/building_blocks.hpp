@@ -31,18 +31,39 @@ struct Arc {
 std::vector<Arc> arcs_from_edges(const graph::EdgeList& el);
 
 /// ALTER: every arc (u, v) becomes (u.p, v.p); `orig` is preserved.
+/// Data-parallel map over the arcs.
 void alter(std::vector<Arc>& arcs, const ParentForest& forest);
 
-/// Drops self-loop arcs (u == v). Returns the number removed.
+/// Drops self-loop arcs (u == v) with a stable parallel pack. Returns the
+/// number removed.
 std::uint64_t drop_loops(std::vector<Arc>& arcs);
 
-/// Sort + unique on (u, v) treating arcs as undirected; keeps the first
-/// `orig` per surviving pair. Controls arc-list growth after ALTERs.
+/// Dedup on (u, v) treating arcs as undirected; keeps the minimum `orig`
+/// per surviving pair. Controls arc-list growth after ALTERs. Small lists
+/// sort+unique serially; large ones bucket-partition by mix64(u) high bits
+/// and sort buckets in parallel. The path is chosen by size only, so for a
+/// given input the output (including its order) is identical on every
+/// thread count.
 void dedup_arcs(std::vector<Arc>& arcs);
 
 /// True iff some arc is not a self-loop — the paper's "no edge exists other
 /// than loops" break condition, negated.
 bool has_nonloop(const std::vector<Arc>& arcs);
+
+/// Distinct endpoints of non-loop arcs — the "ongoing" vertices of a phase.
+/// All must be roots (flat trees + ALTER guarantee this; checked in debug
+/// builds). `seen` is caller-owned scratch the phase loop hoists: it must
+/// be all-zero on entry and is restored to all-zero before returning (by
+/// clearing only the touched entries), so each phase costs O(|ongoing|)
+/// instead of an O(n) re-`assign`.
+std::vector<VertexId> collect_ongoing(const ParentForest& forest,
+                                      const std::vector<Arc>& arcs,
+                                      std::vector<std::uint8_t>& seen);
+
+/// Count-only variant of collect_ongoing, same scratch protocol.
+std::uint64_t count_ongoing(const ParentForest& forest,
+                            const std::vector<Arc>& arcs,
+                            std::vector<std::uint8_t>& seen);
 
 /// Guaranteed-convergent finisher (DESIGN.md §5.3): deterministic
 /// Boruvka-style min-label hooking + full flatten + ALTER until no non-loop

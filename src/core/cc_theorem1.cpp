@@ -29,31 +29,6 @@ Theorem1Params Theorem1Params::paper(std::uint64_t n, std::uint64_t m) {
   return p;
 }
 
-namespace {
-
-/// Distinct endpoints of non-loop arcs. All must be roots (flat trees +
-/// ALTER guarantee this; checked in debug builds).
-std::vector<VertexId> collect_ongoing(const ParentForest& forest,
-                                      const std::vector<Arc>& arcs) {
-  std::vector<VertexId> out;
-  out.reserve(arcs.size() / 2);
-  std::vector<std::uint8_t> seen;  // lazily sized
-  seen.assign(forest.size(), 0);
-  for (const Arc& a : arcs) {
-    if (a.u == a.v) continue;
-    for (VertexId v : {a.u, a.v}) {
-      if (!seen[v]) {
-        seen[v] = 1;
-        LOGCC_DCHECK(forest.is_root(v));
-        out.push_back(v);
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
                      std::uint64_t m0, const Theorem1Params& params,
                      RunStats& stats) {
@@ -70,6 +45,7 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
   // ñ update rule state (§B.5) for the pure-ARBITRARY variant.
   double n_tilde = static_cast<double>(std::max<std::uint64_t>(n, 1));
 
+  std::vector<std::uint8_t> seen_scratch;  // reused by every phase
   std::uint64_t phase = 0;
   while (true) {
     dedup_arcs(arcs);
@@ -79,7 +55,7 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
     ++phase;
     ++stats.phases;
 
-    std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+    std::vector<VertexId> ongoing = collect_ongoing(forest, arcs, seen_scratch);
     const double n_prime = params.exact_count
                                ? static_cast<double>(ongoing.size())
                                : std::max(1.0, n_tilde);
@@ -176,9 +152,11 @@ CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params) {
         budget = static_cast<std::uint64_t>(
                      2.0 * util::loglog_density(n, m0)) +
                  4;
+      std::vector<std::uint8_t> seen_scratch;
       std::uint64_t prepare_phases = 0;
       while (prepare_phases < budget && has_nonloop(arcs)) {
-        std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+        std::vector<VertexId> ongoing =
+            collect_ongoing(forest, arcs, seen_scratch);
         if (static_cast<double>(m0) /
                 std::max<double>(1.0, static_cast<double>(ongoing.size())) >=
             params.prepare_target_density)

@@ -66,22 +66,9 @@ CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
         static_cast<std::uint64_t>(2.0 * util::loglog_density(n, m0)) + 4;
   VanillaOptions vo;
   vo.max_phases = 1;
-  auto count_ongoing = [&]() {
-    std::vector<std::uint8_t> seen(n, 0);
-    std::uint64_t count = 0;
-    for (const Arc& a : arcs) {
-      if (a.u == a.v) continue;
-      for (VertexId v : {a.u, a.v}) {
-        if (!seen[v]) {
-          seen[v] = 1;
-          ++count;
-        }
-      }
-    }
-    return count;
-  };
+  std::vector<std::uint8_t> seen_scratch;  // reused by every phase
   while (phases < budget && has_nonloop(arcs)) {
-    std::uint64_t ongoing = count_ongoing();
+    std::uint64_t ongoing = count_ongoing(out.outer, arcs, seen_scratch);
     if (static_cast<double>(m0) /
             std::max<double>(1.0, static_cast<double>(ongoing)) >=
         params.target_density)

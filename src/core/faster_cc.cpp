@@ -6,6 +6,7 @@
 #include "core/expand_maxlink.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace logcc::core {
@@ -74,10 +75,11 @@ CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params) {
   }
   engine.forest().flatten();
 
-  // ---- Map compact labels back to original ids.
+  // ---- Map compact labels back to original ids (read-only over both
+  // forests, so a data-parallel map).
   comp.outer.flatten();
   out.labels.resize(n);
-  for (std::uint64_t v = 0; v < n; ++v) {
+  util::parallel_for(0, n, [&](std::size_t v) {
     VertexId r = comp.outer.find_root(static_cast<VertexId>(v));
     std::uint32_t cid = comp.renamed_of[r];
     if (cid == CompactResult::kInvalid) {
@@ -88,7 +90,7 @@ CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params) {
       LOGCC_CHECK(orig != graph::kInvalidVertex);
       out.labels[v] = orig;
     }
-  }
+  });
   return out;
 }
 

@@ -1,21 +1,27 @@
 #include "core/labels.hpp"
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
 bool ParentForest::shortcut() {
-  bool changed = false;
+  // Fused pass: compute next[v] = v.p.p into the persistent scratch buffer
+  // and fold the changed flag in the same sweep (the seed did two passes
+  // plus a fresh allocation per call). Double-buffering keeps the step
+  // synchronous — every read sees the pre-step pointers.
   const std::uint64_t n = parent_.size();
-  std::vector<VertexId> next(n);
-  for (std::uint64_t v = 0; v < n; ++v) next[v] = parent_[parent_[v]];
-  for (std::uint64_t v = 0; v < n; ++v) {
-    if (next[v] != parent_[v]) {
-      changed = true;
-      break;
-    }
-  }
-  parent_.swap(next);
+  scratch_.resize(n);
+  const bool changed = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), false,
+      [&](std::size_t v) {
+        const VertexId next = parent_[parent_[v]];
+        scratch_[v] = next;
+        return next != parent_[v];
+      },
+      [](bool x, bool y) { return x || y; });
+  parent_.swap(scratch_);
   return changed;
 }
 
@@ -65,8 +71,9 @@ bool ParentForest::acyclic() const {
 
 std::vector<VertexId> ParentForest::root_labels() const {
   std::vector<VertexId> out(parent_.size());
-  for (std::uint64_t v = 0; v < parent_.size(); ++v)
+  util::parallel_for(0, parent_.size(), [&](std::size_t v) {
     out[v] = find_root(static_cast<VertexId>(v));
+  });
   return out;
 }
 

@@ -55,6 +55,9 @@ class ParentForest {
 
  private:
   std::vector<VertexId> parent_;
+  // Double buffer for shortcut(); persists across calls so flatten() and the
+  // phase loops allocate once per forest instead of once per step.
+  std::vector<VertexId> scratch_;
 };
 
 /// Lemma 3.2 / D.4 invariant: every non-root has level strictly below its

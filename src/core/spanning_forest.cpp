@@ -16,23 +16,6 @@ namespace {
 
 constexpr std::uint64_t kInfDist = static_cast<std::uint64_t>(-1);
 
-std::vector<VertexId> collect_ongoing(const ParentForest& forest,
-                                      const std::vector<Arc>& arcs) {
-  std::vector<VertexId> out;
-  std::vector<std::uint8_t> seen(forest.size(), 0);
-  for (const Arc& a : arcs) {
-    if (a.u == a.v) continue;
-    for (VertexId v : {a.u, a.v}) {
-      if (!seen[v]) {
-        seen[v] = 1;
-        LOGCC_DCHECK(forest.is_root(v));
-        out.push_back(v);
-      }
-    }
-  }
-  return out;
-}
-
 /// One TREE-LINK (§C.3) given the finished EXPAND and leader flags.
 /// Writes parent links into `forest` and marks forest arcs in `in_forest`.
 void tree_link(const ExpandEngine& expand,
@@ -169,6 +152,8 @@ SfResult theorem2_sf(const graph::EdgeList& el,
   const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
   std::vector<std::uint8_t> in_forest(el.edges.size(), 0);
 
+  std::vector<std::uint8_t> seen_scratch;  // reused by every phase
+
   // FOREST-PREPARE: Vanilla-SF densification.
   if (has_nonloop(arcs)) {
     std::uint64_t prepare_phases = 0;
@@ -180,7 +165,8 @@ SfResult theorem2_sf(const graph::EdgeList& el,
     VanillaOptions vo;
     vo.max_phases = 1;
     while (prepare_phases < budget && has_nonloop(arcs)) {
-      std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+      std::vector<VertexId> ongoing =
+          collect_ongoing(forest, arcs, seen_scratch);
       if (static_cast<double>(m0) /
               std::max<double>(1.0, static_cast<double>(ongoing.size())) >=
           params.prepare_target_density)
@@ -213,7 +199,8 @@ SfResult theorem2_sf(const graph::EdgeList& el,
     ++phase;
     ++out.stats.phases;
 
-    std::vector<VertexId> ongoing = collect_ongoing(forest, arcs);
+    std::vector<VertexId> ongoing =
+        collect_ongoing(forest, arcs, seen_scratch);
     const double delta =
         std::max(2.0, static_cast<double>(m0) /
                           std::max<double>(1.0, static_cast<double>(ongoing.size())));

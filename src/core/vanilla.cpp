@@ -1,7 +1,9 @@
 #include "core/vanilla.hpp"
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
@@ -14,10 +16,10 @@ std::uint64_t run_phases(ParentForest& forest, std::vector<Arc>& arcs,
                          const VanillaOptions& opt, RunStats& stats,
                          MarkFn&& mark) {
   const std::uint64_t n = forest.size();
-  util::Xoshiro256 rng(opt.seed);
+  constexpr std::uint32_t kNoArc = static_cast<std::uint32_t>(-1);
   std::vector<std::uint8_t> leader(n, 0);
   // v.e of §C: the arc index that realises v's link this phase.
-  std::vector<std::uint32_t> chosen(n, static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> chosen(n, kNoArc);
 
   std::uint64_t phases = 0;
   while (has_nonloop(arcs)) {
@@ -26,29 +28,38 @@ std::uint64_t run_phases(ParentForest& forest, std::vector<Arc>& arcs,
     ++stats.phases;
     stats.pram_steps += 5;  // vote, mark, link, shortcut, alter
 
-    // RANDOM-VOTE.
-    for (std::uint64_t v = 0; v < n; ++v)
-      leader[v] = rng.bernoulli(0.5) ? 1 : 0;
+    // RANDOM-VOTE. Counter-based coins — mix64(seed, phase, v) — instead of
+    // a sequential RNG stream: every vertex's coin is its own function of
+    // (seed, phase), so the step parallelises with no cross-processor order
+    // and labels are bit-identical for every thread count.
+    util::parallel_for(0, n, [&](std::size_t v) {
+      leader[v] = util::mix64(opt.seed, phases, v) & 1;
+    });
 
-    // MARK-EDGE (arbitrary write wins; the seeded sweep order is the
-    // "arbitrary" resolution).
-    for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+    // MARK-EDGE. The CRCW "arbitrary write wins" becomes a fetch-min on the
+    // arc index: the lowest-indexed eligible arc wins deterministically.
+    util::parallel_for(0, arcs.size(), [&](std::size_t i) {
       const Arc& a = arcs[i];
-      if (a.u == a.v) continue;
+      if (a.u == a.v) return;
+      const std::uint32_t idx = static_cast<std::uint32_t>(i);
       // Both directions of the undirected arc.
-      if (forest.is_root(a.u) && !leader[a.u] && leader[a.v]) chosen[a.u] = i;
-      if (forest.is_root(a.v) && !leader[a.v] && leader[a.u]) chosen[a.v] = i;
-    }
-    // LINK.
-    for (std::uint64_t v = 0; v < n; ++v) {
+      if (forest.is_root(a.u) && !leader[a.u] && leader[a.v])
+        util::atomic_min(chosen[a.u], idx);
+      if (forest.is_root(a.v) && !leader[a.v] && leader[a.u])
+        util::atomic_min(chosen[a.v], idx);
+    });
+    // LINK. Each v writes only its own parent; an arc realises at most one
+    // link (its endpoints need opposite coins), so `mark` targets are
+    // distinct too.
+    util::parallel_for(0, n, [&](std::size_t v) {
       std::uint32_t i = chosen[v];
-      if (i == static_cast<std::uint32_t>(-1)) continue;
-      chosen[v] = static_cast<std::uint32_t>(-1);
+      if (i == kNoArc) return;
+      chosen[v] = kNoArc;
       const Arc& a = arcs[i];
       VertexId w = (a.u == static_cast<VertexId>(v)) ? a.v : a.u;
       forest.set_parent(static_cast<VertexId>(v), w);
       mark(static_cast<VertexId>(v), a);
-    }
+    });
     // SHORTCUT (one step suffices: link trees have height <= 2).
     forest.shortcut();
     // ALTER + loop cleanup.

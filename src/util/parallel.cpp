@@ -14,6 +14,14 @@ int hardware_parallelism() {
 #endif
 }
 
+void set_parallelism(int threads) {
+#ifdef LOGCC_HAVE_OPENMP
+  if (threads >= 1) omp_set_num_threads(threads);
+#else
+  (void)threads;
+#endif
+}
+
 namespace detail {
 
 void parallel_for_impl(std::size_t begin, std::size_t end, void* ctx,

@@ -17,6 +17,10 @@ namespace logcc::util {
 /// Number of worker threads parallel_for may use (1 when OpenMP is absent).
 int hardware_parallelism();
 
+/// Caps the number of worker threads (no-op without OpenMP). Benches and the
+/// thread-invariance tests use this to pin the thread count from code.
+void set_parallelism(int threads);
+
 /// Grain below which parallel_for always runs serially.
 inline constexpr std::size_t kSerialGrain = 4096;
 
@@ -33,6 +37,22 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
     return;
   }
   detail::parallel_for_impl(begin, end, &fn, [](void* ctx, std::size_t i) {
+    (*static_cast<Fn*>(ctx))(i);
+  });
+}
+
+/// Dispatches `blocks` coarse work items, each already covering at least a
+/// grain of underlying work, so — unlike parallel_for — there is no
+/// element-count threshold: any count above 1 work-shares. The blocked
+/// primitives in scan.hpp dispatch through this (their block counts are
+/// far below kSerialGrain by design).
+template <typename Fn>
+void parallel_for_blocks(std::size_t blocks, Fn&& fn) {
+  if (blocks <= 1 || hardware_parallelism() == 1) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    return;
+  }
+  detail::parallel_for_impl(0, blocks, &fn, [](void* ctx, std::size_t i) {
     (*static_cast<Fn*>(ctx))(i);
   });
 }

@@ -43,6 +43,14 @@ constexpr std::uint64_t mix64(std::uint64_t seed, std::uint64_t index = 0) {
   return s.next();
 }
 
+/// Counter-based two-index mix: (seed, a, b) -> 64 bits. Replaces sequential
+/// RNG streams in data-parallel steps — every processor can evaluate its own
+/// coin without ordering, so results are thread-count invariant.
+constexpr std::uint64_t mix64(std::uint64_t seed, std::uint64_t a,
+                              std::uint64_t b) {
+  return mix64(mix64(seed, a), b);
+}
+
 /// Xoshiro256**: the workhorse engine.
 class Xoshiro256 {
  public:

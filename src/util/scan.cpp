@@ -1,0 +1,16 @@
+#include "util/scan.hpp"
+
+#include <algorithm>
+
+namespace logcc::util {
+
+std::size_t scan_block_count(std::size_t n) {
+  // Enough blocks that any realistic thread count load-balances, few enough
+  // that the serial combine over block partials stays negligible. A pure
+  // function of n: blocked results must not depend on the thread count.
+  if (n < kSerialGrain) return 1;
+  const std::size_t by_grain = n / (kSerialGrain / 4);
+  return std::clamp<std::size_t>(by_grain, 1, 256);
+}
+
+}  // namespace logcc::util

@@ -1,0 +1,184 @@
+// Blocked data-parallel primitives on top of parallel_for: prefix sum,
+// reduce, pack/filter, and an atomic min helper.
+//
+// Everything here is DETERMINISTIC regardless of thread count: work is split
+// into blocks whose number depends only on the input size, per-block partials
+// are combined in block order, and pack/filter preserve input order. That
+// determinism is the contract the algorithm layer builds on — a PRAM step
+// implemented with these primitives produces bit-identical output under
+// OMP_NUM_THREADS=1 and =N (see tests/test_scan.cpp).
+//
+// Below `kSerialGrain` elements every primitive degrades to the obvious
+// serial loop, so callers never pay threading overhead on small inputs.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace logcc::util {
+
+/// Number of blocks a range of `n` elements is split into. Depends only on
+/// `n` (never on the thread count) so blocked results are reproducible.
+std::size_t scan_block_count(std::size_t n);
+
+namespace detail {
+inline std::size_t block_begin(std::size_t n, std::size_t blocks,
+                               std::size_t b) {
+  return n / blocks * b + std::min(b, n % blocks);
+}
+}  // namespace detail
+
+/// Lock-free fetch-min on a plain integer slot. Relaxed ordering: callers
+/// combine it with the parallel_for join for visibility.
+template <typename T>
+inline void atomic_min(T& slot, T value) {
+  std::atomic_ref<T> ref(slot);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Reduction of map(i) over [begin, end) with the associative op `op`.
+/// Per-block partials fold left-to-right and blocks combine in block order,
+/// so the result is identical for every thread count (for associative ops).
+template <typename T, typename Map, typename Op>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, Map&& map,
+                  Op&& op) {
+  if (end <= begin) return identity;
+  const std::size_t n = end - begin;
+  if (n < kSerialGrain) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = op(acc, map(i));
+    return acc;
+  }
+  const std::size_t blocks = scan_block_count(n);
+  // Raw array, NOT std::vector<T>: with T=bool a vector would bit-pack the
+  // partials and concurrent per-block writes become racy word RMWs.
+  std::unique_ptr<T[]> partial(new T[blocks]());
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    T acc = identity;
+    const std::size_t lo = begin + detail::block_begin(n, blocks, b);
+    const std::size_t hi = begin + detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, map(i));
+    partial[b] = acc;
+  });
+  T acc = identity;
+  for (std::size_t b = 0; b < blocks; ++b) acc = op(acc, partial[b]);
+  return acc;
+}
+
+/// Exclusive prefix sum in place; returns the total. Blocked three-phase
+/// scan: per-block sums, serial scan over the (few) block sums, per-block
+/// rescan with the block offset.
+template <typename T>
+T parallel_prefix_sum(T* data, std::size_t n) {
+  if (n == 0) return T{0};
+  if (n < kSerialGrain) {
+    T run{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      T next = run + data[i];
+      data[i] = run;
+      run = next;
+    }
+    return run;
+  }
+  const std::size_t blocks = scan_block_count(n);
+  std::vector<T> sums(blocks);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    T acc{0};
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      acc += data[i];
+    sums[b] = acc;
+  });
+  T total{0};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    T next = total + sums[b];
+    sums[b] = total;
+    total = next;
+  }
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    T run = sums[b];
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i) {
+      T next = run + data[i];
+      data[i] = run;
+      run = next;
+    }
+  });
+  return total;
+}
+
+template <typename T>
+T parallel_prefix_sum(std::vector<T>& data) {
+  return parallel_prefix_sum(data.data(), data.size());
+}
+
+/// Stable filter into a fresh vector (the non-destructive pack).
+///
+/// `keep` MUST be deterministic and side-effect free: it is evaluated twice
+/// per element (count pass, then write pass), and a disagreement between
+/// the passes overruns a block's reserved output range.
+template <typename T, typename Pred>
+std::vector<T> parallel_filter(const std::vector<T>& v, Pred&& keep) {
+  const std::size_t n = v.size();
+  std::vector<T> out;
+  if (n < kSerialGrain) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (keep(v[i])) out.push_back(v[i]);
+    return out;
+  }
+  const std::size_t blocks = scan_block_count(n);
+  std::vector<std::size_t> offset(blocks);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t count = 0;
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      count += keep(v[i]) ? 1 : 0;
+    offset[b] = count;
+  });
+  const std::size_t kept = parallel_prefix_sum(offset.data(), blocks);
+  out.resize(kept);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t w = offset[b];
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      if (keep(v[i])) out[w++] = v[i];
+  });
+  return out;
+}
+
+/// Stable pack: keeps exactly the elements with keep(v[i]) true, in their
+/// original order, and shrinks `v`. Returns the number removed. Same
+/// determinism requirement on `keep` as parallel_filter.
+///
+/// The parallel path scatters into a fresh buffer and moves it into `v`.
+/// In-place scatter would race: when an early block keeps few elements, a
+/// later block's write range [off_b, off_b + count_b) can land inside a
+/// source region another block is still reading concurrently.
+template <typename T, typename Pred>
+std::size_t parallel_pack(std::vector<T>& v, Pred&& keep) {
+  const std::size_t n = v.size();
+  if (n < kSerialGrain) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (keep(v[i])) v[w++] = v[i];
+    const std::size_t removed = n - w;
+    v.resize(w);
+    return removed;
+  }
+  std::vector<T> out = parallel_filter(v, keep);
+  const std::size_t removed = n - out.size();
+  v = std::move(out);
+  return removed;
+}
+
+
+}  // namespace logcc::util
