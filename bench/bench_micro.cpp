@@ -8,8 +8,11 @@
 
 #include "core/building_blocks.hpp"
 #include "core/compact.hpp"
+#include "core/expand.hpp"
+#include "core/expand_maxlink.hpp"
 #include "core/hash_table.hpp"
 #include "core/labels.hpp"
+#include "core/vote.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
 #include "util/hashing.hpp"
@@ -170,6 +173,133 @@ BENCHMARK(BM_DedupArcsThreaded)
     ->Args({1 << 19, 1})
     ->Args({1 << 19, 4})
     ->Args({1 << 19, 8})
+    ->UseRealTime();
+
+void BM_CollectOngoingThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  auto el = graph::make_gnm(n, 4 * n, 7);
+  auto arcs = core::arcs_from_edges(el);
+  core::ParentForest f(n);
+  std::vector<std::uint64_t> scratch;
+  for (auto _ : state) {
+    auto ongoing = core::collect_ongoing(f, arcs, scratch);
+    benchmark::DoNotOptimize(ongoing.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arcs.size()));
+}
+BENCHMARK(BM_CollectOngoingThreaded)
+    ->Args({1 << 19, 1})
+    ->Args({1 << 19, 4})
+    ->Args({1 << 19, 8})
+    ->UseRealTime();
+
+void BM_GroupByThreaded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  const std::size_t num_keys = n / 4;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> items(n);
+  for (std::size_t i = 0; i < n; ++i)
+    items[i] = {static_cast<std::uint32_t>(util::mix64(5, i) % num_keys),
+                static_cast<std::uint32_t>(i)};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (auto _ : state) {
+    auto off = util::parallel_group_by(
+        items, out, num_keys, [](const auto& p) { return p.first; });
+    benchmark::DoNotOptimize(off.back());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GroupByThreaded)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8})
+    ->UseRealTime();
+
+void BM_ExpandRunThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  auto el = graph::make_gnm(n, 3 * n, 9);
+  auto arcs = core::arcs_from_edges(el);
+  core::drop_loops(arcs);
+  std::vector<graph::VertexId> ongoing(n);
+  for (graph::VertexId v = 0; v < n; ++v) ongoing[v] = v;
+  core::ExpandParams p;
+  p.block_count = 4 * n + 7;
+  p.table_capacity = 8;
+  p.seed = 42;
+  p.max_rounds = 16;
+  core::ExpandScratch scratch;
+  for (auto _ : state) {
+    core::RunStats stats;
+    core::ExpandEngine engine(n, ongoing, arcs, p, stats, &scratch);
+    engine.run();
+    benchmark::DoNotOptimize(engine.rounds());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arcs.size()));
+}
+BENCHMARK(BM_ExpandRunThreaded)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 16, 8})
+    ->UseRealTime();
+
+void BM_VoteThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  auto el = graph::make_gnm(n, 3 * n, 15);
+  auto arcs = core::arcs_from_edges(el);
+  core::drop_loops(arcs);
+  std::vector<graph::VertexId> ongoing(n);
+  for (graph::VertexId v = 0; v < n; ++v) ongoing[v] = v;
+  core::ExpandParams p;
+  p.block_count = 4 * n + 7;
+  p.table_capacity = 8;
+  p.seed = 42;
+  p.max_rounds = 16;
+  core::RunStats stats;
+  core::ExpandEngine engine(n, ongoing, arcs, p, stats);
+  engine.run();
+  core::VoteParams vp;
+  vp.dormant_leader_prob = 0.3;
+  vp.seed = 3;
+  for (auto _ : state) {
+    core::RunStats s;
+    auto leader = core::vote(engine, vp, s);
+    benchmark::DoNotOptimize(leader.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VoteThreaded)
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 4})
+    ->Args({1 << 18, 8})
+    ->UseRealTime();
+
+void BM_MaxlinkRoundThreaded(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  auto el = graph::make_gnm(n, 3 * n, 21);
+  auto arcs = core::arcs_from_edges(el);
+  std::vector<std::uint8_t> exists(n, 1);
+  auto policy = core::ParamPolicy::practical(n, el.edges.size());
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::RunStats stats;
+    core::ExpandMaxlink engine(n, arcs, exists, policy, 17, stats);
+    state.ResumeTiming();
+    engine.round();
+    benchmark::DoNotOptimize(engine.rounds_run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arcs.size()));
+}
+BENCHMARK(BM_MaxlinkRoundThreaded)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 16, 8})
     ->UseRealTime();
 
 void BM_PrefixSumThreaded(benchmark::State& state) {

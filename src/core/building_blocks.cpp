@@ -61,28 +61,72 @@ bool has_nonloop(const std::vector<Arc>& arcs) {
 
 std::vector<VertexId> collect_ongoing(const ParentForest& forest,
                                       const std::vector<Arc>& arcs,
-                                      std::vector<std::uint8_t>& seen) {
+                                      std::vector<std::uint64_t>& first_seen) {
+  first_seen.resize(forest.size(), kUnseenIndex);
+  const std::size_t m2 = arcs.size() * 2;
+  auto endpoint = [&](std::size_t j) {
+    const Arc& a = arcs[j >> 1];
+    return (j & 1) ? a.v : a.u;
+  };
+  // Fetch-min of the directed occurrence index per endpoint, then a stable
+  // segmented pack keeping each vertex at its first occurrence — the output
+  // is in first-appearance order, exactly what the serial sweep produced.
+  util::parallel_for(0, m2, [&](std::size_t j) {
+    const Arc& a = arcs[j >> 1];
+    if (a.u == a.v) return;
+    util::atomic_min(first_seen[endpoint(j)],
+                     static_cast<std::uint64_t>(j));
+  });
   std::vector<VertexId> out;
-  out.reserve(arcs.size() / 2);
-  seen.resize(forest.size(), 0);
-  for (const Arc& a : arcs) {
-    if (a.u == a.v) continue;
-    for (VertexId v : {a.u, a.v}) {
-      if (!seen[v]) {
-        seen[v] = 1;
+  util::parallel_emit(
+      m2, out,
+      [&](std::size_t j) -> std::size_t {
+        const Arc& a = arcs[j >> 1];
+        return (a.u != a.v && first_seen[endpoint(j)] == j) ? 1 : 0;
+      },
+      [&](std::size_t j, VertexId* dst) {
+        VertexId v = endpoint(j);
         LOGCC_DCHECK(forest.is_root(v));
-        out.push_back(v);
-      }
-    }
-  }
-  for (VertexId v : out) seen[v] = 0;
+        (void)forest;
+        *dst = v;
+      });
+  // Restore the scratch to all-kUnseenIndex by clearing only touched
+  // entries (every written entry appears in `out` exactly once).
+  util::parallel_for(0, out.size(),
+                     [&](std::size_t i) { first_seen[out[i]] = kUnseenIndex; });
   return out;
 }
 
 std::uint64_t count_ongoing(const ParentForest& forest,
                             const std::vector<Arc>& arcs,
-                            std::vector<std::uint8_t>& seen) {
-  return collect_ongoing(forest, arcs, seen).size();
+                            std::vector<std::uint64_t>& first_seen) {
+  first_seen.resize(forest.size(), kUnseenIndex);
+  const std::size_t m2 = arcs.size() * 2;
+  auto endpoint = [&](std::size_t j) {
+    const Arc& a = arcs[j >> 1];
+    return (j & 1) ? a.v : a.u;
+  };
+  util::parallel_for(0, m2, [&](std::size_t j) {
+    const Arc& a = arcs[j >> 1];
+    if (a.u == a.v) return;
+    util::atomic_min(first_seen[endpoint(j)],
+                     static_cast<std::uint64_t>(j));
+  });
+  // Count-only: reduce over first occurrences instead of materializing the
+  // vertex list, then restore the scratch with idempotent stores.
+  const std::uint64_t count = util::parallel_reduce(
+      std::size_t{0}, m2, std::uint64_t{0},
+      [&](std::size_t j) -> std::uint64_t {
+        const Arc& a = arcs[j >> 1];
+        return (a.u != a.v && first_seen[endpoint(j)] == j) ? 1 : 0;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  util::parallel_for(0, m2, [&](std::size_t j) {
+    const Arc& a = arcs[j >> 1];
+    if (a.u == a.v) return;
+    util::relaxed_store(first_seen[endpoint(j)], kUnseenIndex);
+  });
+  return count;
 }
 
 namespace {
@@ -127,41 +171,11 @@ void dedup_bucketed(std::vector<Arc>& arcs) {
   const std::size_t n = arcs.size();
   const std::size_t buckets = dedup_bucket_count(n);
   const int shift = 64 - std::countr_zero(buckets);
-  auto bucket_of = [shift](const Arc& a) {
-    return static_cast<std::size_t>(util::mix64(a.u) >> shift);
-  };
-
-  const std::size_t blocks = util::scan_block_count(n);
-  // counts[b * buckets + k]: arcs of block b landing in bucket k.
-  std::vector<std::size_t> counts(blocks * buckets, 0);
-  util::parallel_for_blocks(blocks, [&](std::size_t b) {
-    std::size_t* row = counts.data() + b * buckets;
-    const std::size_t hi = util::detail::block_begin(n, blocks, b + 1);
-    for (std::size_t i = util::detail::block_begin(n, blocks, b); i < hi; ++i)
-      ++row[bucket_of(arcs[i])];
-  });
-
-  // Column-major exclusive scan: write cursor for (block, bucket), and the
-  // bucket boundaries in the scattered array.
-  std::vector<std::size_t> bucket_begin(buckets + 1, 0);
-  std::size_t run = 0;
-  for (std::size_t k = 0; k < buckets; ++k) {
-    bucket_begin[k] = run;
-    for (std::size_t b = 0; b < blocks; ++b) {
-      std::size_t c = counts[b * buckets + k];
-      counts[b * buckets + k] = run;
-      run += c;
-    }
-  }
-  bucket_begin[buckets] = run;
-
-  std::vector<Arc> scattered(n);
-  util::parallel_for_blocks(blocks, [&](std::size_t b) {
-    std::size_t* row = counts.data() + b * buckets;
-    const std::size_t hi = util::detail::block_begin(n, blocks, b + 1);
-    for (std::size_t i = util::detail::block_begin(n, blocks, b); i < hi; ++i)
-      scattered[row[bucket_of(arcs[i])]++] = arcs[i];
-  });
+  std::vector<Arc> scattered;
+  const std::vector<std::size_t> bucket_begin = util::parallel_bucket_partition(
+      arcs, scattered, buckets, [shift](const Arc& a) {
+        return static_cast<std::size_t>(util::mix64(a.u) >> shift);
+      });
 
   // Sort + unique each bucket in place; record surviving sizes.
   std::vector<std::size_t> kept(buckets);

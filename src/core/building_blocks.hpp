@@ -50,20 +50,27 @@ void dedup_arcs(std::vector<Arc>& arcs);
 /// than loops" break condition, negated.
 bool has_nonloop(const std::vector<Arc>& arcs);
 
-/// Distinct endpoints of non-loop arcs — the "ongoing" vertices of a phase.
-/// All must be roots (flat trees + ALTER guarantee this; checked in debug
-/// builds). `seen` is caller-owned scratch the phase loop hoists: it must
-/// be all-zero on entry and is restored to all-zero before returning (by
-/// clearing only the touched entries), so each phase costs O(|ongoing|)
-/// instead of an O(n) re-`assign`.
+/// Sentinel for the collect_ongoing scratch: "vertex not yet seen".
+inline constexpr std::uint64_t kUnseenIndex = static_cast<std::uint64_t>(-1);
+
+/// Distinct endpoints of non-loop arcs — the "ongoing" vertices of a phase,
+/// in first-appearance order over the directed arc sweep. All must be roots
+/// (flat trees + ALTER guarantee this; checked in debug builds).
+/// Data-parallel: a fetch-min of the directed occurrence index per endpoint
+/// followed by a stable pack keeping each vertex at its minimum occurrence,
+/// so the output is identical for every thread count (and identical to the
+/// old serial sweep). `first_seen` is caller-owned scratch the phase loop
+/// hoists: all entries must be kUnseenIndex on entry and are restored
+/// before returning (by clearing only the touched entries), so each phase
+/// costs O(m) parallel work instead of an O(n) re-`assign`.
 std::vector<VertexId> collect_ongoing(const ParentForest& forest,
                                       const std::vector<Arc>& arcs,
-                                      std::vector<std::uint8_t>& seen);
+                                      std::vector<std::uint64_t>& first_seen);
 
 /// Count-only variant of collect_ongoing, same scratch protocol.
 std::uint64_t count_ongoing(const ParentForest& forest,
                             const std::vector<Arc>& arcs,
-                            std::vector<std::uint8_t>& seen);
+                            std::vector<std::uint64_t>& first_seen);
 
 /// Guaranteed-convergent finisher (DESIGN.md §5.3): deterministic
 /// Boruvka-style min-label hooking + full flatten + ALTER until no non-loop

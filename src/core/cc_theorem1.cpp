@@ -8,7 +8,9 @@
 #include "core/vote.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
@@ -45,7 +47,8 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
   // ñ update rule state (§B.5) for the pure-ARBITRARY variant.
   double n_tilde = static_cast<double>(std::max<std::uint64_t>(n, 1));
 
-  std::vector<std::uint8_t> seen_scratch;  // reused by every phase
+  std::vector<std::uint64_t> seen_scratch;  // reused by every phase
+  ExpandScratch expand_scratch;             // ditto (slot map + fill buffers)
   std::uint64_t phase = 0;
   while (true) {
     dedup_arcs(arcs);
@@ -75,7 +78,7 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
     ep.max_rounds = util::ceil_log2(std::max<std::uint64_t>(n, 2)) + 4;
     ep.keep_history = false;
 
-    ExpandEngine expand(n, ongoing, arcs, ep, stats);
+    ExpandEngine expand(n, ongoing, arcs, ep, stats, &expand_scratch);
     expand.run();
 
     VoteParams vp;
@@ -91,27 +94,37 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
     stats.total_block_words +=
         static_cast<std::uint64_t>(ongoing.size()) * ep.table_capacity;
 
-    // LINK: non-leaders adopt any leader in their neighbour set (graph arcs
-    // plus the expanded tables). The sweep order realises the ARBITRARY
-    // write resolution.
+    // LINK: non-leaders adopt a leader in their neighbour set (graph arcs
+    // plus the expanded tables). The ARBITRARY write resolution becomes a
+    // fetch-min on the leader id, so the adopted parent is the same for
+    // every thread count.
     stats.pram_steps += 1;
-    auto try_link = [&](VertexId v, VertexId w) {
-      std::uint32_t sv = expand.slot_of(v);
-      std::uint32_t sw = expand.slot_of(w);
-      if (sv == ExpandEngine::kNoSlot || sw == ExpandEngine::kNoSlot) return;
-      if (!leader[sv] && leader[sw] && forest.is_root(v))
-        forest.set_parent(v, w);
-    };
-    for (const Arc& a : arcs) {
-      if (a.u == a.v) continue;
-      try_link(a.u, a.v);
-      try_link(a.v, a.u);
-    }
-    for (std::uint32_t s = 0; s < expand.num_slots(); ++s) {
-      if (leader[s]) continue;
-      VertexId v = expand.vertex_of(s);
-      expand.table(s).for_each([&](VertexId w) { try_link(v, w); });
-    }
+    const std::uint32_t num = expand.num_slots();
+    std::vector<VertexId> chosen(num, graph::kInvalidVertex);
+    util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+      const Arc& a = arcs[i];
+      if (a.u == a.v) return;
+      std::uint32_t su = expand.slot_of(a.u);
+      std::uint32_t sv = expand.slot_of(a.v);
+      if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) return;
+      if (!leader[su] && leader[sv]) util::atomic_min(chosen[su], a.v);
+      if (!leader[sv] && leader[su]) util::atomic_min(chosen[sv], a.u);
+    });
+    // Each non-leader scans its own table — disjoint writes, no atomics.
+    util::parallel_for(0, num, [&](std::size_t s) {
+      if (leader[s]) return;
+      VertexId best = chosen[s];
+      expand.table(static_cast<std::uint32_t>(s)).for_each([&](VertexId w) {
+        std::uint32_t sw = expand.slot_of(w);
+        if (sw != ExpandEngine::kNoSlot && leader[sw] && w < best) best = w;
+      });
+      chosen[s] = best;
+    });
+    util::parallel_for(0, num, [&](std::size_t s) {
+      if (chosen[s] == graph::kInvalidVertex) return;
+      VertexId v = expand.vertex_of(static_cast<std::uint32_t>(s));
+      if (forest.is_root(v)) forest.set_parent(v, chosen[s]);
+    });
 
     // SHORTCUT; ALTER.
     forest.shortcut();
@@ -152,7 +165,7 @@ CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params) {
         budget = static_cast<std::uint64_t>(
                      2.0 * util::loglog_density(n, m0)) +
                  4;
-      std::vector<std::uint8_t> seen_scratch;
+      std::vector<std::uint64_t> seen_scratch;
       std::uint64_t prepare_phases = 0;
       while (prepare_phases < budget && has_nonloop(arcs)) {
         std::vector<VertexId> ongoing =

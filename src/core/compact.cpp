@@ -6,44 +6,57 @@
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
 #include "util/hashing.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
 std::optional<std::vector<std::uint32_t>> approximate_compaction_vec(
     const std::vector<std::uint8_t>& flags, std::uint64_t seed,
     std::uint32_t max_rounds) {
+  constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
   const std::uint64_t n = flags.size();
   std::vector<std::uint32_t> items;
-  for (std::uint64_t i = 0; i < n; ++i)
-    if (flags[i]) items.push_back(static_cast<std::uint32_t>(i));
-  std::vector<std::uint32_t> slot(n, static_cast<std::uint32_t>(-1));
+  util::parallel_emit(
+      n, items,
+      [&](std::size_t i) -> std::size_t { return flags[i] ? 1 : 0; },
+      [](std::size_t i, std::uint32_t* dst) {
+        *dst = static_cast<std::uint32_t>(i);
+      });
+  std::vector<std::uint32_t> slot(n, kNone);
   if (items.empty()) return slot;
   const std::uint64_t cells = 2 * items.size();
 
-  std::vector<std::uint32_t> owner(cells, static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> owner(cells, kNone);
+  std::vector<std::uint32_t> contender(cells);
   std::vector<std::uint32_t> unplaced = std::move(items);
   for (std::uint32_t round = 0; round < max_rounds && !unplaced.empty();
        ++round) {
     auto h = util::PairwiseHash::from_seed(seed, 0xC0417 + round);
-    // Contend: last write per cell wins (the arbitrary resolution); winners
-    // re-read and claim.
-    std::vector<std::uint32_t> contender(cells, static_cast<std::uint32_t>(-1));
-    for (std::uint32_t id : unplaced) {
-      std::uint64_t c = h(id, cells);
-      if (owner[c] == static_cast<std::uint32_t>(-1)) contender[c] = id;
-    }
-    std::vector<std::uint32_t> still;
-    for (std::uint32_t id : unplaced) {
-      std::uint64_t c = h(id, cells);
-      if (owner[c] == static_cast<std::uint32_t>(-1) && contender[c] == id) {
+    // Contend by fetch-min (the minimum id wins the cell — a deterministic
+    // ARBITRARY resolution); winners re-read and claim their cell, losers
+    // stay for the next round via a stable pack.
+    util::parallel_for(0, cells, [&](std::size_t c) { contender[c] = kNone; });
+    util::parallel_for(0, unplaced.size(), [&](std::size_t i) {
+      const std::uint32_t id = unplaced[i];
+      const std::uint64_t c = h(id, cells);
+      if (owner[c] == kNone) util::atomic_min(contender[c], id);
+    });
+    util::parallel_for(0, unplaced.size(), [&](std::size_t i) {
+      const std::uint32_t id = unplaced[i];
+      const std::uint64_t c = h(id, cells);
+      // contender[c] == id already implies owner[c] was empty this round
+      // (the contend pass only bids on empty cells, so an owned cell keeps
+      // contender == kNone). Checking only the contender keeps this pass
+      // race-free: the unique winner is the cell's only reader and writer.
+      if (contender[c] == id) {
         owner[c] = id;
         slot[id] = static_cast<std::uint32_t>(c);
-      } else {
-        still.push_back(id);
       }
-    }
-    unplaced.swap(still);
+    });
+    util::parallel_pack(unplaced,
+                        [&](std::uint32_t id) { return slot[id] == kNone; });
   }
   if (!unplaced.empty()) return std::nullopt;
   return slot;
@@ -66,7 +79,7 @@ CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
         static_cast<std::uint64_t>(2.0 * util::loglog_density(n, m0)) + 4;
   VanillaOptions vo;
   vo.max_phases = 1;
-  std::vector<std::uint8_t> seen_scratch;  // reused by every phase
+  std::vector<std::uint64_t> seen_scratch;  // reused by every phase
   while (phases < budget && has_nonloop(arcs)) {
     std::uint64_t ongoing = count_ongoing(out.outer, arcs, seen_scratch);
     if (static_cast<double>(m0) /
@@ -82,15 +95,21 @@ CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
   out.stats.prepare_phases += out.stats.phases;
   out.stats.phases = 0;
 
-  // Rename ongoing roots via approximate compaction.
+  // Rename ongoing roots via approximate compaction. The endpoint marks are
+  // idempotent stores; the count is a parallel reduce.
   std::vector<std::uint8_t> ongoing_flag(n, 0);
-  for (const Arc& a : arcs) {
-    if (a.u == a.v) continue;
-    ongoing_flag[a.u] = 1;
-    ongoing_flag[a.v] = 1;
-  }
-  std::uint64_t k = 0;
-  for (std::uint64_t v = 0; v < n; ++v) k += ongoing_flag[v];
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+    const Arc& a = arcs[i];
+    if (a.u == a.v) return;
+    util::relaxed_store(ongoing_flag[a.u], std::uint8_t{1});
+    util::relaxed_store(ongoing_flag[a.v], std::uint8_t{1});
+  });
+  const std::uint64_t k = util::parallel_reduce(
+      std::size_t{0}, n, std::uint64_t{0},
+      [&](std::size_t v) {
+        return static_cast<std::uint64_t>(ongoing_flag[v]);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 
   out.renamed_of.assign(n, CompactResult::kInvalid);
   if (k == 0) {
@@ -103,19 +122,23 @@ CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
   out.n_compact = 2 * k;
   out.exists.assign(out.n_compact, 0);
   out.orig_of.assign(out.n_compact, graph::kInvalidVertex);
-  for (std::uint64_t v = 0; v < n; ++v) {
-    if (!ongoing_flag[v]) continue;
+  util::parallel_for(0, n, [&](std::size_t v) {
+    if (!ongoing_flag[v]) return;
     std::uint32_t cid = (*slots)[v];
     out.renamed_of[v] = cid;
     out.exists[cid] = 1;
     out.orig_of[cid] = static_cast<VertexId>(v);
-  }
-  out.arcs.reserve(arcs.size());
-  for (const Arc& a : arcs) {
-    if (a.u == a.v) continue;
-    out.arcs.push_back({static_cast<VertexId>(out.renamed_of[a.u]),
-                        static_cast<VertexId>(out.renamed_of[a.v]), a.orig});
-  }
+  });
+  util::parallel_emit(
+      arcs.size(), out.arcs,
+      [&](std::size_t i) -> std::size_t {
+        return arcs[i].u != arcs[i].v ? 1 : 0;
+      },
+      [&](std::size_t i, Arc* dst) {
+        const Arc& a = arcs[i];
+        *dst = {static_cast<VertexId>(out.renamed_of[a.u]),
+                static_cast<VertexId>(out.renamed_of[a.v]), a.orig};
+      });
   out.stats.pram_steps += 3;  // compaction is O(log* n); modeled as O(1) here
   return out;
 }

@@ -4,85 +4,201 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
+namespace {
+
+/// Buckets for the occupancy partition: a pure function of the slot count
+/// (only called for n >= kSerialGrain, so >= 2 keeps the key shift < 64).
+std::size_t occupancy_bucket_count(std::size_t n) {
+  std::size_t buckets = 2;
+  while (buckets < 256 && buckets * util::kSerialGrain < n) buckets <<= 1;
+  return buckets;
+}
+
+}  // namespace
+
 ExpandEngine::ExpandEngine(std::uint64_t n, std::span<const VertexId> ongoing,
                            std::span<const Arc> arcs,
-                           const ExpandParams& params, RunStats& stats)
+                           const ExpandParams& params, RunStats& stats,
+                           ExpandScratch* scratch)
     : n_(n),
       ongoing_(ongoing.begin(), ongoing.end()),
       arcs_(arcs),
       params_(params),
       stats_(stats),
       hb_(util::PairwiseHash::from_seed(params.seed, 0xb10c)),
-      hv_(util::PairwiseHash::from_seed(params.seed, 0x7ab1e)) {
+      hv_(util::PairwiseHash::from_seed(params.seed, 0x7ab1e)),
+      scratch_(scratch ? scratch : &own_scratch_) {
   LOGCC_CHECK(params_.block_count >= 1);
   LOGCC_CHECK(params_.table_capacity >= 2);
-  slot_of_.assign(n_, kNoSlot);
-  for (std::uint32_t s = 0; s < ongoing_.size(); ++s) {
+  const std::uint32_t num = num_slots();
+  // The hoisted slot map holds kNoSlot everywhere except the previous
+  // engine's ongoing set, which its destructor reset — only fresh entries
+  // need initialising.
+  auto& slot_of = scratch_->slot_of;
+  const std::size_t old_size = slot_of.size();
+  if (old_size < n_) slot_of.resize(n_);
+  util::parallel_for(old_size, n_,
+                     [&](std::size_t v) { slot_of[v] = kNoSlot; });
+  util::parallel_for(0, num, [&](std::size_t s) {
     LOGCC_CHECK(ongoing_[s] < n_);
-    LOGCC_CHECK_MSG(slot_of_[ongoing_[s]] == kNoSlot, "duplicate ongoing id");
-    slot_of_[ongoing_[s]] = s;
-  }
-  owns_block_.assign(ongoing_.size(), 0);
-  dormant_round_.assign(ongoing_.size(), kNeverDormant);
-  tables_.assign(ongoing_.size(), VertexTable(params_.table_capacity));
+    // Concurrent writers disagree only on duplicate ids, which the
+    // verification pass below turns into a deterministic failure.
+    util::relaxed_store(slot_of[ongoing_[s]],
+                        static_cast<std::uint32_t>(s));
+  });
+  util::parallel_for(0, num, [&](std::size_t s) {
+    LOGCC_CHECK_MSG(slot_of[ongoing_[s]] == s, "duplicate ongoing id");
+  });
+  owns_block_.resize(num);
+  dormant_round_.resize(num);
+  tables_.resize(num);
+  util::parallel_for(0, num, [&](std::size_t s) {
+    owns_block_[s] = 0;
+    dormant_round_[s] = kNeverDormant;
+    tables_[s].reset(params_.table_capacity);
+  });
+  scratch_->collisions.resize(num);
+}
+
+ExpandEngine::~ExpandEngine() {
+  auto& slot_of = scratch_->slot_of;
+  util::parallel_for(0, ongoing_.size(),
+                     [&](std::size_t s) { slot_of[ongoing_[s]] = kNoSlot; });
 }
 
 void ExpandEngine::mark_dormant(std::uint32_t slot, std::uint32_t round) {
   if (dormant_round_[slot] == kNeverDormant) dormant_round_[slot] = round;
 }
 
+void ExpandEngine::flush_collisions() {
+  auto& coll = scratch_->collisions;
+  stats_.hash_collisions += util::parallel_reduce(
+      std::size_t{0}, coll.size(), std::uint64_t{0},
+      [&](std::size_t s) { return coll[s]; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
 void ExpandEngine::assign_blocks() {
   // h_B maps each ongoing vertex to a block; owning = unique occupant
   // (detected CRCW-style: write your id, re-read, then a second pass where
-  // losers invalidate the cell — host-side we just count occupants).
-  std::unordered_map<std::uint64_t, std::uint32_t> occupancy;
-  occupancy.reserve(ongoing_.size() * 2);
-  for (VertexId v : ongoing_) ++occupancy[hb_(v, params_.block_count)];
-  for (std::uint32_t s = 0; s < ongoing_.size(); ++s) {
-    owns_block_[s] = occupancy[hb_(ongoing_[s], params_.block_count)] == 1;
-    if (!owns_block_[s]) mark_dormant(s, 0);
+  // losers invalidate the cell — host-side we count occupants per key).
+  // Both paths compute the same "occupancy == 1" predicate; the path choice
+  // keys on size only, so results never depend on the thread count.
+  const std::uint32_t num = num_slots();
+  if (num < util::kSerialGrain) {
+    std::unordered_map<std::uint64_t, std::uint32_t> occupancy;
+    occupancy.reserve(num * 2);
+    for (VertexId v : ongoing_) ++occupancy[hb_(v, params_.block_count)];
+    for (std::uint32_t s = 0; s < num; ++s) {
+      owns_block_[s] = occupancy[hb_(ongoing_[s], params_.block_count)] == 1;
+      if (!owns_block_[s]) mark_dormant(s, 0);
+    }
+    stats_.pram_steps += 2;
+    return;
   }
+  // Parallel occupancy: stable bucket partition of (block key, slot) pairs
+  // by mixed key bits, then a per-bucket sort + run scan. Every slot
+  // appears exactly once, so the owner writes are disjoint.
+  auto& keys = scratch_->block_keys;
+  auto& scattered = scratch_->block_keys_tmp;
+  keys.resize(num);
+  util::parallel_for(0, num, [&](std::size_t s) {
+    keys[s] = {hb_(ongoing_[s], params_.block_count),
+               static_cast<std::uint32_t>(s)};
+  });
+  const std::size_t buckets = occupancy_bucket_count(num);
+  const int shift = 64 - std::countr_zero(buckets);
+  const std::vector<std::size_t> begin = util::parallel_bucket_partition(
+      keys, scattered, buckets, [shift](const auto& kv) {
+        return static_cast<std::size_t>(util::mix64(kv.first) >> shift);
+      });
+  util::parallel_for_blocks(buckets, [&](std::size_t k) {
+    auto* lo = scattered.data() + begin[k];
+    auto* hi = scattered.data() + begin[k + 1];
+    std::sort(lo, hi);
+    for (auto* p = lo; p != hi;) {
+      auto* q = p + 1;
+      while (q != hi && q->first == p->first) ++q;
+      const bool owner = (q - p) == 1;
+      for (; p != q; ++p) {
+        owns_block_[p->second] = owner;
+        if (!owner) dormant_round_[p->second] = 0;
+      }
+    }
+  });
   stats_.pram_steps += 2;
 }
 
 void ExpandEngine::seed_tables() {
-  // Step (3): every arc (v, w), both directions. Live v hashes v and w into
-  // H(v); a v without a block instead marks its neighbours dormant.
-  for (const Arc& a : arcs_) {
-    for (int dir = 0; dir < 2; ++dir) {
-      VertexId v = dir ? a.v : a.u;
-      VertexId w = dir ? a.u : a.v;
-      std::uint32_t sv = slot_of_[v];
-      std::uint32_t sw = slot_of_[w];
-      if (sv == kNoSlot || sw == kNoSlot) continue;
-      if (owns_block_[sv]) {
-        VertexTable& t = tables_[sv];
-        if (t.insert_at(static_cast<std::uint32_t>(hv_(v, t.capacity())), v) ==
-            VertexTable::Insert::kCollision)
-          ++stats_.hash_collisions;
-        if (t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w) ==
-            VertexTable::Insert::kCollision)
-          ++stats_.hash_collisions;
-      } else {
-        mark_dormant(sw, 0);
-      }
-    }
-  }
-  // Isolated block owner still holds itself.
-  for (std::uint32_t s = 0; s < ongoing_.size(); ++s) {
-    if (!owns_block_[s]) continue;
+  // Step (3): every arc (v, w), both directions — directed index j covers
+  // arc j/2, direction j%2. A live v hashes v and w into H(v); a v without
+  // a block instead marks its neighbours dormant (idempotent store of
+  // round 0).
+  const std::size_t m2 = arcs_.size() * 2;
+  const auto& slot_of = scratch_->slot_of;
+  util::parallel_for(0, m2, [&](std::size_t j) {
+    const Arc& a = arcs_[j >> 1];
+    const VertexId v = (j & 1) ? a.v : a.u;
+    const VertexId w = (j & 1) ? a.u : a.v;
+    const std::uint32_t sv = slot_of[v];
+    const std::uint32_t sw = slot_of[w];
+    if (sv == kNoSlot || sw == kNoSlot) return;
+    if (!owns_block_[sv]) util::relaxed_store(dormant_round_[sw], 0u);
+  });
+  // Bucket-partitioned table fill: emit the (owner slot, vertex) items in
+  // directed-arc order, group them by slot, then let every slot replay its
+  // own inserts serially — same per-table insert order as the serial
+  // sweep, but slots fill in parallel.
+  auto& items = scratch_->fill_items;
+  auto& grouped = scratch_->fill_items_grouped;
+  util::parallel_emit(
+      m2, items,
+      [&](std::size_t j) -> std::size_t {
+        const Arc& a = arcs_[j >> 1];
+        const VertexId v = (j & 1) ? a.v : a.u;
+        const VertexId w = (j & 1) ? a.u : a.v;
+        const std::uint32_t sv = slot_of[v];
+        const std::uint32_t sw = slot_of[w];
+        return (sv != kNoSlot && sw != kNoSlot && owns_block_[sv]) ? 2 : 0;
+      },
+      [&](std::size_t j, std::pair<std::uint32_t, VertexId>* dst) {
+        const Arc& a = arcs_[j >> 1];
+        const VertexId v = (j & 1) ? a.v : a.u;
+        const VertexId w = (j & 1) ? a.u : a.v;
+        const std::uint32_t sv = slot_of[v];
+        dst[0] = {sv, v};
+        dst[1] = {sv, w};
+      });
+  const std::uint32_t num = num_slots();
+  const std::vector<std::size_t> slot_begin = util::parallel_group_by(
+      items, grouped, num, [](const auto& it) { return it.first; });
+  auto& coll = scratch_->collisions;
+  util::parallel_for(0, num, [&](std::size_t s) {
+    coll[s] = 0;
+    if (!owns_block_[s]) return;
     VertexTable& t = tables_[s];
-    VertexId v = ongoing_[s];
+    for (std::size_t i = slot_begin[s]; i < slot_begin[s + 1]; ++i) {
+      const VertexId w = grouped[i].second;
+      if (t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w) ==
+          VertexTable::Insert::kCollision)
+        ++coll[s];
+    }
+    // Isolated block owner still holds itself.
+    const VertexId v = ongoing_[s];
     if (t.insert_at(static_cast<std::uint32_t>(hv_(v, t.capacity())), v) ==
         VertexTable::Insert::kCollision)
-      ++stats_.hash_collisions;
-  }
+      ++coll[s];
+  });
+  flush_collisions();
   // Step (4): collisions observed in round 0.
-  for (std::uint32_t s = 0; s < ongoing_.size(); ++s)
+  util::parallel_for(0, num, [&](std::size_t s) {
     if (tables_[s].collided()) mark_dormant(s, 0);
+  });
   stats_.pram_steps += 2;
 }
 
@@ -91,16 +207,23 @@ void ExpandEngine::snapshot_history() {
   history_.emplace_back();
   auto& snap = history_.back();
   snap.resize(ongoing_.size());
-  for (std::uint32_t s = 0; s < ongoing_.size(); ++s)
-    snap[s] = tables_[s].items();
+  util::parallel_for(0, ongoing_.size(),
+                     [&](std::size_t s) { snap[s] = tables_[s].items(); });
 }
 
 void ExpandEngine::doubling_rounds() {
   const std::uint32_t num = num_slots();
+  const auto& slot_of = scratch_->slot_of;
+  auto& coll = scratch_->collisions;
   std::vector<std::uint8_t> changed(num, 1);  // table changed last round
   std::vector<std::uint8_t> went_dormant(num, 0);
-  for (std::uint32_t s = 0; s < num; ++s)
+  util::parallel_for(0, num, [&](std::size_t s) {
     went_dormant[s] = dormant_round_[s] != kNeverDormant;
+  });
+
+  std::vector<std::vector<VertexId>> prev(num);
+  std::vector<std::uint8_t> dormant_in(num);
+  std::vector<std::uint8_t> changed_now(num), dormant_now(num);
 
   for (std::uint32_t round = 1; round <= params_.max_rounds; ++round) {
     ++stats_.pram_steps;
@@ -108,58 +231,61 @@ void ExpandEngine::doubling_rounds() {
 
     // Snapshot table contents (synchronous semantics: this round reads the
     // previous round's tables) and dormancy entering this round.
-    std::vector<std::vector<VertexId>> prev(num);
-    for (std::uint32_t s = 0; s < num; ++s) prev[s] = tables_[s].items();
-    std::vector<std::uint8_t> dormant_in(num);
-    for (std::uint32_t s = 0; s < num; ++s)
+    util::parallel_for(0, num, [&](std::size_t s) {
+      prev[s] = tables_[s].items();
       dormant_in[s] = dormant_round_[s] != kNeverDormant;
+      changed_now[s] = 0;
+      dormant_now[s] = 0;
+      coll[s] = 0;
+    });
 
-    std::vector<std::uint8_t> changed_now(num, 0);
-    std::vector<std::uint8_t> dormant_now(num, 0);
-    bool any_change = false;
-
-    for (std::uint32_t s = 0; s < num; ++s) {
-      if (!owns_block_[s]) continue;
+    // One doubling step, parallel over slots: slot s reads only the
+    // snapshots and writes only its own table/flags/tally.
+    util::parallel_for(0, num, [&](std::size_t s) {
+      if (!owns_block_[s]) return;
       // Skip slots whose whole 2-neighbourhood in table space is stable.
       bool needs_work = changed[s] != 0;
       if (!needs_work) {
         for (VertexId v : prev[s]) {
-          std::uint32_t sv = slot_of_[v];
+          std::uint32_t sv = slot_of[v];
           if (sv != kNoSlot && (changed[sv] || went_dormant[sv])) {
             needs_work = true;
             break;
           }
         }
       }
-      if (!needs_work) continue;
+      if (!needs_work) return;
 
       VertexTable& t = tables_[s];
       for (VertexId v : prev[s]) {
-        std::uint32_t sv = slot_of_[v];
+        std::uint32_t sv = slot_of[v];
         if (sv == kNoSlot) continue;
         if (dormant_in[sv]) {
           if (dormant_round_[s] == kNeverDormant) {
             mark_dormant(s, round);
             dormant_now[s] = 1;
-            any_change = true;
           }
         }
         for (VertexId w : prev[sv]) {
-          auto r = t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w);
+          auto r =
+              t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w);
           if (r == VertexTable::Insert::kNew) {
             changed_now[s] = 1;
-            any_change = true;
           } else if (r == VertexTable::Insert::kCollision) {
-            ++stats_.hash_collisions;
+            ++coll[s];
             if (dormant_round_[s] == kNeverDormant) {
               mark_dormant(s, round);
               dormant_now[s] = 1;
-              any_change = true;
             }
           }
         }
       }
-    }
+    });
+    flush_collisions();
+    const bool any_change = util::parallel_reduce(
+        std::size_t{0}, static_cast<std::size_t>(num), false,
+        [&](std::size_t s) { return (changed_now[s] | dormant_now[s]) != 0; },
+        [](bool a, bool b) { return a || b; });
 
     rounds_ = round;
     snapshot_history();

@@ -17,6 +17,13 @@
 //
 // `keep_history` retains H_j(u) and per-round liveness for every round j —
 // required by the spanning forest's TREE-LINK (§C.3).
+//
+// Every step is data-parallel over util/scan's blocked primitives — block
+// occupancy via a stable bucket partition, table seeding via a segmented
+// emit grouped by owner slot, doubling rounds as a parallel map over slots
+// with per-slot collision tallies — and all of it is thread-count
+// invariant: the same input yields bit-identical tables, dormancy rounds
+// and stats for every OMP_NUM_THREADS (tests/test_expand.cpp asserts it).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,20 @@ struct ExpandParams {
   bool keep_history = false;       // retain H_j for TREE-LINK
 };
 
+/// Caller-hoisted scratch for the engine's parallel kernels. Phase loops
+/// construct one ExpandEngine per phase; hoisting the scratch (like the
+/// collect_ongoing scratch) avoids re-allocating the O(n) slot map and the
+/// bucket-partition buffers every phase. `slot_of` must be all-kNoSlot on
+/// entry; the engine restores it (touched entries only) on destruction.
+struct ExpandScratch {
+  std::vector<std::uint32_t> slot_of;  // n entries, kNoSlot except ongoing
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> block_keys;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> block_keys_tmp;
+  std::vector<std::pair<std::uint32_t, VertexId>> fill_items;
+  std::vector<std::pair<std::uint32_t, VertexId>> fill_items_grouped;
+  std::vector<std::uint64_t> collisions;  // per-slot tallies
+};
+
 class ExpandEngine {
  public:
   static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
@@ -45,10 +66,14 @@ class ExpandEngine {
 
   /// `ongoing` lists the roots participating this phase; `arcs` are the
   /// current (altered) arcs — only those whose both endpoints are ongoing
-  /// are used.
+  /// are used. `scratch`, when given, must outlive the engine and not be
+  /// shared with a concurrently-live engine.
   ExpandEngine(std::uint64_t n, std::span<const VertexId> ongoing,
                std::span<const Arc> arcs, const ExpandParams& params,
-               RunStats& stats);
+               RunStats& stats, ExpandScratch* scratch = nullptr);
+  ~ExpandEngine();
+  ExpandEngine(const ExpandEngine&) = delete;
+  ExpandEngine& operator=(const ExpandEngine&) = delete;
 
   /// Executes Steps (1)–(5); fills all result accessors below.
   void run();
@@ -56,7 +81,7 @@ class ExpandEngine {
   std::uint32_t num_slots() const {
     return static_cast<std::uint32_t>(ongoing_.size());
   }
-  std::uint32_t slot_of(VertexId v) const { return slot_of_[v]; }
+  std::uint32_t slot_of(VertexId v) const { return scratch_->slot_of[v]; }
   VertexId vertex_of(std::uint32_t slot) const { return ongoing_[slot]; }
 
   bool owns_block(std::uint32_t slot) const { return owns_block_[slot]; }
@@ -94,6 +119,7 @@ class ExpandEngine {
   void doubling_rounds();  // Step (5)
   void mark_dormant(std::uint32_t slot, std::uint32_t round);
   void snapshot_history();
+  void flush_collisions();  // scratch tallies -> stats_.hash_collisions
 
   std::uint64_t n_;
   std::vector<VertexId> ongoing_;
@@ -102,7 +128,8 @@ class ExpandEngine {
   RunStats& stats_;
 
   util::PairwiseHash hb_, hv_;
-  std::vector<std::uint32_t> slot_of_;
+  ExpandScratch own_scratch_;   // used when the caller passes none
+  ExpandScratch* scratch_;
   std::vector<std::uint8_t> owns_block_;
   std::vector<std::uint32_t> dormant_round_;
   std::vector<VertexTable> tables_;

@@ -1,12 +1,25 @@
 #include "core/expand_maxlink.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.hpp"
 #include "util/hashing.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
+
+namespace {
+
+/// Packed (level, id) priority for the MAXLINK fetch-max: the CRCW
+/// "highest-level parent wins, ties by id" resolution in one word.
+inline std::uint64_t pack_level_id(std::uint32_t level, VertexId id) {
+  return (static_cast<std::uint64_t>(level) << 32) | id;
+}
+
+}  // namespace
 
 ExpandMaxlink::ExpandMaxlink(std::uint64_t n, std::vector<Arc> arcs,
                              std::vector<std::uint8_t> exists,
@@ -23,87 +36,119 @@ ExpandMaxlink::ExpandMaxlink(std::uint64_t n, std::vector<Arc> arcs,
       stats_(stats) {
   LOGCC_CHECK(exists_.size() == n_);
   const std::uint64_t b1 = policy_.budget_for_level(1);
-  for (std::uint64_t v = 0; v < n_; ++v) {
+  util::parallel_for(0, n_, [&](std::size_t v) {
     if (exists_[v]) {
       level_[v] = 1;
       budget_[v] = b1;
-      stats_.total_block_words += b1;
     }
-  }
+  });
+  stats_.total_block_words +=
+      b1 * util::parallel_reduce(
+               std::size_t{0}, n_, std::uint64_t{0},
+               [&](std::size_t v) {
+                 return static_cast<std::uint64_t>(exists_[v] ? 1 : 0);
+               },
+               [](std::uint64_t a, std::uint64_t b) { return a + b; });
   drop_loops(arcs_);
   dedup_arcs(arcs_);
 }
 
-template <typename Fn>
-void ExpandMaxlink::for_each_neighbor_arc(Fn&& fn) const {
-  for (const Arc& a : arcs_) {
-    if (a.u == a.v) continue;
-    fn(a.u, a.v);
-    fn(a.v, a.u);
-  }
-  for (const graph::Edge& e : added_) {
-    if (e.u == e.v) continue;
-    fn(e.u, e.v);
-    fn(e.v, e.u);
-  }
-}
-
 void ExpandMaxlink::maxlink(int iterations, bool& parent_changed) {
+  best_.resize(n_);
   for (int it = 0; it < iterations; ++it) {
     ++stats_.pram_steps;
     // Candidate = the neighbourhood parent with maximal (level, id); v's own
-    // parent is always a candidate because v ∈ N(v).
-    std::vector<VertexId> best(n_);
-    for (std::uint64_t v = 0; v < n_; ++v)
-      best[v] = forest_.parent(static_cast<VertexId>(v));
-    auto better = [&](VertexId a, VertexId b) {
-      // true if a beats b by (level, id).
-      return level_[a] != level_[b] ? level_[a] > level_[b] : a > b;
-    };
-    for_each_neighbor_arc([&](VertexId v, VertexId w) {
-      VertexId cand = forest_.parent(w);
-      if (better(cand, best[v])) best[v] = cand;
+    // parent is always a candidate because v ∈ N(v). The packed fetch-max
+    // realises the CRCW write resolution deterministically.
+    util::parallel_for(0, n_, [&](std::size_t v) {
+      const VertexId p = forest_.parent(static_cast<VertexId>(v));
+      best_[v] = pack_level_id(level_[p], p);
     });
-    for (std::uint64_t v = 0; v < n_; ++v) {
-      if (level_[best[v]] > level_[v] &&
-          best[v] != forest_.parent(static_cast<VertexId>(v))) {
-        forest_.set_parent(static_cast<VertexId>(v), best[v]);
-        parent_changed = true;
+    auto relax = [&](const std::vector<Arc>& arcs) {
+      util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+        const Arc& a = arcs[i];
+        if (a.u == a.v) return;
+        const VertexId pu = forest_.parent(a.u);
+        const VertexId pv = forest_.parent(a.v);
+        util::atomic_max(best_[a.u], pack_level_id(level_[pv], pv));
+        util::atomic_max(best_[a.v], pack_level_id(level_[pu], pu));
+      });
+    };
+    relax(arcs_);
+    relax(added_);
+    std::atomic<bool> changed{false};
+    util::parallel_for(0, n_, [&](std::size_t v) {
+      const VertexId cand = static_cast<VertexId>(best_[v]);
+      if (level_[cand] > level_[v] &&
+          cand != forest_.parent(static_cast<VertexId>(v))) {
+        forest_.set_parent(static_cast<VertexId>(v), cand);
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
+    });
+    if (changed.load()) parent_changed = true;
   }
 }
 
 void ExpandMaxlink::alter_all() {
   ++stats_.pram_steps;
+  // Set semantics: loops and duplicates carry no information. Both lists go
+  // through the same parallel ALTER / pack / bucketed-dedup kernels.
   alter(arcs_, forest_);
-  for (graph::Edge& e : added_) {
-    e.u = forest_.parent(e.u);
-    e.v = forest_.parent(e.v);
-  }
-  // Set semantics: loops and duplicates carry no information.
   drop_loops(arcs_);
   dedup_arcs(arcs_);
-  std::erase_if(added_, [](const graph::Edge& e) { return e.u == e.v; });
-  for (graph::Edge& e : added_)
-    if (e.u > e.v) std::swap(e.u, e.v);
-  std::sort(added_.begin(), added_.end(), [](const auto& a, const auto& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  added_.erase(std::unique(added_.begin(), added_.end()), added_.end());
+  alter(added_, forest_);
+  drop_loops(added_);
+  dedup_arcs(added_);
+}
+
+void ExpandMaxlink::mark_endpoints(std::vector<std::uint8_t>& flags) const {
+  flags.resize(n_);
+  util::parallel_for(0, n_, [&](std::size_t v) { flags[v] = 0; });
+  auto mark = [&](const std::vector<Arc>& arcs) {
+    util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+      const Arc& a = arcs[i];
+      if (a.u == a.v) return;
+      util::relaxed_store(flags[a.u], std::uint8_t{1});
+      util::relaxed_store(flags[a.v], std::uint8_t{1});
+    });
+  };
+  mark(arcs_);
+  mark(added_);
+}
+
+std::uint64_t ExpandMaxlink::tally_raises(
+    const std::vector<std::uint8_t>& flags) {
+  const std::uint32_t max_new = util::parallel_reduce(
+      std::size_t{0}, n_, std::uint32_t{0},
+      [&](std::size_t v) { return flags[v] ? level_[v] : 0u; },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+  if (max_new == 0) return 0;  // raised levels are >= 2, so 0 means none
+  // Per-level tallies in one blocked histogram; bin 0 collects the
+  // non-raised vertices and is discarded.
+  const std::vector<std::uint64_t> counts = util::parallel_histogram(
+      n_, max_new + 1,
+      [&](std::size_t v) -> std::size_t { return flags[v] ? level_[v] : 0; });
+  std::uint64_t raises = 0;
+  if (stats_.level_histogram.size() <= max_new)
+    stats_.level_histogram.resize(max_new + 1, 0);
+  for (std::uint32_t lvl = 1; lvl <= max_new; ++lvl) {
+    stats_.level_histogram[lvl] += counts[lvl];
+    raises += counts[lvl];
+  }
+  stats_.level_raises += raises;
+  stats_.max_level = std::max(stats_.max_level, max_new);
+  return raises;
 }
 
 bool ExpandMaxlink::round() {
   ++round_;
   const std::uint64_t collisions_before = stats_.hash_collisions;
   const std::uint64_t raises_before = stats_.level_raises;
-  util::Xoshiro256 rng(util::mix64(seed_, 0x3000 + round_));
   const util::PairwiseHash h =
       util::PairwiseHash::from_seed(seed_, 0x4000 + round_);
 
   bool parent_changed = false;
   bool level_changed = false;
-  bool closure_new = false;
 
   // ---- Step (1): MAXLINK; ALTER.
   maxlink(static_cast<int>(policy_.maxlink_iterations), parent_changed);
@@ -113,100 +158,149 @@ bool ExpandMaxlink::round() {
   // roots are finished with their component's contraction; exempting them
   // from the random raise is what lets the break condition fire (their
   // levels would otherwise churn forever without making progress).
-  std::vector<std::uint8_t> active(n_, 0);
-  for_each_neighbor_arc([&](VertexId v, VertexId) { active[v] = 1; });
+  mark_endpoints(active_);
 
-  // ---- Step (2): random pre-emptive level raises.
-  std::vector<std::uint8_t> raised(n_, 0);
+  // ---- Step (2): random pre-emptive level raises. Counter-based coins —
+  // mix64(seed, round, v) — so every root's draw is its own function of
+  // (seed, round) and the step parallelises thread-count invariantly.
   ++stats_.pram_steps;
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    if (!exists_[v] || !active[v] ||
+  raised_.resize(n_);
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    raised_[v] = 0;
+    if (!exists_[v] || !active_[v] ||
         !forest_.is_root(static_cast<VertexId>(v)))
-      continue;
-    if (rng.bernoulli(policy_.raise_probability(budget_[v]))) {
+      return;
+    const double coin =
+        util::counter_uniform(util::mix64(seed_, 0x3000 + round_, v));
+    if (coin < policy_.raise_probability(budget_[v])) {
       ++level_[v];
-      raised[v] = 1;
-      level_changed = true;
-      ++stats_.level_raises;
-      stats_.max_level = std::max(stats_.max_level, level_[v]);
-      stats_.bump_level_histogram(level_[v]);
+      raised_[v] = 1;
     }
-  }
+  });
+  if (tally_raises(raised_) > 0) level_changed = true;
 
   // ---- Step (3): hash equal-budget root neighbours into fresh tables.
   ++stats_.pram_steps;
-  std::vector<VertexTable> table(n_);
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    if (exists_[v] && forest_.is_root(static_cast<VertexId>(v)))
-      table[v].reset(policy_.table_capacity(budget_[v]));
-  }
+  table_.resize(n_);
+  coll_.resize(n_);
   auto is_root_vertex = [&](VertexId v) {
     return exists_[v] && forest_.is_root(v);
   };
-  // v ∈ N(v): every root hashes itself (without this, Step (5) would keep
-  // "discovering" v through a neighbour's table and the closure test of the
-  // break condition could never settle).
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    VertexTable& t = table[v];
-    if (t.capacity() == 0) continue;
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    table_[v].reset(is_root_vertex(static_cast<VertexId>(v))
+                        ? policy_.table_capacity(budget_[v])
+                        : 0);
+  });
+  // Bucket-partitioned fill: emit (root, neighbour) items in arc order,
+  // group them per root, then every root replays its own inserts — self
+  // first (v ∈ N(v): without it, Step (5) would keep "discovering" v
+  // through a neighbour's table and the closure test of the break
+  // condition could never settle), then neighbours in arc order.
+  const std::size_t na = arcs_.size();
+  auto arc_at = [&](std::size_t i) -> const Arc& {
+    return i < na ? arcs_[i] : added_[i - na];
+  };
+  auto eligible = [&](VertexId v, VertexId w) {
+    return is_root_vertex(v) && is_root_vertex(w) && budget_[w] == budget_[v];
+  };
+  util::parallel_emit(
+      na + added_.size(), fill_items_,
+      [&](std::size_t i) -> std::size_t {
+        const Arc& a = arc_at(i);
+        if (a.u == a.v) return 0;
+        return (eligible(a.u, a.v) ? 1 : 0) + (eligible(a.v, a.u) ? 1 : 0);
+      },
+      [&](std::size_t i, std::pair<VertexId, VertexId>* dst) {
+        const Arc& a = arc_at(i);
+        if (eligible(a.u, a.v)) *dst++ = {a.u, a.v};
+        if (eligible(a.v, a.u)) *dst = {a.v, a.u};
+      });
+  const std::vector<std::size_t> root_begin = util::parallel_group_by(
+      fill_items_, fill_grouped_, n_,
+      [](const auto& it) { return static_cast<std::size_t>(it.first); });
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    coll_[v] = 0;
+    VertexTable& t = table_[v];
+    if (t.capacity() == 0) return;
     if (t.insert_at(static_cast<std::uint32_t>(h(v, t.capacity())),
                     static_cast<VertexId>(v)) ==
         VertexTable::Insert::kCollision)
-      ++stats_.hash_collisions;
-  }
-  for_each_neighbor_arc([&](VertexId v, VertexId w) {
-    if (!is_root_vertex(v) || !is_root_vertex(w)) return;
-    if (budget_[w] != budget_[v]) return;
-    VertexTable& t = table[v];
-    if (t.insert_at(static_cast<std::uint32_t>(h(w, t.capacity())), w) ==
-        VertexTable::Insert::kCollision)
-      ++stats_.hash_collisions;
+      ++coll_[v];
+    for (std::size_t i = root_begin[v]; i < root_begin[v + 1]; ++i) {
+      const VertexId w = fill_grouped_[i].second;
+      if (t.insert_at(static_cast<std::uint32_t>(h(w, t.capacity())), w) ==
+          VertexTable::Insert::kCollision)
+        ++coll_[v];
+    }
   });
 
   // ---- Step (4): collisions mark dormant; dormancy propagates one hop.
   ++stats_.pram_steps;
-  std::vector<std::uint8_t> dormant(n_, 0);
-  for (std::uint64_t v = 0; v < n_; ++v)
-    if (table[v].collided()) dormant[v] = 1;
-  std::vector<std::uint8_t> dormant0 = dormant;
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    if (table[v].capacity() == 0) continue;
-    table[v].for_each([&](VertexId w) {
-      if (dormant0[w]) dormant[v] = 1;
+  dormant_.resize(n_);
+  dormant0_.resize(n_);
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    dormant0_[v] = table_[v].collided() ? 1 : 0;
+    dormant_[v] = dormant0_[v];
+  });
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    if (table_[v].capacity() == 0) return;
+    table_[v].for_each([&](VertexId w) {
+      if (dormant0_[w]) dormant_[v] = 1;
     });
-  }
+  });
 
-  // ---- Step (5): one doubling step H(v) ∪= H(w), w ∈ H(v).
+  // ---- Step (5): one doubling step H(v) ∪= H(w), w ∈ H(v). Parallel over
+  // roots: v reads only the snapshots and writes only its own table/flags.
   ++stats_.pram_steps;
-  {
-    std::vector<std::vector<VertexId>> snapshot(n_);
-    for (std::uint64_t v = 0; v < n_; ++v)
-      if (table[v].count() > 0) snapshot[v] = table[v].items();
-    for (std::uint64_t v = 0; v < n_; ++v) {
-      if (!is_root_vertex(static_cast<VertexId>(v))) continue;
-      VertexTable& t = table[v];
-      if (t.capacity() == 0) continue;
-      for (VertexId w : snapshot[v]) {
-        for (VertexId u : snapshot[w]) {
-          auto r = t.insert_at(static_cast<std::uint32_t>(h(u, t.capacity())), u);
-          if (r == VertexTable::Insert::kNew) {
-            closure_new = true;
-          } else if (r == VertexTable::Insert::kCollision) {
-            ++stats_.hash_collisions;
-            dormant[v] = 1;
-          }
+  closure_.resize(n_);
+  snapshot_.resize(n_);
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    if (table_[v].count() > 0)
+      snapshot_[v] = table_[v].items();
+    else
+      snapshot_[v].clear();
+  });
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    closure_[v] = 0;
+    if (!is_root_vertex(static_cast<VertexId>(v))) return;
+    VertexTable& t = table_[v];
+    if (t.capacity() == 0) return;
+    for (VertexId w : snapshot_[v]) {
+      for (VertexId u : snapshot_[w]) {
+        auto r = t.insert_at(static_cast<std::uint32_t>(h(u, t.capacity())), u);
+        if (r == VertexTable::Insert::kNew) {
+          closure_[v] = 1;
+        } else if (r == VertexTable::Insert::kCollision) {
+          ++coll_[v];
+          dormant_[v] = 1;
         }
       }
     }
-  }
+  });
+  stats_.hash_collisions += util::parallel_reduce(
+      std::size_t{0}, n_, std::uint64_t{0},
+      [&](std::size_t v) { return coll_[v]; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  const bool closure_new = util::parallel_reduce(
+      std::size_t{0}, n_, false,
+      [&](std::size_t v) { return closure_[v] != 0; },
+      [](bool a, bool b) { return a || b; });
 
-  // Table contents become added edges of the current graph.
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    table[v].for_each([&](VertexId w) {
-      if (w != static_cast<VertexId>(v))
-        added_.push_back({static_cast<VertexId>(v), w});
-    });
-  }
+  // Table contents become added edges of the current graph (every root
+  // holds itself, so count() - 1 non-self items each).
+  util::parallel_emit(
+      n_, emit_tmp_,
+      [&](std::size_t v) -> std::size_t {
+        const VertexTable& t = table_[v];
+        return t.capacity() == 0 ? 0 : t.count() - 1;
+      },
+      [&](std::size_t v, Arc* dst) {
+        table_[v].for_each([&](VertexId w) {
+          if (w != static_cast<VertexId>(v))
+            *dst++ = {static_cast<VertexId>(v), w, 0};
+        });
+      });
+  added_.insert(added_.end(), emit_tmp_.begin(), emit_tmp_.end());
 
   // ---- Step (6): MAXLINK; SHORTCUT; ALTER.
   maxlink(static_cast<int>(policy_.maxlink_iterations), parent_changed);
@@ -216,49 +310,70 @@ bool ExpandMaxlink::round() {
 
   // ---- Step (7): forced raises for dormant roots that skipped Step (2).
   ++stats_.pram_steps;
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    if (!exists_[v] || !forest_.is_root(static_cast<VertexId>(v))) continue;
-    if (dormant[v] && !raised[v]) {
+  forced_.resize(n_);
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    forced_[v] = 0;
+    if (!exists_[v] || !forest_.is_root(static_cast<VertexId>(v))) return;
+    if (dormant_[v] && !raised_[v]) {
       ++level_[v];
-      level_changed = true;
-      ++stats_.level_raises;
-      stats_.max_level = std::max(stats_.max_level, level_[v]);
-      stats_.bump_level_histogram(level_[v]);
+      forced_[v] = 1;
     }
-  }
+  });
+  if (tally_raises(forced_) > 0) level_changed = true;
 
-  // ---- Step (8): reassign blocks.
+  // ---- Step (8): reassign blocks; the space ledger moves to reduces.
   ++stats_.pram_steps;
-  std::uint64_t block_words_in_use = 0;
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    if (!exists_[v]) continue;
-    if (forest_.is_root(static_cast<VertexId>(v))) {
-      std::uint64_t nb = policy_.budget_for_level(level_[v]);
-      if (nb != budget_[v]) {
-        budget_[v] = nb;
-        stats_.total_block_words += nb;
-      }
+  new_words_.resize(n_);
+  util::parallel_for(0, n_, [&](std::size_t v) {
+    new_words_[v] = 0;
+    if (!exists_[v] || !forest_.is_root(static_cast<VertexId>(v))) return;
+    const std::uint64_t nb = policy_.budget_for_level(level_[v]);
+    if (nb != budget_[v]) {
+      budget_[v] = nb;
+      new_words_[v] = nb;
     }
-    block_words_in_use += budget_[v];
-  }
+  });
+  stats_.total_block_words += util::parallel_reduce(
+      std::size_t{0}, n_, std::uint64_t{0},
+      [&](std::size_t v) { return new_words_[v]; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  const std::uint64_t block_words_in_use = util::parallel_reduce(
+      std::size_t{0}, n_, std::uint64_t{0},
+      [&](std::size_t v) { return exists_[v] ? budget_[v] : 0; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  // Both lists hold 3-word Arcs now that added_ reuses the arc kernels.
   stats_.peak_space_words =
       std::max(stats_.peak_space_words,
-               arcs_.size() * 3 + added_.size() * 2 + block_words_in_use);
+               arcs_.size() * 3 + added_.size() * 3 + block_words_in_use);
   ++stats_.rounds;
 
   if (trace_enabled_) {
     RoundTrace t;
     t.round = round_;
-    std::vector<std::uint8_t> has_edge(n_, 0);
-    for_each_neighbor_arc([&](VertexId v, VertexId) { has_edge[v] = 1; });
-    for (std::uint64_t v = 0; v < n_; ++v) {
-      if (!exists_[v]) continue;
-      if (forest_.is_root(static_cast<VertexId>(v))) {
-        ++t.roots;
-        if (has_edge[v]) ++t.active_roots;
-        t.max_level = std::max(t.max_level, level_[v]);
-      }
-    }
+    mark_endpoints(active_);
+    t.roots = util::parallel_reduce(
+        std::size_t{0}, n_, std::uint64_t{0},
+        [&](std::size_t v) {
+          return static_cast<std::uint64_t>(
+              exists_[v] && forest_.is_root(static_cast<VertexId>(v)));
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    t.active_roots = util::parallel_reduce(
+        std::size_t{0}, n_, std::uint64_t{0},
+        [&](std::size_t v) {
+          return static_cast<std::uint64_t>(
+              exists_[v] && forest_.is_root(static_cast<VertexId>(v)) &&
+              active_[v]);
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    t.max_level = util::parallel_reduce(
+        std::size_t{0}, n_, std::uint32_t{0},
+        [&](std::size_t v) {
+          return exists_[v] && forest_.is_root(static_cast<VertexId>(v))
+                     ? level_[v]
+                     : 0u;
+        },
+        [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
     t.arcs = arcs_.size();
     t.added_edges = added_.size();
     t.collisions = stats_.hash_collisions - collisions_before;
@@ -271,7 +386,7 @@ bool ExpandMaxlink::round() {
 
 std::vector<Arc> ExpandMaxlink::remaining_arcs() const {
   std::vector<Arc> out = arcs_;
-  for (const graph::Edge& e : added_) out.push_back({e.u, e.v, 0});
+  out.insert(out.end(), added_.begin(), added_.end());
   drop_loops(out);
   dedup_arcs(out);
   return out;

@@ -17,6 +17,13 @@
 //
 // The class owns all round state; FasterCc (faster_cc.hpp) drives it and
 // applies the paper's break condition.
+//
+// Every step is data-parallel and thread-count invariant: MAXLINK resolves
+// the "highest (level, id) parent wins" write with a packed fetch-max, the
+// random raises draw counter-based coins (mix64(seed, round, v)), the table
+// fills group (root, neighbour) items per root with a stable group-by, and
+// the occupancy/budget ledgers are parallel reduces
+// (tests/test_expand_maxlink.cpp asserts the invariance end-to-end).
 #pragma once
 
 #include <cstdint>
@@ -74,18 +81,14 @@ class ExpandMaxlink {
   const std::vector<RoundTrace>& trace() const { return trace_; }
 
  private:
-  struct MaxlinkOutcome {
-    bool changed = false;
-  };
-
   void maxlink(int iterations, bool& parent_changed);
   void alter_all();
-  template <typename Fn>
-  void for_each_neighbor_arc(Fn&& fn) const;  // arcs + added, both dirs
+  void mark_endpoints(std::vector<std::uint8_t>& flags) const;
+  std::uint64_t tally_raises(const std::vector<std::uint8_t>& flags);
 
   std::uint64_t n_;
   std::vector<Arc> arcs_;            // altered original edges (orig kept)
-  std::vector<graph::Edge> added_;   // altered added edges (accumulated)
+  std::vector<Arc> added_;           // altered added edges (accumulated)
   std::vector<std::uint8_t> exists_;
   ParentForest forest_;
   std::vector<std::uint32_t> level_;
@@ -96,6 +99,18 @@ class ExpandMaxlink {
   std::uint64_t round_ = 0;
   bool trace_enabled_ = false;
   std::vector<RoundTrace> trace_;
+
+  // Round-hoisted scratch (the engine persists across rounds, so these
+  // allocate once): packed (level, id) fetch-max cells for MAXLINK, the
+  // per-round tables and their group-by buffers, and per-vertex tallies.
+  std::vector<std::uint64_t> best_;
+  std::vector<VertexTable> table_;
+  std::vector<std::pair<VertexId, VertexId>> fill_items_, fill_grouped_;
+  std::vector<std::vector<VertexId>> snapshot_;
+  std::vector<std::uint8_t> active_, raised_, forced_, dormant_, dormant0_;
+  std::vector<std::uint8_t> closure_;
+  std::vector<std::uint64_t> coll_, new_words_;
+  std::vector<Arc> emit_tmp_;
 };
 
 }  // namespace logcc::core

@@ -8,7 +8,9 @@
 #include "core/vote.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::core {
 
@@ -18,6 +20,10 @@ constexpr std::uint64_t kInfDist = static_cast<std::uint64_t>(-1);
 
 /// One TREE-LINK (§C.3) given the finished EXPAND and leader flags.
 /// Writes parent links into `forest` and marks forest arcs in `in_forest`.
+/// Every step is a parallel map over slots or arcs: slot-local Q/α/β state
+/// is disjoint, the leader-neighbour marks are idempotent stores, and the
+/// link choice resolves by fetch-min on the (arc, side) key — so the forest
+/// and the marked arc set are thread-count invariant.
 void tree_link(const ExpandEngine& expand,
                const std::vector<std::uint8_t>& leader,
                const std::vector<Arc>& arcs, ParentForest& forest,
@@ -27,20 +33,27 @@ void tree_link(const ExpandEngine& expand,
   const auto& hv = expand.hv();
 
   // Step (1): initialise α and Q.
-  std::vector<std::int64_t> alpha(num, -1);
+  std::vector<std::int64_t> alpha(num);
   std::vector<std::vector<VertexId>> q(num);
-  for (std::uint32_t s = 0; s < num; ++s) {
-    if (leader[s] || expand.fully_dormant(s)) continue;
+  util::parallel_for(0, num, [&](std::size_t s) {
+    if (leader[s] || expand.fully_dormant(static_cast<std::uint32_t>(s))) {
+      alpha[s] = -1;
+      return;
+    }
     alpha[s] = 0;
-    q[s] = {expand.vertex_of(s)};
-  }
+    q[s] = {expand.vertex_of(static_cast<std::uint32_t>(s))};
+  });
 
-  // Step (2): grow Q by halving radii, j = T .. 0.
+  // Step (2): grow Q by halving radii, j = T .. 0. Slots advance
+  // independently (each reads shared history, writes only its own Q/α);
+  // collisions tally per slot and flush after each radius.
+  std::vector<std::uint64_t> coll(num);
   for (std::int64_t j = static_cast<std::int64_t>(expand.rounds()); j >= 0;
        --j) {
     ++stats.pram_steps;
-    for (std::uint32_t s = 0; s < num; ++s) {
-      if (alpha[s] < 0) continue;
+    util::parallel_for(0, num, [&](std::size_t s) {
+      coll[s] = 0;
+      if (alpha[s] < 0) return;
       // Every member of Q(u) must be live in round j.
       bool all_live = true;
       for (VertexId v : q[s]) {
@@ -51,7 +64,7 @@ void tree_link(const ExpandEngine& expand,
           break;
         }
       }
-      if (!all_live) continue;
+      if (!all_live) return;
       // Q'(u) = hash of ∪_{v∈Q(u)} H_j(v); reject on collision or leader.
       VertexTable qp(cap);
       bool has_leader = false;
@@ -65,7 +78,7 @@ void tree_link(const ExpandEngine& expand,
           }
           if (qp.insert_at(static_cast<std::uint32_t>(hv(w, cap)), w) ==
               VertexTable::Insert::kCollision) {
-            ++stats.hash_collisions;
+            ++coll[s];
             break;
           }
         }
@@ -75,28 +88,35 @@ void tree_link(const ExpandEngine& expand,
         q[s] = qp.items();
         alpha[s] += std::int64_t{1} << j;
       }
-    }
+    });
+    stats.hash_collisions += util::parallel_reduce(
+        std::size_t{0}, static_cast<std::size_t>(num), std::uint64_t{0},
+        [&](std::size_t s) { return coll[s]; },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
   }
 
-  // Step (3): leader-neighbour marks over current graph arcs.
+  // Step (3): leader-neighbour marks over current graph arcs (idempotent
+  // stores: every writer stores 1).
   std::vector<std::uint8_t> leader_neighbor(num, 0);
-  for (const Arc& a : arcs) {
-    if (a.u == a.v) continue;
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+    const Arc& a = arcs[i];
+    if (a.u == a.v) return;
     std::uint32_t su = expand.slot_of(a.u);
     std::uint32_t sv = expand.slot_of(a.v);
-    if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) continue;
-    if (leader[su]) leader_neighbor[sv] = 1;
-    if (leader[sv]) leader_neighbor[su] = 1;
-  }
+    if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) return;
+    if (leader[su]) util::relaxed_store(leader_neighbor[sv], std::uint8_t{1});
+    if (leader[sv]) util::relaxed_store(leader_neighbor[su], std::uint8_t{1});
+  });
 
   // Step (4): β = exact distance to the nearest leader when within α + 1.
-  std::vector<std::uint64_t> beta(num, kInfDist);
-  for (std::uint32_t s = 0; s < num; ++s) {
+  std::vector<std::uint64_t> beta(num);
+  util::parallel_for(0, num, [&](std::size_t s) {
+    beta[s] = kInfDist;
     if (leader[s]) {
       beta[s] = 0;
-      continue;
+      return;
     }
-    if (alpha[s] < 0) continue;
+    if (alpha[s] < 0) return;
     for (VertexId w : q[s]) {
       std::uint32_t sw = expand.slot_of(w);
       if (sw != ExpandEngine::kNoSlot && leader_neighbor[sw]) {
@@ -104,38 +124,38 @@ void tree_link(const ExpandEngine& expand,
         break;
       }
     }
-  }
+  });
   stats.pram_steps += 2;
 
   // Steps (5)+(6): each u with β > 0 links to a graph neighbour one layer
-  // closer to the leader; the original arc joins the forest.
-  const std::uint32_t kNone = static_cast<std::uint32_t>(-1);
-  std::vector<std::uint32_t> chosen(num, kNone);
-  std::vector<VertexId> chosen_target(num, graph::kInvalidVertex);
-  for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+  // closer to the leader; the original arc joins the forest. The winning
+  // arc resolves by fetch-min on the packed (arc index, side) key, so the
+  // same link realises on every thread count.
+  constexpr std::uint64_t kNone = static_cast<std::uint64_t>(-1);
+  std::vector<std::uint64_t> chosen(num);
+  util::parallel_for(0, num, [&](std::size_t s) { chosen[s] = kNone; });
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
     const Arc& a = arcs[i];
-    if (a.u == a.v) continue;
+    if (a.u == a.v) return;
     std::uint32_t su = expand.slot_of(a.u);
     std::uint32_t sv = expand.slot_of(a.v);
-    if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) continue;
+    if (su == ExpandEngine::kNoSlot || sv == ExpandEngine::kNoSlot) return;
     if (beta[su] != kInfDist && beta[sv] != kInfDist) {
-      if (beta[su] == beta[sv] + 1) {
-        chosen[su] = i;
-        chosen_target[su] = a.v;
-      }
-      if (beta[sv] == beta[su] + 1) {
-        chosen[sv] = i;
-        chosen_target[sv] = a.u;
-      }
+      const std::uint64_t key = static_cast<std::uint64_t>(i) << 1;
+      if (beta[su] == beta[sv] + 1) util::atomic_min(chosen[su], key);
+      if (beta[sv] == beta[su] + 1) util::atomic_min(chosen[sv], key | 1);
     }
-  }
-  for (std::uint32_t s = 0; s < num; ++s) {
-    if (chosen[s] == kNone) continue;
-    VertexId v = expand.vertex_of(s);
+  });
+  util::parallel_for(0, num, [&](std::size_t s) {
+    if (chosen[s] == kNone) return;
+    const Arc& a = arcs[chosen[s] >> 1];
+    const VertexId target = (chosen[s] & 1) ? a.u : a.v;
+    VertexId v = expand.vertex_of(static_cast<std::uint32_t>(s));
     LOGCC_DCHECK(forest.is_root(v));
-    forest.set_parent(v, chosen_target[s]);
-    in_forest[arcs[chosen[s]].orig] = 1;
-  }
+    forest.set_parent(v, target);
+    // Two endpoints may pick the same arc: idempotent store.
+    util::relaxed_store(in_forest[a.orig], std::uint8_t{1});
+  });
   stats.pram_steps += 2;
 }
 
@@ -152,7 +172,8 @@ SfResult theorem2_sf(const graph::EdgeList& el,
   const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
   std::vector<std::uint8_t> in_forest(el.edges.size(), 0);
 
-  std::vector<std::uint8_t> seen_scratch;  // reused by every phase
+  std::vector<std::uint64_t> seen_scratch;  // reused by every phase
+  ExpandScratch expand_scratch;             // ditto (slot map + fill buffers)
 
   // FOREST-PREPARE: Vanilla-SF densification.
   if (has_nonloop(arcs)) {
@@ -218,7 +239,7 @@ SfResult theorem2_sf(const graph::EdgeList& el,
     ep.max_rounds = util::ceil_log2(std::max<std::uint64_t>(n, 2)) + 4;
     ep.keep_history = true;  // TREE-LINK consumes H_j
 
-    ExpandEngine expand(n, ongoing, arcs, ep, out.stats);
+    ExpandEngine expand(n, ongoing, arcs, ep, out.stats, &expand_scratch);
     expand.run();
 
     VoteParams vp;

@@ -6,6 +6,10 @@
 // (by Lemma B.13) a dormant vertex has |H(u)| >= b w.h.p., so a leader lands
 // in its table with constant probability, and the ongoing count falls by a
 // b^{Ω(1)} factor per phase.
+//
+// Implemented as one fused parallel map: each slot scans its own table or
+// draws a counter-based coin (mix64(seed, stream, v)), so the leader vector
+// is bit-identical for every thread count.
 #pragma once
 
 #include <cstdint>

@@ -4,10 +4,49 @@
 #include <omp.h>
 #endif
 
+// Under ThreadSanitizer, route parallel_for through std::thread instead of
+// OpenMP. GCC's libgomp is not TSan-instrumented, so TSan cannot see the
+// happens-before edges of the fork/join barriers and reports false races
+// between accesses in *different*, properly-joined parallel regions.
+// pthread create/join edges are fully modeled, so the std::thread backend
+// race-checks exactly the library's own kernels — which is what the TSan CI
+// job is for. The work split is blocked and deterministic either way.
+#if defined(__SANITIZE_THREAD__)
+#define LOGCC_TSAN_BACKEND 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LOGCC_TSAN_BACKEND 1
+#endif
+#endif
+
+#ifdef LOGCC_TSAN_BACKEND
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+#endif
+
 namespace logcc::util {
 
+#ifdef LOGCC_TSAN_BACKEND
+namespace {
+int tsan_initial_threads() {
+  // Honour OMP_NUM_THREADS so the TSan CI job's pinning applies to this
+  // backend too.
+  if (const char* env = std::getenv("OMP_NUM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+int g_tsan_threads = tsan_initial_threads();
+}  // namespace
+#endif
+
 int hardware_parallelism() {
-#ifdef LOGCC_HAVE_OPENMP
+#if defined(LOGCC_TSAN_BACKEND)
+  return g_tsan_threads;
+#elif defined(LOGCC_HAVE_OPENMP)
   return omp_get_max_threads();
 #else
   return 1;
@@ -15,7 +54,9 @@ int hardware_parallelism() {
 }
 
 void set_parallelism(int threads) {
-#ifdef LOGCC_HAVE_OPENMP
+#if defined(LOGCC_TSAN_BACKEND)
+  if (threads >= 1) g_tsan_threads = threads;
+#elif defined(LOGCC_HAVE_OPENMP)
   if (threads >= 1) omp_set_num_threads(threads);
 #else
   (void)threads;
@@ -26,7 +67,26 @@ namespace detail {
 
 void parallel_for_impl(std::size_t begin, std::size_t end, void* ctx,
                        void (*body)(void*, std::size_t)) {
-#ifdef LOGCC_HAVE_OPENMP
+#if defined(LOGCC_TSAN_BACKEND)
+  const std::size_t n = end - begin;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(g_tsan_threads), n);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(ctx, i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + n / workers * w + std::min(w, n % workers);
+    const std::size_t hi =
+        begin + n / workers * (w + 1) + std::min(w + 1, n % workers);
+    pool.emplace_back([ctx, body, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(ctx, i);
+    });
+  }
+  for (auto& t : pool) t.join();
+#elif defined(LOGCC_HAVE_OPENMP)
   const std::int64_t b = static_cast<std::int64_t>(begin);
   const std::int64_t e = static_cast<std::int64_t>(end);
 #pragma omp parallel for schedule(static)

@@ -2,8 +2,11 @@
 //
 // One PRAM step over k processors maps to `parallel_for(0, k, fn)`. With
 // OpenMP available the loop is work-shared across hardware threads; without
-// it (or when the range is small) it degrades to a serial loop. Algorithms
-// never depend on the execution order inside a step: all cross-processor
+// it (or when the range is small) it degrades to a serial loop. Under
+// ThreadSanitizer the backend swaps to std::thread fork/join (see
+// parallel.cpp) so TSan sees every synchronization edge and race-checks the
+// library's own kernels without libgomp false positives. Algorithms never
+// depend on the execution order inside a step: all cross-processor
 // communication goes through buffered writes resolved between steps (see
 // pram/machine.hpp) or through commutative atomics-free patterns
 // (idempotent writes / seeded arbitrary-winner resolution).

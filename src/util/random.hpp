@@ -51,6 +51,14 @@ constexpr std::uint64_t mix64(std::uint64_t seed, std::uint64_t a,
   return mix64(mix64(seed, a), b);
 }
 
+/// Maps 64 random bits to a uniform double in [0, 1) — the counter-based
+/// analogue of Xoshiro256::uniform for data-parallel coins
+/// (counter_uniform(mix64(seed, phase, v)) < p is a per-vertex Bernoulli
+/// trial with no cross-processor order).
+constexpr double counter_uniform(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
 /// Xoshiro256**: the workhorse engine.
 class Xoshiro256 {
  public:
@@ -79,7 +87,7 @@ class Xoshiro256 {
   std::uint64_t below(std::uint64_t bound);
 
   /// Uniform double in [0, 1).
-  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  double uniform() { return counter_uniform(next()); }
 
   /// Bernoulli trial with probability p (clamped to [0,1]).
   bool bernoulli(double p) { return uniform() < p; }

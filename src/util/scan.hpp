@@ -45,6 +45,27 @@ inline void atomic_min(T& slot, T value) {
   }
 }
 
+/// Fetch-max counterpart of atomic_min. With keys packed as
+/// (priority << k) | id, this realises the CRCW "maximum-priority write
+/// wins" resolution deterministically.
+template <typename T>
+inline void atomic_max(T& slot, T value) {
+  std::atomic_ref<T> ref(slot);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Relaxed atomic store for idempotent flag writes: every concurrent writer
+/// stores the same value, so the result is thread-count invariant — the
+/// atomic_ref only exists so the (benign) write race is race-free under
+/// TSan.
+template <typename T>
+inline void relaxed_store(T& slot, T value) {
+  std::atomic_ref<T>(slot).store(value, std::memory_order_relaxed);
+}
+
 /// Reduction of map(i) over [begin, end) with the associative op `op`.
 /// Per-block partials fold left-to-right and blocks combine in block order,
 /// so the result is identical for every thread count (for associative ops).
@@ -180,5 +201,182 @@ std::size_t parallel_pack(std::vector<T>& v, Pred&& keep) {
   return removed;
 }
 
+/// Segmented pack ("multi-emit"): index i contributes count(i) items,
+/// written by emit(i, dst) into dst[0 .. count(i)); the output concatenates
+/// contributions in index order. Generalises parallel_filter from 0/1 items
+/// per index to any per-index count — the shape of "every directed arc
+/// yields its table-fill items".
+///
+/// `count` and `emit` MUST be deterministic and agree (emit writes exactly
+/// count(i) items): they run in separate passes, and a disagreement
+/// overruns a block's reserved output range.
+template <typename T, typename CountFn, typename EmitFn>
+void parallel_emit(std::size_t n, std::vector<T>& out, CountFn&& count,
+                   EmitFn&& emit) {
+  out.clear();
+  if (n == 0) return;
+  if (n < kSerialGrain) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = count(i);
+      if (c == 0) continue;
+      const std::size_t base = out.size();
+      out.resize(base + c);
+      emit(i, out.data() + base);
+    }
+    return;
+  }
+  const std::size_t blocks = scan_block_count(n);
+  std::vector<std::size_t> offset(blocks);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t c = 0;
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      c += count(i);
+    offset[b] = c;
+  });
+  const std::size_t total = parallel_prefix_sum(offset.data(), blocks);
+  out.resize(total);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t w = offset[b];
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i) {
+      const std::size_t c = count(i);
+      if (c == 0) continue;
+      emit(i, out.data() + w);
+      w += c;
+    }
+  });
+}
+
+/// Deterministic histogram: returns counts where counts[k] = |{i : bin(i)
+/// == k}|. Per-block tallies combine in block order (sums commute, so the
+/// result is thread-count invariant either way). The counting grid is
+/// blocks x bins words — keep `bins` modest (levels, buckets, ...), not
+/// vertex-scale.
+template <typename BinFn>
+std::vector<std::uint64_t> parallel_histogram(std::size_t n, std::size_t bins,
+                                              BinFn&& bin) {
+  std::vector<std::uint64_t> counts(bins, 0);
+  if (n == 0 || bins == 0) return counts;
+  if (n < kSerialGrain) {
+    for (std::size_t i = 0; i < n; ++i) ++counts[bin(i)];
+    return counts;
+  }
+  const std::size_t blocks = scan_block_count(n);
+  std::vector<std::uint64_t> grid(blocks * bins, 0);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::uint64_t* row = grid.data() + b * bins;
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      ++row[bin(i)];
+  });
+  for (std::size_t b = 0; b < blocks; ++b)
+    for (std::size_t k = 0; k < bins; ++k) counts[k] += grid[b * bins + k];
+  return counts;
+}
+
+/// Stable bucket partition: scatters `in` into `out` (resized) so that
+/// bucket k occupies [r[k], r[k+1]) of the returned offsets r, with input
+/// order preserved inside every bucket. bucket(x) must be deterministic and
+/// < buckets; keep `buckets` modest (the counting grid is blocks x buckets
+/// words). This is the scatter phase shared by the bucketed arc dedup and
+/// the per-slot table fills.
+template <typename T, typename BucketFn>
+std::vector<std::size_t> parallel_bucket_partition(const std::vector<T>& in,
+                                                   std::vector<T>& out,
+                                                   std::size_t buckets,
+                                                   BucketFn&& bucket) {
+  const std::size_t n = in.size();
+  std::vector<std::size_t> begin(buckets + 1, 0);
+  out.resize(n);
+  if (n == 0) return begin;
+  if (n < kSerialGrain || buckets == 1) {
+    for (const T& x : in) ++begin[bucket(x) + 1];
+    for (std::size_t k = 0; k < buckets; ++k) begin[k + 1] += begin[k];
+    std::vector<std::size_t> cur(begin.begin(), begin.end() - 1);
+    for (const T& x : in) out[cur[bucket(x)]++] = x;
+    return begin;
+  }
+  const std::size_t blocks = scan_block_count(n);
+  // counts[b * buckets + k]: elements of block b landing in bucket k.
+  std::vector<std::size_t> counts(blocks * buckets, 0);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t* row = counts.data() + b * buckets;
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      ++row[bucket(in[i])];
+  });
+  // Column-major exclusive scan: per-(block, bucket) write cursors, plus the
+  // bucket boundaries. Earlier blocks write earlier inside a bucket, and a
+  // block preserves input order, so the scatter is stable.
+  std::size_t run = 0;
+  for (std::size_t k = 0; k < buckets; ++k) {
+    begin[k] = run;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t c = counts[b * buckets + k];
+      counts[b * buckets + k] = run;
+      run += c;
+    }
+  }
+  begin[buckets] = run;
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t* row = counts.data() + b * buckets;
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      out[row[bucket(in[i])]++] = in[i];
+  });
+  return begin;
+}
+
+/// Stable group-by for keys in [0, num_keys): fills `out` with the items of
+/// `in` ordered by key, input-stable within each key, and returns the
+/// num_keys + 1 segment offsets. Equivalent to a stable counting sort, but
+/// two-level — a coarse stable partition over contiguous key ranges, then
+/// an in-bucket counting sort — so the parallel counting grids stay small
+/// even for vertex-scale key spaces. Output is canonical (sorted, stable),
+/// hence identical for every thread count and for the serial path.
+template <typename T, typename KeyFn>
+std::vector<std::size_t> parallel_group_by(const std::vector<T>& in,
+                                           std::vector<T>& out,
+                                           std::size_t num_keys, KeyFn&& key) {
+  const std::size_t n = in.size();
+  std::vector<std::size_t> offsets(num_keys + 1, 0);
+  out.resize(n);
+  if (n == 0) return offsets;
+  if (n < kSerialGrain) {
+    for (const T& x : in) ++offsets[key(x) + 1];
+    for (std::size_t k = 0; k < num_keys; ++k) offsets[k + 1] += offsets[k];
+    std::vector<std::size_t> cur(offsets.begin(), offsets.end() - 1);
+    for (const T& x : in) out[cur[key(x)]++] = x;
+    return offsets;
+  }
+  // Coarse ranges of q consecutive keys per bucket.
+  const std::size_t max_buckets = std::min<std::size_t>(num_keys, 512);
+  const std::size_t q = (num_keys + max_buckets - 1) / max_buckets;
+  const std::size_t buckets = (num_keys + q - 1) / q;
+  std::vector<T> tmp;
+  std::vector<std::size_t> bucket_begin = parallel_bucket_partition(
+      in, tmp, buckets, [&](const T& x) { return key(x) / q; });
+  parallel_for_blocks(buckets, [&](std::size_t k) {
+    const std::size_t lo_key = k * q;
+    const std::size_t hi_key = std::min(num_keys, lo_key + q);
+    const std::size_t lo = bucket_begin[k], hi = bucket_begin[k + 1];
+    // Private count buffer, exclusive scan into the bucket's disjoint
+    // offsets slice [lo_key, hi_key), stable scatter.
+    std::vector<std::size_t> cur(hi_key - lo_key, 0);
+    for (std::size_t i = lo; i < hi; ++i) ++cur[key(tmp[i]) - lo_key];
+    std::size_t acc = lo;
+    for (std::size_t k2 = lo_key; k2 < hi_key; ++k2) {
+      const std::size_t c = cur[k2 - lo_key];
+      offsets[k2] = acc;
+      cur[k2 - lo_key] = acc;
+      acc += c;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+      out[cur[key(tmp[i]) - lo_key]++] = tmp[i];
+  });
+  offsets[num_keys] = n;
+  return offsets;
+}
 
 }  // namespace logcc::util

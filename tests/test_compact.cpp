@@ -7,6 +7,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
 #include "test_support.hpp"
+#include "util/random.hpp"
 
 namespace logcc::core {
 namespace {
@@ -112,6 +113,48 @@ TEST(Compact, ArcsConnectRenamedRoots) {
     ASSERT_LT(a.v, r.n_compact);
     EXPECT_TRUE(r.exists[a.u]);
     EXPECT_TRUE(r.exists[a.v]);
+  }
+}
+
+TEST(ApproxCompactionVec, LargeInputInjectiveAndDeterministic) {
+  // Crosses the parallel grain (>= 4096 items) so the fetch-min contention
+  // and the claim pass run multi-threaded — this is the input class the
+  // TSan CI job race-checks.
+  std::vector<std::uint8_t> flags(40000, 0);
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    flags[i] = util::mix64(3, i) % 3 != 0;
+  auto a = approximate_compaction_vec(flags, 99);
+  ASSERT_TRUE(a.has_value());
+  std::set<std::uint32_t> used;
+  std::uint64_t k = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (!flags[i]) {
+      EXPECT_EQ((*a)[i], static_cast<std::uint32_t>(-1));
+      continue;
+    }
+    ++k;
+    EXPECT_TRUE(used.insert((*a)[i]).second) << "slot reused";
+  }
+  for (std::uint32_t s : used) EXPECT_LT(s, 2 * k);
+}
+
+// ---- Determinism contract: the fetch-min cell contention picks the same
+// winners for every thread count (mirrors tests/test_scan.cpp).
+
+using logcc::testing::ThreadInvariance;
+
+TEST_F(ThreadInvariance, CompactionSlotsIdenticalAcrossThreads) {
+  std::vector<std::uint8_t> flags(40000, 0);
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    flags[i] = util::mix64(7, i) % 2;
+  util::set_parallelism(1);
+  auto one = approximate_compaction_vec(flags, 5);
+  ASSERT_TRUE(one.has_value());
+  for (int threads : {2, 8}) {
+    util::set_parallelism(threads);
+    auto many = approximate_compaction_vec(flags, 5);
+    ASSERT_TRUE(many.has_value());
+    EXPECT_EQ(*one, *many) << "threads=" << threads;
   }
 }
 

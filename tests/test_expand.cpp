@@ -9,6 +9,8 @@
 #include "core/labels.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+#include "util/parallel.hpp"
 
 namespace logcc::core {
 namespace {
@@ -161,6 +163,81 @@ TEST(ExpandDeath, HistoryRequiresFlag) {
   auto el = graph::make_path(4);
   Harness h(el, generous(el.n), nullptr);  // keep_history = false
   EXPECT_DEATH((void)h.engine->history(0, 0), "history");
+}
+
+TEST(Expand, HoistedScratchReusableAcrossEngines) {
+  // Phase loops reuse one ExpandScratch across engines; the slot map must
+  // come back all-kNoSlot after each engine dies, so a second engine over a
+  // different ongoing set sees clean state.
+  auto el = graph::make_gnm(256, 768, 3);
+  ExpandParams p = generous(el.n);
+  ExpandScratch scratch;
+  RunStats stats;
+  auto arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  std::vector<VertexId> evens, odds;
+  for (VertexId v = 0; v < el.n; v += 2) evens.push_back(v);
+  for (VertexId v = 1; v < el.n; v += 2) odds.push_back(v);
+  {
+    ExpandEngine e1(el.n, evens, arcs, p, stats, &scratch);
+    e1.run();
+    for (VertexId v : evens) EXPECT_EQ(e1.slot_of(v), v / 2);
+  }
+  ExpandEngine e2(el.n, odds, arcs, p, stats, &scratch);
+  e2.run();
+  for (VertexId v : odds) EXPECT_EQ(e2.slot_of(v), v / 2);
+  for (VertexId v : evens) EXPECT_EQ(e2.slot_of(v), ExpandEngine::kNoSlot);
+}
+
+// ---- Determinism contract: tables, dormancy and stats are bit-identical
+// for every thread count (mirrors tests/test_scan.cpp).
+
+using logcc::testing::ThreadInvariance;
+
+struct ExpandOutcome {
+  std::vector<std::vector<VertexId>> cells;
+  std::vector<std::uint32_t> dormant;
+  std::vector<std::uint8_t> owns;
+  std::uint32_t rounds = 0;
+  std::uint64_t collisions = 0;
+  friend bool operator==(const ExpandOutcome&, const ExpandOutcome&) = default;
+};
+
+ExpandOutcome run_expand(const graph::EdgeList& el, const ExpandParams& p,
+                         int threads) {
+  util::set_parallelism(threads);
+  RunStats stats;
+  Harness h(el, p, &stats);
+  ExpandOutcome out;
+  const std::uint32_t num = h.engine->num_slots();
+  out.cells.resize(num);
+  out.dormant.resize(num);
+  out.owns.resize(num);
+  for (std::uint32_t s = 0; s < num; ++s) {
+    out.cells[s] = h.engine->table(s).cells();
+    out.dormant[s] = h.engine->dormant_round(s);
+    out.owns[s] = h.engine->owns_block(s) ? 1 : 0;
+  }
+  out.rounds = h.engine->rounds();
+  out.collisions = stats.hash_collisions;
+  return out;
+}
+
+TEST_F(ThreadInvariance, TablesAndDormancyIdentical) {
+  // Large enough that every parallel path engages (occupancy partition,
+  // segmented table fill, parallel doubling); tight tables force a live /
+  // dormant mix so both vote branches downstream see invariant input.
+  auto el = graph::make_gnm(20000, 60000, 31);
+  ExpandParams p;
+  p.block_count = 4 * el.n + 7;
+  p.table_capacity = 8;
+  p.seed = 99;
+  p.max_rounds = 40;
+  ExpandOutcome one = run_expand(el, p, 1);
+  for (int threads : {2, 8}) {
+    ExpandOutcome many = run_expand(el, p, threads);
+    EXPECT_EQ(one, many) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+#include "util/parallel.hpp"
 
 namespace logcc::core {
 namespace {
@@ -145,14 +148,26 @@ TEST(ExpandMaxlink, TraceRecordsPerRoundAggregates) {
   ASSERT_TRUE(done);
   const auto& trace = h.engine->trace();
   ASSERT_EQ(trace.size(), h.engine->rounds_run());
-  // Rounds are numbered consecutively; roots never increase; the final
-  // round has no active roots (single root per component, path = 1 comp).
+  // Rounds are numbered consecutively; roots never increase.
   for (std::size_t i = 0; i < trace.size(); ++i) {
     EXPECT_EQ(trace[i].round, i + 1);
     if (i > 0) EXPECT_LE(trace[i].roots, trace[i - 1].roots);
     EXPECT_LE(trace[i].active_roots, trace[i].roots);
   }
-  EXPECT_EQ(trace.back().active_roots, 0u);
+  // The break condition may leave distance-1 remnants (equal-level adjacent
+  // roots whose raise coins all missed) — those go to the Theorem-1
+  // postprocess — but the final trace row must agree with the engine's
+  // remaining graph: active_roots counts exactly the roots that still have
+  // a non-loop arc.
+  std::set<VertexId> active_now;
+  for (const Arc& a : h.engine->remaining_arcs()) {
+    if (a.u == a.v) continue;
+    active_now.insert(a.u);
+    active_now.insert(a.v);
+  }
+  EXPECT_EQ(trace.back().active_roots, active_now.size());
+  for (VertexId v : active_now)
+    EXPECT_TRUE(h.engine->forest().is_root(v));
   EXPECT_GE(trace.front().raises + trace.front().collisions, 1u);
 }
 
@@ -170,6 +185,51 @@ TEST(ExpandMaxlink, RoundCounterAdvances) {
   h.engine->round();
   EXPECT_EQ(h.engine->rounds_run(), 2u);
   EXPECT_EQ(h.stats.rounds, 2u);
+}
+
+// ---- Determinism contract: the whole round loop — forest, levels,
+// budgets, remaining arcs and the stats ledger — is bit-identical for
+// every thread count (mirrors tests/test_scan.cpp).
+
+using logcc::testing::ThreadInvariance;
+
+struct MlOutcome {
+  std::vector<VertexId> parents;
+  std::vector<std::uint32_t> levels;
+  std::vector<std::uint64_t> budgets;
+  std::vector<Arc> remaining;
+  std::uint64_t rounds = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t raises = 0;
+  friend bool operator==(const MlOutcome&, const MlOutcome&) = default;
+};
+
+MlOutcome run_maxlink(const graph::EdgeList& el, int threads) {
+  util::set_parallelism(threads);
+  MlHarness h(el, 5);
+  bool done = false;
+  for (int r = 0; r < 300 && !done; ++r) done = h.engine->round();
+  EXPECT_TRUE(done);
+  MlOutcome out;
+  out.parents = h.engine->forest().raw();
+  out.levels = h.engine->levels();
+  out.budgets = h.engine->budgets();
+  out.remaining = h.engine->remaining_arcs();
+  out.rounds = h.engine->rounds_run();
+  out.collisions = h.stats.hash_collisions;
+  out.raises = h.stats.level_raises;
+  return out;
+}
+
+TEST_F(ThreadInvariance, RoundLoopIdenticalAcrossThreads) {
+  // Big enough that the packed fetch-max MAXLINK, the grouped table fills
+  // and the bucketed dedup all take their parallel paths.
+  auto el = graph::make_gnm(20000, 60000, 17);
+  MlOutcome one = run_maxlink(el, 1);
+  for (int threads : {2, 8}) {
+    MlOutcome many = run_maxlink(el, threads);
+    EXPECT_EQ(one, many) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "core/cc_theorem1.hpp"
 #include "core/vanilla.hpp"
 #include "graph/generators.hpp"
+#include "test_support.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
 
@@ -130,6 +133,107 @@ TEST(AtomicMin, KeepsMinimum) {
   EXPECT_EQ(slot, 42u);
 }
 
+TEST(AtomicMax, KeepsMaximum) {
+  std::uint64_t slot = 100;
+  atomic_max(slot, std::uint64_t{42});
+  EXPECT_EQ(slot, 100u);
+  atomic_max(slot, std::uint64_t{200});
+  EXPECT_EQ(slot, 200u);
+}
+
+TEST(Emit, MatchesSerialMultiEmitAcrossGrainBoundaries) {
+  for (std::size_t n : probe_sizes()) {
+    auto v = ramp(n);
+    // Index i contributes i % 3 copies of v[i] + its index.
+    auto count = [&](std::size_t i) -> std::size_t { return i % 3; };
+    std::vector<std::uint64_t> expect;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < count(i); ++c) expect.push_back(v[i] + c);
+    std::vector<std::uint64_t> got;
+    parallel_emit(n, got, count, [&](std::size_t i, std::uint64_t* dst) {
+      for (std::size_t c = 0; c < count(i); ++c) dst[c] = v[i] + c;
+    });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(Histogram, MatchesSerialCounts) {
+  for (std::size_t n : probe_sizes()) {
+    auto v = ramp(n);
+    const std::size_t bins = 17;
+    std::vector<std::uint64_t> expect(bins, 0);
+    for (auto x : v) ++expect[x % bins];
+    auto got = parallel_histogram(n, bins,
+                                  [&](std::size_t i) { return v[i] % bins; });
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(BucketPartition, StableWithinBucketsAndTightOffsets) {
+  for (std::size_t n : probe_sizes()) {
+    auto v = ramp(n);
+    const std::size_t buckets = 8;
+    auto bucket = [](std::uint64_t x) { return x % 8; };
+    std::vector<std::uint64_t> out;
+    auto off = parallel_bucket_partition(v, out, buckets, bucket);
+    ASSERT_EQ(off.size(), buckets + 1);
+    EXPECT_EQ(off.front(), 0u);
+    EXPECT_EQ(off.back(), n);
+    // Concatenating the per-bucket serial filters reproduces the output.
+    std::vector<std::uint64_t> expect;
+    for (std::size_t k = 0; k < buckets; ++k)
+      for (auto x : v)
+        if (bucket(x) == k) expect.push_back(x);
+    EXPECT_EQ(out, expect) << "n=" << n;
+  }
+}
+
+TEST(GroupBy, SortedStableSegments) {
+  for (std::size_t n : probe_sizes()) {
+    // (key, payload) pairs; payload is the input index, so stability is
+    // directly visible.
+    const std::size_t num_keys = 1000;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = {mix64(3, i) % num_keys, i};
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    auto off = parallel_group_by(v, out, num_keys,
+                                 [](const auto& p) { return p.first; });
+    auto expect = v;
+    std::stable_sort(expect.begin(), expect.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    EXPECT_EQ(out, expect) << "n=" << n;
+    ASSERT_EQ(off.size(), num_keys + 1);
+    EXPECT_EQ(off.back(), n);
+    for (std::size_t k = 0; k < num_keys; ++k) {
+      EXPECT_LE(off[k], off[k + 1]);
+      for (std::size_t i = off[k]; i < off[k + 1]; ++i)
+        EXPECT_EQ(out[i].first, k);
+    }
+  }
+}
+
+TEST(GroupBy, LargeKeySpaceTwoLevelPath) {
+  // num_keys far above the coarse bucket count exercises the two-level
+  // partition + in-bucket counting sort.
+  const std::size_t n = 16 * kSerialGrain;
+  const std::size_t num_keys = 1 << 20;
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = mix64(11, i) % num_keys;
+  std::vector<std::uint64_t> out;
+  auto off = parallel_group_by(v, out, num_keys,
+                               [](std::uint64_t x) { return x; });
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(out, sorted);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(off[out[i]], i);
+    EXPECT_GT(off[out[i] + 1], i);
+  }
+}
+
 TEST(BlockCount, PureFunctionOfSize) {
   EXPECT_EQ(scan_block_count(0), 1u);
   EXPECT_EQ(scan_block_count(kSerialGrain - 1), 1u);
@@ -139,18 +243,10 @@ TEST(BlockCount, PureFunctionOfSize) {
 }
 
 // ---- The determinism contract the algorithm layer is built on: component
-// labels must be bit-identical for every thread count.
+// labels must be bit-identical for every thread count. (The EXPAND/MAXLINK/
+// vote kernels have their own invariance suites next to their unit tests.)
 
-class ThreadInvariance : public ::testing::Test {
- protected:
-  // hardware_parallelism() reflects whatever was last set, so the original
-  // value must be captured before the test changes it.
-  void SetUp() override { original_threads_ = hardware_parallelism(); }
-  void TearDown() override { set_parallelism(original_threads_); }
-
- private:
-  int original_threads_ = 1;
-};
+using logcc::testing::ThreadInvariance;
 
 TEST_F(ThreadInvariance, VanillaLabelsIdentical) {
   // Large enough that every parallel path (vote, mark, pack, bucketed

@@ -107,5 +107,23 @@ TEST(Theorem2, ParallelEdgesPickOne) {
   EXPECT_EQ(r.forest_edges.size(), 1u);
 }
 
+// ---- Determinism contract: the parallel TREE-LINK (fetch-min link choice,
+// idempotent leader-neighbour marks) must pick the same forest edges for
+// every thread count (mirrors tests/test_scan.cpp).
+
+using logcc::testing::ThreadInvariance;
+
+TEST_F(ThreadInvariance, ForestEdgesIdenticalAcrossThreads) {
+  auto el = graph::make_gnm(20000, 60000, 41);
+  util::set_parallelism(1);
+  auto one = theorem2_sf(el);
+  expect_valid_forest(el, one, "threads=1");
+  for (int threads : {2, 8}) {
+    util::set_parallelism(threads);
+    auto many = theorem2_sf(el);
+    EXPECT_EQ(one.forest_edges, many.forest_edges) << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace logcc::core

@@ -9,8 +9,23 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/graph_algos.hpp"
+#include "util/parallel.hpp"
 
 namespace logcc::testing {
+
+/// Fixture for the determinism contract (README "Determinism contract"):
+/// captures the ambient thread count and restores it after the test, so a
+/// test can sweep util::set_parallelism(1 / 2 / 8) and assert bit-identical
+/// results. hardware_parallelism() reflects whatever was last set, so the
+/// original value must be captured before the test changes it.
+class ThreadInvariance : public ::testing::Test {
+ protected:
+  void SetUp() override { original_threads_ = util::hardware_parallelism(); }
+  void TearDown() override { util::set_parallelism(original_threads_); }
+
+ private:
+  int original_threads_ = 1;
+};
 
 /// Oracle labels (min id per component) for an edge list.
 inline std::vector<graph::VertexId> oracle_labels(const graph::EdgeList& el) {

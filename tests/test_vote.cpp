@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "graph/generators.hpp"
+#include "test_support.hpp"
+#include "util/parallel.hpp"
 
 namespace logcc::core {
 namespace {
@@ -90,6 +92,35 @@ TEST(Vote, DeterministicForSeed) {
   vp.seed = 42;
   RunStats s1, s2;
   EXPECT_EQ(vote(*h.engine, vp, s1), vote(*h.engine, vp, s2));
+}
+
+// ---- Determinism contract: the fused map + min vote pass yields the same
+// leader vector for every thread count (mirrors tests/test_scan.cpp).
+
+using logcc::testing::ThreadInvariance;
+
+TEST_F(ThreadInvariance, LeaderVectorIdenticalAcrossThreads) {
+  // Build the engine once (its own invariance is covered in
+  // tests/test_expand.cpp), then sweep only the vote kernel. Tight tables
+  // give a live / dormant mix so both branches run at scale.
+  auto el = graph::make_gnm(20000, 60000, 13);
+  ExpandParams p;
+  p.block_count = 4 * el.n + 7;
+  p.table_capacity = 8;
+  p.seed = 1234;
+  p.max_rounds = 40;
+  VoteHarness h(el, p);
+  VoteParams vp;
+  vp.dormant_leader_prob = 0.3;
+  vp.seed = 71;
+  util::set_parallelism(1);
+  RunStats s1;
+  auto one = vote(*h.engine, vp, s1);
+  for (int threads : {2, 8}) {
+    util::set_parallelism(threads);
+    RunStats sn;
+    EXPECT_EQ(one, vote(*h.engine, vp, sn)) << "threads=" << threads;
+  }
 }
 
 }  // namespace
