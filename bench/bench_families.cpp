@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   const std::uint64_t n =
       static_cast<std::uint64_t>(cli.get_int("n", 4096, "vertex count"));
   const int reps = static_cast<int>(cli.get_int("reps", 2, "seeds per cell"));
+  const std::vector<Workload> workloads =
+      resolve_workloads(cli, n, graph::family_names());
   cli.finish();
 
   header("T1: algorithm x family (median seconds | progress rounds)",
@@ -33,13 +35,10 @@ int main(int argc, char** argv) {
   util::TextTable table(cols);
 
   bool all_correct = true;
-  for (const std::string& family : graph::family_names()) {
-    // Label propagation is Θ(d) rounds of Θ(m) work: cap the path-like
-    // families so the whole table stays interactive.
-    graph::EdgeList el = graph::make_family(family, n, 99);
-    table.row().add(family);
+  for (const Workload& w : workloads) {
+    table.row().add(w.name);
     for (Algorithm alg : algs) {
-      RunOutcome r = run_algorithm(el, alg, 3, reps);
+      RunOutcome r = run_algorithm(w.el, alg, 3, reps);
       all_correct = all_correct && r.correct;
       char cell[64];
       std::snprintf(cell, sizeof cell, "%.1fms|%llu", r.seconds * 1e3,

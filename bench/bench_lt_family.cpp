@@ -15,25 +15,25 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::uint64_t n =
       static_cast<std::uint64_t>(cli.get_int("n", 4096, "vertex count"));
+  const std::vector<Workload> workloads = resolve_workloads(
+      cli, n, {"path", "grid", "tree", "gnm2", "rmat", "caterpillar"},
+      /*seed=*/13);
   cli.finish();
 
   header("B1: Liu–Tarjan family round counts",
          "claim (LT'19): E <= P <= D rounds; F-shortcut never hurts; the "
          "paper's framework baselines");
 
-  const std::vector<std::string> families = {"path", "grid", "tree", "gnm2",
-                                             "rmat", "caterpillar"};
   std::vector<std::string> cols{"variant"};
-  for (const auto& f : families) cols.push_back(f);
+  for (const auto& w : workloads) cols.push_back(w.name);
   util::TextTable table(cols);
 
   bool all_correct = true;
   for (const LtVariant& v : lt_all_variants()) {
     table.row().add(v.name());
-    for (const std::string& family : families) {
-      graph::EdgeList el = graph::make_family(family, n, 13);
-      auto r = liu_tarjan_variant(el, v);
-      auto oracle = graph::bfs_components(graph::Graph::from_edges(el));
+    for (const Workload& w : workloads) {
+      auto r = liu_tarjan_variant(w.el, v);
+      auto oracle = graph::bfs_components(graph::Graph::from_edges(w.el));
       all_correct = all_correct && graph::same_partition(oracle, r.labels);
       table.add_int(static_cast<long long>(r.rounds));
     }

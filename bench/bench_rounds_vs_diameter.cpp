@@ -21,14 +21,14 @@ namespace {
 using namespace logcc;
 using namespace logcc::bench;
 
-struct Workload {
+struct DiamWorkload {
   std::string name;
   graph::EdgeList el;
   std::uint64_t diameter;
 };
 
-std::vector<Workload> workloads(std::uint64_t n) {
-  std::vector<Workload> out;
+std::vector<DiamWorkload> workloads(std::uint64_t n) {
+  std::vector<DiamWorkload> out;
   out.push_back({"star", graph::make_star(n), 2});
   for (std::uint64_t rows : {256ULL, 64ULL, 16ULL, 4ULL}) {
     std::uint64_t cols = n / rows;
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                          "thm3-prep", "thm1-phases", "thm1-expand-rounds",
                          "vanilla", "sv"});
   std::vector<double> log_d, thm3_rounds;
-  for (const Workload& w : workloads(n)) {
+  for (const DiamWorkload& w : workloads(n)) {
     table.row().add(w.name).add_int(static_cast<long long>(w.diameter));
     table.add_double(std::log2(static_cast<double>(w.diameter)), 2);
     for (Algorithm alg : algs) {

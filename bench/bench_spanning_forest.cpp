@@ -14,6 +14,11 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::uint64_t n =
       static_cast<std::uint64_t>(cli.get_int("n", 4096, "vertex count"));
+  const std::vector<Workload> workloads = resolve_workloads(
+      cli, n,
+      {"star", "grid", "tree", "gnm2", "gnm8", "rmat", "caterpillar",
+       "lollipop"},
+      /*seed=*/55);
   cli.finish();
 
   header("T3: spanning forest vs connected components",
@@ -23,11 +28,8 @@ int main(int argc, char** argv) {
   util::TextTable table({"family", "thm2-phases", "thm1-phases", "thm2-ms",
                          "vanilla-sf-ms", "forest-valid"});
   bool all_valid = true;
-  for (const std::string& family :
-       {std::string("star"), std::string("grid"), std::string("tree"),
-        std::string("gnm2"), std::string("gnm8"), std::string("rmat"),
-        std::string("caterpillar"), std::string("lollipop")}) {
-    graph::EdgeList el = graph::make_family(family, n, 55);
+  for (const Workload& w : workloads) {
+    const graph::EdgeList& el = w.el;
 
     Options opt;
     opt.seed = 5;
@@ -41,7 +43,7 @@ int main(int argc, char** argv) {
     all_valid = all_valid && valid;
 
     table.row()
-        .add(family)
+        .add(w.name)
         .add_int(static_cast<long long>(sf.stats.phases))
         .add_int(static_cast<long long>(cc.stats.phases))
         .add_double(sf.seconds * 1e3, 1)

@@ -1,18 +1,88 @@
-// Shared helpers for the experiment binaries.
+// Shared helpers for the experiment binaries: algorithm running with oracle
+// checks, dataset/workload resolution (file, binary, or generator spec), and
+// small formatting utilities. Every bench main goes through these instead of
+// rolling its own setup, so `--dataset` works uniformly across the suite.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/connectivity.hpp"
+#include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace logcc::bench {
+
+/// A named input graph plus provenance (how it was loaded).
+struct Workload {
+  std::string name;
+  graph::EdgeList el;
+  graph::DatasetInfo info;
+};
+
+/// Uniform workload resolution for bench mains. Declares `--dataset` on the
+/// CLI: when passed (a text/binary file path or a `gen:family:n[:seed]`
+/// spec — anything graph::load_dataset accepts) it overrides the default
+/// family sweep with that single input; otherwise each name in `families`
+/// is generated at `default_n` vertices. Exits with a message on unreadable
+/// datasets, so every bench fails loudly and identically.
+inline std::vector<Workload> resolve_workloads(
+    util::Cli& cli, std::uint64_t default_n,
+    const std::vector<std::string>& families, std::uint64_t seed = 99) {
+  const std::string dataset = cli.get_string(
+      "dataset", "",
+      "graph file (text or LOGCCSR1 binary) or gen:family:n[:seed]; "
+      "overrides the built-in family sweep");
+  std::vector<Workload> out;
+  if (!dataset.empty()) {
+    Workload w;
+    std::string error;
+    if (!graph::load_dataset(dataset, w.el, &w.info, &error)) {
+      std::fprintf(stderr, "%s: %s\n", cli.program().c_str(), error.c_str());
+      std::exit(2);
+    }
+    w.name = w.info.name;
+    out.push_back(std::move(w));
+    return out;
+  }
+  for (const std::string& family : families) {
+    Workload w;
+    w.name = family;
+    w.el = graph::make_family(family, default_n, seed);
+    w.info.name = family;
+    w.info.source = "generator";
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+/// Minimal JSON string escaping for the bench.json emitters (quotes,
+/// backslashes, control bytes — dataset names and error strings only ever
+/// need this much).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 /// "Progress rounds" — the quantity each theorem bounds: EXPAND-MAXLINK
 /// rounds for Theorem 3, phases for the phase-structured algorithms, rounds

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links (and their #anchors) in the given files.
+
+Usage: check_md_links.py README.md docs/*.md
+
+For every [text](target) link with a relative target:
+  - the referenced file must exist (relative to the linking file);
+  - if the target carries a #fragment, the referenced markdown file must
+    contain a heading whose GitHub-style anchor matches.
+External links (http/https/mailto) are not fetched — CI must not depend on
+third-party uptime — but obviously malformed ones (empty target) fail.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure printed
+as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Targets may be empty ("[x]()") so the malformed-link branch can fire.
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]*)\)")
+IMAGE_RE = re.compile(r"!\[[^\]]*\]\(([^)\s]*)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, strip punctuation, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    counts = {}
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            base = github_anchor(m.group(1))
+            n = counts.get(base, 0)
+            counts[base] = n + 1
+            anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def check_file(md: Path, repo_root: Path) -> list:
+    failures = []
+    in_code = False
+    for lineno, line in enumerate(
+        md.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                target = m.group(1)
+                if not target:
+                    failures.append((md, lineno, "empty link target"))
+                    continue
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    dest = (md.parent / path_part).resolve()
+                    try:
+                        dest.relative_to(repo_root)
+                    except ValueError:
+                        failures.append(
+                            (md, lineno, f"link escapes the repo: {target}")
+                        )
+                        continue
+                    if not dest.exists():
+                        failures.append(
+                            (md, lineno, f"broken link: {target}")
+                        )
+                        continue
+                else:
+                    dest = md.resolve()
+                if fragment and dest.suffix.lower() == ".md":
+                    if fragment not in anchors_of(dest):
+                        failures.append(
+                            (md, lineno, f"missing anchor: {target}")
+                        )
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo_root = Path.cwd().resolve()
+    failures = []
+    checked = 0
+    for arg in argv[1:]:
+        md = Path(arg)
+        if not md.exists():
+            failures.append((md, 0, "file not found"))
+            continue
+        checked += 1
+        failures.extend(check_file(md, repo_root))
+    for md, lineno, msg in failures:
+        print(f"{md}:{lineno}: {msg}")
+    print(f"checked {checked} file(s), {len(failures)} problem(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

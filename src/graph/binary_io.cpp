@@ -1,0 +1,411 @@
+#include "graph/binary_io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/parallel.hpp"
+#include "util/scan.hpp"
+#include "util/timer.hpp"
+
+namespace logcc::graph {
+
+namespace {
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+std::uint32_t byteswap32(std::uint32_t x) {
+  return ((x & 0xFFu) << 24) | ((x & 0xFF00u) << 8) | ((x >> 8) & 0xFF00u) |
+         (x >> 24);
+}
+
+// A header's offsets array starts right after the fixed header; the arc
+// array right after the offsets. Both are naturally aligned: the mapping is
+// page-aligned, the header is 64 bytes, and (n+1)*8 keeps 4-byte alignment.
+constexpr std::size_t kHeaderBytes = sizeof(BinaryCsrHeader);
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
+                                const EdgeEnumerator& enumerate,
+                                std::string* error) {
+  // Strict bound: ids are < n, and id 0xFFFFFFFF is kInvalidVertex — a
+  // sentinel the algorithms compare against — so it must never be a real
+  // vertex.
+  if (n > std::numeric_limits<VertexId>::max()) {
+    set_error(error, "vertex count exceeds the 32-bit id space");
+    return false;
+  }
+  // Pass 1: degree count. O(n) memory — this is the whole point of the
+  // streaming writer; the edge list itself never exists in memory.
+  std::vector<std::uint64_t> cursor(n, 0);
+  std::uint64_t edges = 0;
+  bool out_of_range = false;
+  enumerate([&](VertexId u, VertexId v) {
+    if (u >= n || v >= n) {
+      out_of_range = true;
+      return;
+    }
+    ++edges;
+    ++cursor[u];
+    if (u != v) ++cursor[v];
+  });
+  if (out_of_range) {
+    set_error(error, "edge endpoint out of range for n");
+    return false;
+  }
+  std::uint64_t arcs = 0;
+  for (std::uint64_t v = 0; v < n; ++v) arcs += cursor[v];
+
+  const std::uint64_t file_size =
+      kHeaderBytes + (n + 1) * 8 + arcs * sizeof(VertexId);
+  util::MmapFile map = util::MmapFile::create_rw(
+      path, static_cast<std::size_t>(file_size), error);
+  if (!map.valid()) return false;
+
+  std::uint8_t* base = map.mutable_data();
+  BinaryCsrHeader h{};
+  std::memcpy(h.magic, kBinaryCsrMagic, sizeof(h.magic));
+  h.version = kBinaryCsrVersion;
+  h.endian = kEndianTag;
+  h.n = n;
+  h.num_arcs = arcs;
+  h.num_edges = edges;
+  std::memcpy(base, &h, kHeaderBytes);
+
+  auto* offsets = reinterpret_cast<std::uint64_t*>(base + kHeaderBytes);
+  auto* adj = reinterpret_cast<VertexId*>(base + kHeaderBytes + (n + 1) * 8);
+  std::uint64_t run = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t deg = cursor[v];
+    offsets[v] = run;
+    cursor[v] = run;  // becomes the scatter cursor for pass 2
+    run += deg;
+  }
+  offsets[n] = run;
+
+  // Pass 2: scatter arcs straight into the mapping. A cursor passing its
+  // vertex's segment end means the enumerator did not replay the same
+  // sequence — fail instead of corrupting the file.
+  bool replay_mismatch = false;
+  std::uint64_t edges2 = 0;
+  enumerate([&](VertexId u, VertexId v) {
+    if (u >= n || v >= n) {
+      replay_mismatch = true;
+      return;
+    }
+    ++edges2;
+    if (cursor[u] >= offsets[u + 1] ||
+        (u != v && cursor[v] >= offsets[v + 1])) {
+      replay_mismatch = true;
+      return;
+    }
+    adj[cursor[u]++] = v;
+    if (u != v) adj[cursor[v]++] = u;
+  });
+  // On any failure past create_rw, remove the half-written file: it already
+  // carries a valid magic + header, so leaving it behind would let a later
+  // sniff/open accept garbage adjacency as a real dataset.
+  auto discard = [&map, &path] {
+    map.reset();
+    std::remove(path.c_str());
+  };
+  if (replay_mismatch || edges2 != edges) {
+    discard();
+    set_error(error, "edge enumerator did not replay the same sequence");
+    return false;
+  }
+
+  // Canonical form: each neighbor list sorted ascending, independent of
+  // enumeration order (and of thread count — the segments are disjoint).
+  util::parallel_for(0, n, [&](std::size_t v) {
+    std::sort(adj + offsets[v], adj + offsets[v + 1]);
+  });
+  if (!map.sync()) {
+    discard();
+    set_error(error, "msync failed for '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool write_binary_csr(const std::string& path, const EdgeList& el,
+                      std::string* error) {
+  return write_binary_csr_streaming(
+      path, el.n,
+      [&el](const EdgeSink& sink) {
+        for (const Edge& e : el.edges) sink(e.u, e.v);
+      },
+      error);
+}
+
+bool stream_family_to_binary(const std::string& family, std::uint64_t n,
+                             std::uint64_t seed, const std::string& path,
+                             std::string* error) {
+  FamilyStream fs = make_family_stream(family, n, seed);
+  return write_binary_csr_streaming(path, fs.num_vertices, fs.enumerate,
+                                    error);
+}
+
+bool convert_text_to_binary(const std::string& text_path,
+                            const std::string& bin_path, std::string* error) {
+  EdgeList el;
+  if (!read_edge_list_file(text_path, el)) {
+    set_error(error, "cannot parse text edge list '" + text_path + "'");
+    return false;
+  }
+  return write_binary_csr(bin_path, el, error);
+}
+
+bool sniff_binary_csr(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (!fp) return false;
+  char magic[8];
+  const bool got = std::fread(magic, 1, sizeof(magic), fp) == sizeof(magic);
+  std::fclose(fp);
+  return got && std::memcmp(magic, kBinaryCsrMagic, sizeof(magic)) == 0;
+}
+
+bool BinaryGraph::open(const std::string& path, std::string* error) {
+  map_ = util::MmapFile::open_read(path, error);
+  view_ = CsrView{};
+  if (!map_.valid()) return false;
+  if (map_.size() < kHeaderBytes) {
+    set_error(error, "truncated file: smaller than the 64-byte header");
+    return false;
+  }
+  BinaryCsrHeader h;
+  std::memcpy(&h, map_.data(), kHeaderBytes);
+  if (std::memcmp(h.magic, kBinaryCsrMagic, sizeof(h.magic)) != 0) {
+    set_error(error, "bad magic: not a LOGCCSR1 file");
+    return false;
+  }
+  if (h.endian == byteswap32(kEndianTag)) {
+    set_error(error, "foreign-endian file (written on an incompatible host)");
+    return false;
+  }
+  if (h.endian != kEndianTag) {
+    set_error(error, "corrupt endianness tag");
+    return false;
+  }
+  if (h.version != kBinaryCsrVersion) {
+    set_error(error, "unsupported format version " + std::to_string(h.version));
+    return false;
+  }
+  // Same strict bound as the writer: id 0xFFFFFFFF is the kInvalidVertex
+  // sentinel and must never be addressable.
+  if (h.n > std::numeric_limits<VertexId>::max()) {
+    set_error(error, "vertex count exceeds the 32-bit id space");
+    return false;
+  }
+  // 128-bit arithmetic: a corrupt num_arcs must not wrap the expected size
+  // back onto the real file size and sneak past this check.
+  const unsigned __int128 expected =
+      static_cast<unsigned __int128>(kHeaderBytes) +
+      static_cast<unsigned __int128>(h.n + 1) * 8 +
+      static_cast<unsigned __int128>(h.num_arcs) * sizeof(VertexId);
+  if (expected != static_cast<unsigned __int128>(map_.size())) {
+    set_error(error, "file size mismatch: header (n=" + std::to_string(h.n) +
+                         ", arcs=" + std::to_string(h.num_arcs) +
+                         ") does not fit the " + std::to_string(map_.size()) +
+                         "-byte file");
+    return false;
+  }
+  const auto* offsets =
+      reinterpret_cast<const std::uint64_t*>(map_.data() + kHeaderBytes);
+  if (offsets[0] != 0 || offsets[h.n] != h.num_arcs) {
+    set_error(error, "corrupt offsets envelope");
+    return false;
+  }
+  view_.n = h.n;
+  view_.edges = h.num_edges;
+  view_.offsets = offsets;
+  view_.adj = reinterpret_cast<const VertexId*>(map_.data() + kHeaderBytes +
+                                                (h.n + 1) * 8);
+  return true;
+}
+
+bool validate_csr_structure(const CsrView& v, std::string* error) {
+  const std::uint64_t n = v.n;
+  // Monotonicity first, alone: neighbors(u) computes a span from
+  // offsets[u]..offsets[u+1], so the other checks may only run once every
+  // segment is known to be well-formed and within the arc array.
+  const bool monotone = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), true,
+      [&](std::size_t u) {
+        return v.offsets[u] <= v.offsets[u + 1] &&
+               v.offsets[u + 1] <= v.offsets[n];
+      },
+      [](bool a, bool b) { return a && b; });
+  if (!monotone) {
+    set_error(error, "offsets not monotone");
+    return false;
+  }
+  const bool shape_ok = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), true,
+      [&](std::size_t u) {
+        auto nb = v.neighbors(static_cast<VertexId>(u));
+        if (!std::is_sorted(nb.begin(), nb.end())) return false;
+        for (VertexId w : nb)
+          if (w >= n) return false;
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
+  if (!shape_ok) {
+    set_error(error, "adjacency list unsorted or id out of range");
+    return false;
+  }
+  return true;
+}
+
+bool validate_csr(const CsrView& v, std::string* error) {
+  if (!validate_csr_structure(v, error)) return false;
+  const std::uint64_t n = v.n;
+  // Arc symmetry: every arc (u, w) must have a reverse arc (w, u); lists are
+  // sorted so a binary search suffices. Self-loops are their own reverse.
+  const bool symmetric = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), true,
+      [&](std::size_t u) {
+        for (VertexId w : v.neighbors(static_cast<VertexId>(u))) {
+          auto back = v.neighbors(w);
+          if (!std::binary_search(back.begin(), back.end(),
+                                  static_cast<VertexId>(u)))
+            return false;
+        }
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
+  if (!symmetric) {
+    set_error(error, "asymmetric adjacency: an arc lacks its reverse");
+    return false;
+  }
+  std::uint64_t self_loops = 0;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    auto nb = v.neighbors(static_cast<VertexId>(u));
+    auto range = std::equal_range(nb.begin(), nb.end(),
+                                  static_cast<VertexId>(u));
+    self_loops += static_cast<std::uint64_t>(range.second - range.first);
+  }
+  if ((v.num_arcs() + self_loops) / 2 != v.edges ||
+      (v.num_arcs() + self_loops) % 2 != 0) {
+    set_error(error, "edge count in header disagrees with arc count");
+    return false;
+  }
+  return true;
+}
+
+EdgeList edge_list_from_csr(const CsrView& v) {
+  EdgeList out;
+  out.n = v.n;
+  // Each undirected edge is emitted from its smaller endpoint (self-loops
+  // from their single arc), so each parallel copy appears exactly once.
+  // Lists are sorted, so the w >= u suffix is one lower_bound away.
+  auto suffix_begin = [&v](std::size_t u) {
+    auto nb = v.neighbors(static_cast<VertexId>(u));
+    return std::lower_bound(nb.begin(), nb.end(), static_cast<VertexId>(u));
+  };
+  util::parallel_emit<Edge>(
+      static_cast<std::size_t>(v.n), out.edges,
+      [&](std::size_t u) {
+        auto nb = v.neighbors(static_cast<VertexId>(u));
+        return static_cast<std::size_t>(nb.end() - suffix_begin(u));
+      },
+      [&](std::size_t u, Edge* dst) {
+        auto nb = v.neighbors(static_cast<VertexId>(u));
+        for (auto it = suffix_begin(u); it != nb.end(); ++it)
+          *dst++ = Edge{static_cast<VertexId>(u), *it};
+      });
+  return out;
+}
+
+namespace {
+
+// Strict decimal parse: the whole token must be digits ("1e6", "5,300,000",
+// "0x7" all fail rather than silently truncating at the first non-digit).
+bool parse_u64_strict(const std::string& token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  if (token[0] == '-' || token[0] == '+') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_generator_spec(const std::string& spec, std::string& family,
+                          std::uint64_t& n, std::uint64_t& seed) {
+  const auto c1 = spec.find(':');
+  if (c1 == std::string::npos) return false;
+  family = spec.substr(0, c1);
+  std::string rest = spec.substr(c1 + 1);
+  const auto c2 = rest.find(':');
+  if (c2 != std::string::npos) {
+    if (!parse_u64_strict(rest.substr(c2 + 1), seed)) return false;
+    rest = rest.substr(0, c2);
+  }
+  return parse_u64_strict(rest, n) && n > 0;
+}
+
+bool load_dataset(const std::string& spec, EdgeList& out, DatasetInfo* info,
+                  std::string* error) {
+  util::Timer timer;
+  DatasetInfo local;
+  local.name = spec;
+  if (spec.rfind("gen:", 0) == 0) {
+    std::string family;
+    std::uint64_t n = 0;
+    std::uint64_t seed = 1;
+    if (!parse_generator_spec(spec.substr(4), family, n, seed)) {
+      set_error(error, "bad generator spec '" + spec +
+                           "' (want gen:family:n[:seed])");
+      return false;
+    }
+    out = make_family(family, n, seed);
+    local.source = "generator";
+  } else if (sniff_binary_csr(spec)) {
+    BinaryGraph bg;
+    if (!bg.open(spec, error)) return false;
+    // Deep validation before any accessor dereferences interior offsets: a
+    // corrupt (but envelope-consistent) file must be a clean error, not an
+    // out-of-bounds read — and the symmetry check matters too, because
+    // edge_list_from_csr emits from smaller-endpoint arc suffixes, so an
+    // asymmetric file would silently drop edges rather than crash.
+    if (!validate_csr(bg.view(), error)) {
+      if (error) *error = "corrupt binary CSR '" + spec + "': " + *error;
+      return false;
+    }
+    out = edge_list_from_csr(bg.view());
+    local.name = basename_of(spec);
+    local.source = bg.zero_copy() ? "binary-mmap" : "binary-copy";
+    local.file_bytes = bg.file_bytes();
+  } else {
+    if (!read_edge_list_file(spec, out)) {
+      set_error(error, "cannot read '" + spec +
+                           "' as a text edge list (and it is not LOGCCSR1)");
+      return false;
+    }
+    local.name = basename_of(spec);
+    local.source = "text";
+  }
+  local.load_seconds = timer.seconds();
+  if (info) *info = local;
+  return true;
+}
+
+}  // namespace logcc::graph

@@ -1,0 +1,172 @@
+// Binary CSR graph format ("LOGCCSR1") + mmap-backed zero-copy loading.
+//
+// This is the large-graph workload layer: text edge lists and generator
+// output are converted once into a compact binary CSR file, and every later
+// run maps it read-only in O(1) — no parsing, no CSR rebuild, no copy. The
+// format is documented in docs/FILE_FORMATS.md; the layout is
+//
+//   [ 64-byte BinaryCsrHeader ][ offsets: (n+1) x u64 ][ adj: num_arcs x u32 ]
+//
+// written in the *native* byte order with an endianness tag in the header so
+// a foreign-endian file is rejected instead of misread. Neighbor lists are
+// sorted ascending; parallel edges are preserved (each undirected copy
+// contributes an arc in both endpoint lists) and a self-loop contributes a
+// single arc — the same conventions as `Graph::from_edges(el, /*dedup=*/false)`.
+//
+// Writers come in two shapes:
+//   - write_binary_csr_streaming: two-pass, O(n)-memory. The caller provides
+//     a *re-runnable* edge enumerator; pass 1 counts degrees, pass 2
+//     scatters arcs directly into the writeable mapping. This is how the
+//     generator families scale to 10^7–10^8 edges without ever holding an
+//     edge list in memory.
+//   - convert_text_to_binary / write_binary_csr: materialized convenience
+//     wrappers for files and in-memory graphs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/mmap_file.hpp"
+
+namespace logcc::graph {
+
+inline constexpr char kBinaryCsrMagic[8] = {'L', 'O', 'G', 'C',
+                                            'C', 'S', 'R', '1'};
+inline constexpr std::uint32_t kBinaryCsrVersion = 1;
+/// Written natively; reads back as 0x04030201 on a foreign-endian host.
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+/// Fixed 64-byte file header. All multi-byte fields are native-endian; the
+/// `endian` tag proves it on load.
+struct BinaryCsrHeader {
+  char magic[8];            // kBinaryCsrMagic
+  std::uint32_t version;    // kBinaryCsrVersion
+  std::uint32_t endian;     // kEndianTag
+  std::uint64_t n;          // vertices; offsets array has n+1 entries
+  std::uint64_t num_arcs;   // length of adj (2*edges - self_loops)
+  std::uint64_t num_edges;  // undirected edges incl. parallel copies
+  std::uint64_t reserved[3];
+};
+static_assert(sizeof(BinaryCsrHeader) == 64, "header must stay 64 bytes");
+
+/// Non-owning CSR adjacency view (what the mmap loader hands out). Valid
+/// exactly as long as its backing storage (BinaryGraph or Graph).
+struct CsrView {
+  std::uint64_t n = 0;
+  std::uint64_t edges = 0;               // undirected count
+  const std::uint64_t* offsets = nullptr;  // n+1 entries, offsets[0] == 0
+  const VertexId* adj = nullptr;           // offsets[n] entries
+
+  std::uint64_t num_vertices() const { return n; }
+  std::uint64_t num_edges() const { return edges; }
+  std::uint64_t num_arcs() const { return offsets ? offsets[n] : 0; }
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj + offsets[v], adj + offsets[v + 1]};
+  }
+};
+
+/// A binary CSR file opened for reading. On POSIX the view aliases the mmap
+/// pages (zero-copy); elsewhere a heap fallback buffer backs it.
+class BinaryGraph {
+ public:
+  /// Validates the header (magic, version, endianness, exact file size) and
+  /// the offsets envelope (offsets[0] == 0, offsets[n] == num_arcs).
+  /// Returns false with a reason in `error` on any mismatch — truncated or
+  /// foreign files never yield a view.
+  bool open(const std::string& path, std::string* error = nullptr);
+
+  const CsrView& view() const { return view_; }
+  bool zero_copy() const { return map_.is_mapped(); }
+  std::size_t file_bytes() const { return map_.size(); }
+
+ private:
+  util::MmapFile map_;
+  CsrView view_;
+};
+
+/// Structural O(n + m) validation (parallel): monotone offsets, in-range
+/// neighbor ids, sorted adjacency lists. This is exactly what makes every
+/// CsrView accessor and edge_list_from_csr memory-safe and well-defined on
+/// the view. BinaryGraph::open intentionally checks only the O(1) envelope
+/// — callers consuming untrusted files through the raw view must validate
+/// themselves.
+bool validate_csr_structure(const CsrView& v, std::string* error = nullptr);
+
+/// Deep validation: validate_csr_structure plus arc symmetry (every arc has
+/// its reverse) and header edge-count consistency. O(n + m log deg).
+/// load_dataset runs this on every binary file before handing the graph to
+/// an algorithm (structure alone would let an asymmetric file silently
+/// drop edges); tests and `cc_tool --convert` run it after writing.
+bool validate_csr(const CsrView& v, std::string* error = nullptr);
+
+/// Edge callback: receives each undirected edge once.
+using EdgeSink = std::function<void(VertexId, VertexId)>;
+/// Re-runnable edge enumeration. MUST emit the identical (u, v) sequence on
+/// every invocation (it is run twice: degree count, then scatter) and only
+/// endpoints < n. Enumeration order does not affect the output file —
+/// neighbor lists are sorted after the scatter — so any deterministic order
+/// works.
+using EdgeEnumerator = std::function<void(const EdgeSink&)>;
+
+/// Two-pass streaming writer: O(n) memory regardless of edge count. Arcs are
+/// scattered straight into the writeable mapping of the destination file.
+bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
+                                const EdgeEnumerator& enumerate,
+                                std::string* error = nullptr);
+
+/// Writes an in-memory edge list (parallel edges and self-loops preserved).
+bool write_binary_csr(const std::string& path, const EdgeList& el,
+                      std::string* error = nullptr);
+
+/// Streams a named generator family (see make_family_stream) to disk.
+bool stream_family_to_binary(const std::string& family, std::uint64_t n,
+                             std::uint64_t seed, const std::string& path,
+                             std::string* error = nullptr);
+
+/// Text edge list file -> binary CSR file.
+bool convert_text_to_binary(const std::string& text_path,
+                            const std::string& bin_path,
+                            std::string* error = nullptr);
+
+/// True iff the file starts with the binary CSR magic (cheap sniff used to
+/// auto-detect binary vs text inputs).
+bool sniff_binary_csr(const std::string& path);
+
+/// Re-materializes the undirected edge list of a CSR view, in (u, v)-sorted
+/// order with u <= v, one entry per undirected edge (parallel copies kept,
+/// self-loops once). Parallel over vertices; deterministic for every thread
+/// count. This is what hands an mmap-loaded dataset to the PRAM algorithms,
+/// which need a mutable arc array of their own anyway.
+EdgeList edge_list_from_csr(const CsrView& v);
+
+/// How load_dataset obtained the graph, for bench provenance records.
+struct DatasetInfo {
+  std::string name;       // basename or generator spec
+  std::string source;     // "binary-mmap" | "binary-copy" | "text" | "generator"
+  double load_seconds = 0.0;
+  std::uint64_t file_bytes = 0;  // 0 for generators
+};
+
+/// Parses a "family:n[:seed]" generator spec (what load_dataset accepts
+/// after "gen:" and what cc_tool/cc_bench take via --generate). Returns
+/// false on a missing ':' or when n parses to 0, so a typo'd number can
+/// never silently become a tiny dataset. `seed` keeps its incoming value
+/// (the caller's default) when the spec has no seed field.
+bool parse_generator_spec(const std::string& spec, std::string& family,
+                          std::uint64_t& n, std::uint64_t& seed);
+
+/// Unified dataset resolution shared by cc_tool and cc_bench:
+///   "gen:family:n[:seed]"  -> in-memory generator output
+///   path to LOGCCSR1 file  -> mmap load + edge list re-materialization
+///   any other path         -> text edge-list parse
+/// Returns false with a reason on unreadable/invalid input.
+bool load_dataset(const std::string& spec, EdgeList& out,
+                  DatasetInfo* info = nullptr, std::string* error = nullptr);
+
+}  // namespace logcc::graph

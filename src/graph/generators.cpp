@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_set>
 
 #include "util/bitutil.hpp"
@@ -12,24 +13,155 @@ namespace logcc::graph {
 
 using util::Xoshiro256;
 
+// The structured families are written as sink-based enumeration cores so the
+// materializing make_* entry points and the streaming registry
+// (make_family_stream -> binary CSR writer) share one edge sequence by
+// construction. Every core is deterministic in its arguments: re-running it
+// replays the identical sequence, which the two-pass streaming writer
+// requires.
+namespace {
+
+template <typename Sink>
+void path_edges(std::uint64_t n, Sink&& sink) {
+  for (std::uint64_t i = 0; i + 1 < n; ++i)
+    sink(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+}
+
+template <typename Sink>
+void cycle_edges(std::uint64_t n, Sink&& sink) {
+  path_edges(n, sink);
+  if (n >= 3) sink(static_cast<VertexId>(n - 1), 0);
+}
+
+template <typename Sink>
+void star_edges(std::uint64_t n, Sink&& sink) {
+  for (std::uint64_t i = 1; i < n; ++i) sink(0, static_cast<VertexId>(i));
+}
+
+template <typename Sink>
+void complete_edges(std::uint64_t n, Sink&& sink) {
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = i + 1; j < n; ++j)
+      sink(static_cast<VertexId>(i), static_cast<VertexId>(j));
+}
+
+template <typename Sink>
+void grid_edges(std::uint64_t rows, std::uint64_t cols, Sink&& sink) {
+  auto id = [cols](std::uint64_t r, std::uint64_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) sink(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) sink(id(r, c), id(r + 1, c));
+    }
+  }
+}
+
+template <typename Sink>
+void binary_tree_edges(std::uint64_t n, Sink&& sink) {
+  for (std::uint64_t i = 1; i < n; ++i)
+    sink(static_cast<VertexId>((i - 1) / 2), static_cast<VertexId>(i));
+}
+
+template <typename Sink>
+void hypercube_edges(std::uint32_t dim, Sink&& sink) {
+  const std::uint64_t n = 1ULL << dim;
+  for (std::uint64_t v = 0; v < n; ++v)
+    for (std::uint32_t b = 0; b < dim; ++b)
+      if ((v & (1ULL << b)) == 0)
+        sink(static_cast<VertexId>(v),
+             static_cast<VertexId>(v | (1ULL << b)));
+}
+
+// Streams by re-running the seeded RNG — O(1) state, so a 10^8-edge rmat
+// never exists as an in-memory list. Self-loop draws are skipped (the draw
+// still advances the RNG, keeping replays aligned).
+template <typename Sink>
+void rmat_edges(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
+                double a, double b, double c, Sink&& sink) {
+  Xoshiro256 rng(seed);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.uniform();
+      std::uint64_t du = 0, dv = 0;
+      if (r < a) {
+      } else if (r < a + b) {
+        dv = 1;
+      } else if (r < a + b + c) {
+        du = 1;
+      } else {
+        du = 1;
+        dv = 1;
+      }
+      u = (u << 1) | du;
+      v = (v << 1) | dv;
+    }
+    if (u != v) sink(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+}
+
+template <typename Sink>
+void caterpillar_edges(std::uint64_t spine, std::uint32_t legs, Sink&& sink) {
+  for (std::uint64_t i = 0; i + 1 < spine; ++i)
+    sink(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  std::uint64_t next = spine;
+  for (std::uint64_t i = 0; i < spine; ++i)
+    for (std::uint32_t l = 0; l < legs; ++l)
+      sink(static_cast<VertexId>(i), static_cast<VertexId>(next++));
+}
+
+template <typename Sink>
+void lollipop_edges(std::uint64_t k, std::uint64_t tail, Sink&& sink) {
+  complete_edges(k, sink);
+  VertexId prev = static_cast<VertexId>(k - 1);
+  for (std::uint64_t i = 0; i < tail; ++i) {
+    VertexId next = static_cast<VertexId>(k + i);
+    sink(prev, next);
+    prev = next;
+  }
+}
+
+// The registry's family -> parameter mapping, shared by make_family and
+// make_family_stream so the two can never drift.
+std::uint64_t grid_side(std::uint64_t n) {
+  return std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n))));
+}
+std::uint32_t hypercube_dim(std::uint64_t n) {
+  return std::max<std::uint32_t>(1, util::floor_log2(n));
+}
+std::uint32_t rmat_scale(std::uint64_t n) {
+  return std::max<std::uint32_t>(4, util::ceil_log2(n));
+}
+std::uint64_t caterpillar_spine(std::uint64_t n) {
+  return std::max<std::uint64_t>(2, n / 4);
+}
+std::uint64_t lollipop_clique(std::uint64_t n) {
+  return std::min<std::uint64_t>(256, std::max<std::uint64_t>(4, n / 8));
+}
+
+}  // namespace
+
 EdgeList make_path(std::uint64_t n) {
   EdgeList el;
   el.n = n;
-  for (std::uint64_t i = 0; i + 1 < n; ++i)
-    el.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  path_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
 EdgeList make_cycle(std::uint64_t n) {
-  EdgeList el = make_path(n);
-  if (n >= 3) el.add(static_cast<VertexId>(n - 1), 0);
+  EdgeList el;
+  el.n = n;
+  cycle_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
 EdgeList make_star(std::uint64_t n) {
   EdgeList el;
   el.n = n;
-  for (std::uint64_t i = 1; i < n; ++i) el.add(0, static_cast<VertexId>(i));
+  star_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
@@ -37,32 +169,21 @@ EdgeList make_complete(std::uint64_t n) {
   LOGCC_CHECK_MSG(n <= 4096, "complete graph too large");
   EdgeList el;
   el.n = n;
-  for (std::uint64_t i = 0; i < n; ++i)
-    for (std::uint64_t j = i + 1; j < n; ++j)
-      el.add(static_cast<VertexId>(i), static_cast<VertexId>(j));
+  complete_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
 EdgeList make_grid(std::uint64_t rows, std::uint64_t cols) {
   EdgeList el;
   el.n = rows * cols;
-  auto id = [cols](std::uint64_t r, std::uint64_t c) {
-    return static_cast<VertexId>(r * cols + c);
-  };
-  for (std::uint64_t r = 0; r < rows; ++r) {
-    for (std::uint64_t c = 0; c < cols; ++c) {
-      if (c + 1 < cols) el.add(id(r, c), id(r, c + 1));
-      if (r + 1 < rows) el.add(id(r, c), id(r + 1, c));
-    }
-  }
+  grid_edges(rows, cols, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
 EdgeList make_binary_tree(std::uint64_t n) {
   EdgeList el;
   el.n = n;
-  for (std::uint64_t i = 1; i < n; ++i)
-    el.add(static_cast<VertexId>((i - 1) / 2), static_cast<VertexId>(i));
+  binary_tree_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
@@ -70,10 +191,7 @@ EdgeList make_hypercube(std::uint32_t dim) {
   LOGCC_CHECK(dim <= 24);
   EdgeList el;
   el.n = 1ULL << dim;
-  for (std::uint64_t v = 0; v < el.n; ++v)
-    for (std::uint32_t b = 0; b < dim; ++b)
-      if ((v & (1ULL << b)) == 0)
-        el.add(static_cast<VertexId>(v), static_cast<VertexId>(v | (1ULL << b)));
+  hypercube_edges(dim, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
@@ -131,30 +249,11 @@ EdgeList make_rmat(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
                    double a, double b, double c) {
   LOGCC_CHECK(scale <= 28);
   LOGCC_CHECK(a + b + c < 1.0);
-  const std::uint64_t n = 1ULL << scale;
   EdgeList el;
-  el.n = n;
+  el.n = 1ULL << scale;
   el.edges.reserve(m);
-  Xoshiro256 rng(seed);
-  for (std::uint64_t e = 0; e < m; ++e) {
-    std::uint64_t u = 0, v = 0;
-    for (std::uint32_t bit = 0; bit < scale; ++bit) {
-      double r = rng.uniform();
-      std::uint64_t du = 0, dv = 0;
-      if (r < a) {
-      } else if (r < a + b) {
-        dv = 1;
-      } else if (r < a + b + c) {
-        du = 1;
-      } else {
-        du = 1;
-        dv = 1;
-      }
-      u = (u << 1) | du;
-      v = (v << 1) | dv;
-    }
-    if (u != v) el.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
-  }
+  rmat_edges(scale, m, seed, a, b, c,
+             [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
@@ -191,24 +290,16 @@ EdgeList make_preferential(std::uint64_t n, std::uint32_t k,
 EdgeList make_caterpillar(std::uint64_t spine, std::uint32_t legs) {
   EdgeList el;
   el.n = spine * (1 + legs);
-  for (std::uint64_t i = 0; i + 1 < spine; ++i)
-    el.add(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
-  std::uint64_t next = spine;
-  for (std::uint64_t i = 0; i < spine; ++i)
-    for (std::uint32_t l = 0; l < legs; ++l)
-      el.add(static_cast<VertexId>(i), static_cast<VertexId>(next++));
+  caterpillar_edges(spine, legs,
+                    [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
 EdgeList make_lollipop(std::uint64_t k, std::uint64_t tail) {
-  EdgeList el = make_complete(k);
+  LOGCC_CHECK_MSG(k >= 1 && k <= 4096, "lollipop clique too large");
+  EdgeList el;
   el.n = k + tail;
-  VertexId prev = static_cast<VertexId>(k - 1);
-  for (std::uint64_t i = 0; i < tail; ++i) {
-    VertexId next = static_cast<VertexId>(k + i);
-    el.add(prev, next);
-    prev = next;
-  }
+  lollipop_edges(k, tail, [&](VertexId u, VertexId v) { el.add(u, v); });
   return el;
 }
 
@@ -236,25 +327,20 @@ EdgeList make_family(const std::string& family, std::uint64_t n,
   if (family == "cycle") return make_cycle(n);
   if (family == "star") return make_star(n);
   if (family == "grid") {
-    std::uint64_t side = std::max<std::uint64_t>(
-        2, static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n))));
+    const std::uint64_t side = grid_side(n);
     return make_grid(side, side);
   }
   if (family == "tree") return make_binary_tree(n);
-  if (family == "hypercube")
-    return make_hypercube(std::max<std::uint32_t>(1, util::floor_log2(n)));
+  if (family == "hypercube") return make_hypercube(hypercube_dim(n));
   if (family == "gnm2") return make_gnm(n, 2 * n, seed);
   if (family == "gnm8") return make_gnm(n, 8 * n, seed);
-  if (family == "rmat") {
-    std::uint32_t scale = std::max<std::uint32_t>(4, util::ceil_log2(n));
-    return make_rmat(scale, 8 * n, seed);
-  }
+  if (family == "rmat") return make_rmat(rmat_scale(n), 8 * n, seed);
   if (family == "pref") return make_preferential(n, 4, seed);
-  if (family == "caterpillar")
-    return make_caterpillar(std::max<std::uint64_t>(2, n / 4), 3);
-  if (family == "lollipop")
-    return make_lollipop(std::min<std::uint64_t>(256, std::max<std::uint64_t>(4, n / 8)),
-                         n - std::min<std::uint64_t>(256, std::max<std::uint64_t>(4, n / 8)));
+  if (family == "caterpillar") return make_caterpillar(caterpillar_spine(n), 3);
+  if (family == "lollipop") {
+    const std::uint64_t k = lollipop_clique(n);
+    return make_lollipop(k, n - k);
+  }
   LOGCC_CHECK_MSG(false, "unknown graph family");
   return {};
 }
@@ -263,6 +349,62 @@ std::vector<std::string> family_names() {
   return {"path",      "cycle", "star",       "grid",     "tree", "hypercube",
           "gnm2",      "gnm8",  "rmat",       "pref",     "caterpillar",
           "lollipop"};
+}
+
+FamilyStream make_family_stream(const std::string& family, std::uint64_t n,
+                                std::uint64_t seed) {
+  FamilyStream fs;
+  using SinkF = std::function<void(VertexId, VertexId)>;
+  auto streaming = [&fs](std::uint64_t nv, auto&& core) {
+    fs.num_vertices = nv;
+    fs.streams = true;
+    fs.enumerate = [core](const SinkF& sink) { core(sink); };
+  };
+  if (family == "path") {
+    streaming(n, [n](const SinkF& s) { path_edges(n, s); });
+  } else if (family == "cycle") {
+    streaming(n, [n](const SinkF& s) { cycle_edges(n, s); });
+  } else if (family == "star") {
+    streaming(n, [n](const SinkF& s) { star_edges(n, s); });
+  } else if (family == "grid") {
+    const std::uint64_t side = grid_side(n);
+    streaming(side * side,
+              [side](const SinkF& s) { grid_edges(side, side, s); });
+  } else if (family == "tree") {
+    streaming(n, [n](const SinkF& s) { binary_tree_edges(n, s); });
+  } else if (family == "hypercube") {
+    const std::uint32_t dim = hypercube_dim(n);
+    LOGCC_CHECK(dim <= 24);
+    streaming(1ULL << dim, [dim](const SinkF& s) { hypercube_edges(dim, s); });
+  } else if (family == "rmat") {
+    const std::uint32_t scale = rmat_scale(n);
+    LOGCC_CHECK(scale <= 28);
+    const std::uint64_t m = 8 * n;
+    streaming(1ULL << scale, [scale, m, seed](const SinkF& s) {
+      rmat_edges(scale, m, seed, 0.57, 0.19, 0.19, s);
+    });
+  } else if (family == "caterpillar") {
+    const std::uint64_t spine = caterpillar_spine(n);
+    streaming(spine * 4,
+              [spine](const SinkF& s) { caterpillar_edges(spine, 3, s); });
+  } else if (family == "lollipop") {
+    const std::uint64_t k = lollipop_clique(n);
+    const std::uint64_t tail = n - k;
+    streaming(k + tail,
+              [k, tail](const SinkF& s) { lollipop_edges(k, tail, s); });
+  } else {
+    // gnm2/gnm8/pref need global state (dedup set, attachment array) to
+    // generate, so they materialize once and replay — correct, not
+    // memory-reducing (documented in the header).
+    auto cache =
+        std::make_shared<const EdgeList>(make_family(family, n, seed));
+    fs.num_vertices = cache->n;
+    fs.streams = false;
+    fs.enumerate = [cache](const SinkF& sink) {
+      for (const Edge& e : cache->edges) sink(e.u, e.v);
+    };
+  }
+  return fs;
 }
 
 }  // namespace logcc::graph

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,11 +75,37 @@ EdgeList make_path_forest(std::uint64_t count, std::uint64_t len);
 
 /// Named registry used by benches/examples: family in {path, cycle, grid,
 /// tree, hypercube, gnm2 (m=2n), gnm8 (m=8n), rmat, pref, caterpillar,
-/// lollipop, star}. `n` is the approximate vertex count.
+/// lollipop, star}. `n` is the approximate vertex count (the exact count is
+/// family-dependent, e.g. grid rounds to side^2 — make_family_stream reports
+/// it without generating). Deterministic in (family, n, seed); aborts via
+/// LOGCC_CHECK on unknown names.
 EdgeList make_family(const std::string& family, std::uint64_t n,
                      std::uint64_t seed);
 
 /// All registry names (for sweeps).
 std::vector<std::string> family_names();
+
+/// Streaming access to the family registry, for workloads too large to
+/// materialize: `enumerate(sink)` calls sink(u, v) once per undirected edge.
+///
+/// Contract: `enumerate` is RE-RUNNABLE — every invocation emits the
+/// identical edge sequence (the two-pass binary CSR writer depends on this)
+/// — and all endpoints are < num_vertices. The edge *multiset* equals
+/// make_family(family, n, seed) for the same arguments.
+///
+/// `streams` is true for the structured families and rmat, whose enumeration
+/// uses O(1) extra memory (counter-based RNG replay for rmat). The families
+/// that fundamentally need global state to generate (gnm2/gnm8's
+/// rejection-sampling dedup set, pref's attachment array) materialize once
+/// inside the returned closure and replay from memory; they work, but do
+/// not reduce peak memory.
+struct FamilyStream {
+  std::uint64_t num_vertices = 0;
+  bool streams = false;
+  std::function<void(const std::function<void(VertexId, VertexId)>&)>
+      enumerate;
+};
+FamilyStream make_family_stream(const std::string& family, std::uint64_t n,
+                                std::uint64_t seed);
 
 }  // namespace logcc::graph

@@ -22,6 +22,11 @@ struct Edge {
 };
 
 /// Flat list of undirected edges over n vertices.
+///
+/// Invariant expected by every consumer: all endpoints < n. The PRAM
+/// algorithms and Graph::from_edges enforce it with LOGCC_CHECK; the file
+/// loaders (graph/io.hpp, graph/binary_io.hpp) reject violating input
+/// instead of constructing an invalid list.
 struct EdgeList {
   std::uint64_t n = 0;
   std::vector<Edge> edges;
@@ -33,17 +38,23 @@ struct EdgeList {
 
   /// Removes self-loops and duplicate {u,v}/{v,u} pairs (keeps the graph's
   /// connectivity structure; used before handing workloads to algorithms that
-  /// expect simple graphs).
+  /// expect simple graphs). Postcondition: edges are (u,v)-sorted with
+  /// u < v and strictly increasing — a canonical form, so two lists with
+  /// the same connectivity-relevant edge set compare equal afterwards.
   void canonicalize();
 };
 
-/// Compressed sparse row adjacency. Each undirected edge appears as two arcs.
+/// Compressed sparse row adjacency. Each undirected edge appears as two arcs
+/// (a self-loop as one); neighbor lists are sorted ascending. The same
+/// conventions as the on-disk binary CSR format (graph/binary_io.hpp), whose
+/// CsrView is the non-owning counterpart of this class.
 class Graph {
  public:
   Graph() = default;
 
   /// Builds from an edge list; if `dedup` removes self-loops and parallel
-  /// edges first.
+  /// edges first. Precondition: all endpoints < el.n (LOGCC_CHECK).
+  /// Deterministic: the result depends only on the edge multiset.
   static Graph from_edges(const EdgeList& el, bool dedup = true);
 
   std::uint64_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
@@ -55,11 +66,13 @@ class Graph {
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
+  /// Sorted ascending. Valid while the Graph is alive; v must be < n.
   std::span<const VertexId> neighbors(VertexId v) const {
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
 
-  /// Re-exports as an edge list (one entry per undirected edge, u <= v).
+  /// Re-exports as an edge list (one entry per undirected edge, u <= v,
+  /// sorted — the inverse of from_edges up to canonical order).
   EdgeList to_edges() const;
 
  private:

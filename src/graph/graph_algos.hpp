@@ -1,6 +1,12 @@
 // Sequential graph oracles: the ground truth every parallel algorithm is
 // validated against, plus diameter measurement used to parameterise the
 // log-diameter experiments.
+//
+// Everything here is single-threaded and deterministic — these functions
+// sit *outside* the determinism contract's parallel machinery on purpose,
+// so a contract violation in the parallel kernels cannot mask itself by
+// corrupting its own oracle. Label-vector arguments must have exactly n
+// entries (one per vertex of the graph they describe).
 #pragma once
 
 #include <cstdint>
@@ -45,7 +51,9 @@ struct ForestCheck {
 
 /// Validates that `forest_edges` (indices into `el.edges`) forms a spanning
 /// forest of `el`: acyclic, spans every component (|F| = n - #components),
-/// and connects only vertices of the same component.
+/// and connects only vertices of the same component. Precondition: every
+/// index < el.edges.size(). On failure `error` names the first violated
+/// property.
 ForestCheck validate_spanning_forest(const EdgeList& el,
                                      const std::vector<std::uint64_t>& forest_edges);
 

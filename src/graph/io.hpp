@@ -1,6 +1,8 @@
 // Edge-list text I/O: `n m` header line, then one `u v` pair per line.
 // Lines starting with '#' or '%' are comments (covers SNAP and Matrix Market
-// edge dumps after trivial preprocessing).
+// edge dumps after trivial preprocessing). The exact grammar is documented
+// in docs/FILE_FORMATS.md; for large graphs prefer the binary CSR format
+// (graph/binary_io.hpp) — parse once, mmap forever.
 #pragma once
 
 #include <iosfwd>
@@ -10,13 +12,15 @@
 
 namespace logcc::graph {
 
-/// Writes `n m` then the edges.
+/// Writes `n m` then the edges, in list order (no canonicalization — a
+/// read-back yields the identical EdgeList).
 void write_edge_list(std::ostream& os, const EdgeList& el);
 bool write_edge_list_file(const std::string& path, const EdgeList& el);
 
 /// Parses an edge list; if no header line is present, n is inferred as
-/// max endpoint + 1. Returns false (and leaves `out` empty) on malformed
-/// input.
+/// max endpoint + 1. Self-loops and parallel edges are preserved. Returns
+/// false (and leaves `out` empty) on malformed input — any unparsable data
+/// line fails the whole read, there is no partial recovery.
 bool read_edge_list(std::istream& is, EdgeList& out);
 bool read_edge_list_file(const std::string& path, EdgeList& out);
 

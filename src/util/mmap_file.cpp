@@ -1,0 +1,169 @@
+#include "util/mmap_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOGCC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace logcc::util {
+
+namespace {
+void set_error(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+}  // namespace
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    writable_ = std::exchange(other.writable_, false);
+    opened_ = std::exchange(other.opened_, false);
+  }
+  return *this;
+}
+
+void MmapFile::reset() {
+#ifdef LOGCC_HAVE_MMAP
+  if (data_ && mapped_) {
+    if (writable_) ::msync(data_, size_, MS_SYNC);
+    ::munmap(data_, size_);
+  }
+#endif
+  if (data_ && !mapped_) delete[] data_;
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  writable_ = false;
+  opened_ = false;
+}
+
+bool MmapFile::sync() {
+#ifdef LOGCC_HAVE_MMAP
+  if (data_ && mapped_ && writable_) return ::msync(data_, size_, MS_SYNC) == 0;
+#endif
+  return true;
+}
+
+MmapFile MmapFile::open_read(const std::string& path, std::string* error) {
+  MmapFile f;
+#ifdef LOGCC_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    set_error(error, "cannot open '" + path + "'");
+    return f;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    set_error(error, "cannot stat regular file '" + path + "'");
+    return f;
+  }
+  f.size_ = static_cast<std::size_t>(st.st_size);
+  f.opened_ = true;
+  if (f.size_ == 0) {
+    ::close(fd);
+    return f;  // valid, empty
+  }
+  void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) {
+    f.size_ = 0;
+    f.opened_ = false;
+    set_error(error, "mmap failed for '" + path + "'");
+    return f;
+  }
+  f.data_ = static_cast<std::uint8_t*>(p);
+  f.mapped_ = true;
+  return f;
+#else
+  // Heap fallback: correct but not zero-copy.
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (!fp) {
+    set_error(error, "cannot open '" + path + "'");
+    return f;
+  }
+  std::fseek(fp, 0, SEEK_END);
+  const long sz = std::ftell(fp);
+  std::fseek(fp, 0, SEEK_SET);
+  if (sz < 0) {
+    std::fclose(fp);
+    set_error(error, "cannot size '" + path + "'");
+    return f;
+  }
+  f.size_ = static_cast<std::size_t>(sz);
+  f.opened_ = true;
+  if (f.size_ > 0) {
+    f.data_ = new std::uint8_t[f.size_];
+    if (std::fread(f.data_, 1, f.size_, fp) != f.size_) {
+      std::fclose(fp);
+      f.reset();
+      set_error(error, "short read on '" + path + "'");
+      return f;
+    }
+  }
+  std::fclose(fp);
+  return f;
+#endif
+}
+
+MmapFile MmapFile::create_rw(const std::string& path, std::size_t size,
+                             std::string* error) {
+  MmapFile f;
+  if (size == 0) {
+    set_error(error, "create_rw needs size > 0");
+    return f;
+  }
+#ifdef LOGCC_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot create '" + path + "'");
+    return f;
+  }
+  // posix_fallocate, not plain ftruncate: actually reserve the blocks now.
+  // A sparse file would hand out the mapping fine and then kill the
+  // process with SIGBUS on the first store the filesystem cannot back
+  // (ENOSPC mid-write) — allocation failure must be a clean error return
+  // instead. (macOS lacks posix_fallocate; it keeps the sparse-file
+  // behaviour.)
+#ifdef __APPLE__
+  const int rc = ::ftruncate(fd, static_cast<off_t>(size));
+#else
+  const int rc = ::posix_fallocate(fd, 0, static_cast<off_t>(size));
+#endif
+  if (rc != 0) {
+    ::close(fd);
+    std::remove(path.c_str());
+    set_error(error, "cannot allocate " + std::to_string(size) +
+                         " bytes for '" + path + "' (disk full?)");
+    return f;
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    std::remove(path.c_str());
+    set_error(error, "mmap (rw) failed for '" + path + "'");
+    return f;
+  }
+  f.data_ = static_cast<std::uint8_t*>(p);
+  f.size_ = size;
+  f.mapped_ = true;
+  f.writable_ = true;
+  f.opened_ = true;
+  return f;
+#else
+  set_error(error, "writeable mappings need mmap support on this platform");
+  return f;
+#endif
+}
+
+}  // namespace logcc::util

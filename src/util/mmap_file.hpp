@@ -1,0 +1,73 @@
+// Memory-mapped file helpers for the binary graph I/O layer.
+//
+// Two RAII shapes:
+//   MmapFile::open_read(path)      — read-only zero-copy view of an existing
+//                                    file (the loader path).
+//   MmapFile::create_rw(path, sz)  — create/truncate a file of exactly `sz`
+//                                    bytes and map it writeable (the
+//                                    streaming-writer path: generators
+//                                    scatter arcs straight into the mapping,
+//                                    so no in-memory edge list ever exists).
+//
+// On POSIX these are real mmap(2) mappings. On platforms without mmap the
+// read path falls back to a heap buffer (correct, not zero-copy) and the
+// write path is unavailable; callers can query `is_mapped()`.
+//
+// Postconditions: a default-constructed or moved-from MmapFile is empty
+// (`valid() == false`, `size() == 0`). Mappings are released (and rw
+// mappings flushed) by the destructor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace logcc::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. On failure returns an invalid MmapFile and, if
+  /// `error` is non-null, stores a human-readable reason. Empty files map
+  /// as valid with size 0.
+  static MmapFile open_read(const std::string& path, std::string* error = nullptr);
+
+  /// Creates (or truncates) `path`, sizes it to exactly `size` bytes, and
+  /// maps it read-write. The mapping is flushed and unmapped on destruction
+  /// or reset(). `size` must be > 0.
+  static MmapFile create_rw(const std::string& path, std::size_t size,
+                            std::string* error = nullptr);
+
+  bool valid() const { return data_ != nullptr || (size_ == 0 && opened_); }
+  /// True when the bytes come from a real mmap (zero-copy), false when the
+  /// read fallback copied the file into a heap buffer.
+  bool is_mapped() const { return mapped_; }
+  bool writable() const { return writable_; }
+
+  const std::uint8_t* data() const { return data_; }
+  std::uint8_t* mutable_data() { return writable_ ? data_ : nullptr; }
+  std::size_t size() const { return size_; }
+
+  /// Flushes a writeable mapping to disk (msync). No-op for read-only or
+  /// fallback buffers. Returns false if the flush failed.
+  bool sync();
+
+  /// Unmaps/frees and returns to the empty state.
+  void reset();
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;    // real mmap vs heap fallback
+  bool writable_ = false;
+  bool opened_ = false;    // distinguishes "empty file" from "never opened"
+};
+
+}  // namespace logcc::util

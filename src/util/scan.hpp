@@ -35,7 +35,11 @@ inline std::size_t block_begin(std::size_t n, std::size_t blocks,
 }  // namespace detail
 
 /// Lock-free fetch-min on a plain integer slot. Relaxed ordering: callers
-/// combine it with the parallel_for join for visibility.
+/// combine it with the parallel_for join for visibility. Precondition: the
+/// slot outlives the parallel region and is only accessed through atomic
+/// helpers within it. Postcondition (after the join): slot holds the min of
+/// its prior value and every offered value — commutative, hence
+/// thread-count invariant.
 template <typename T>
 inline void atomic_min(T& slot, T value) {
   std::atomic_ref<T> ref(slot);
@@ -97,7 +101,10 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity, Map&& map,
 
 /// Exclusive prefix sum in place; returns the total. Blocked three-phase
 /// scan: per-block sums, serial scan over the (few) block sums, per-block
-/// rescan with the block offset.
+/// rescan with the block offset. Postcondition: data[i] holds the sum of
+/// the original data[0..i), exactly as the serial loop would produce (for
+/// associative, commutative +; floating-point callers accept the blocked
+/// association order, which is still thread-count invariant).
 template <typename T>
 T parallel_prefix_sum(T* data, std::size_t n) {
   if (n == 0) return T{0};
