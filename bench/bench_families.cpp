@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   for (const Workload& w : workloads) {
     table.row().add(w.name);
     for (Algorithm alg : algs) {
-      RunOutcome r = run_algorithm(w.el, alg, 3, reps);
+      RunOutcome r = run_algorithm(w.input, alg, 3, reps);
       all_correct = all_correct && r.correct;
       char cell[64];
       std::snprintf(cell, sizeof cell, "%.1fms|%llu", r.seconds * 1e3,

@@ -6,9 +6,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "baselines/bfs_cc.hpp"
 #include "core/connectivity.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
@@ -20,11 +22,25 @@
 
 namespace logcc::bench {
 
-/// A named input graph plus provenance (how it was loaded).
+/// A named input graph plus provenance (how it was loaded). Zero-copy: the
+/// shared handle owns the backing storage (mmap for binary datasets, the
+/// edge vector otherwise) and `input` views it — binary datasets are never
+/// re-materialized unless a bench explicitly asks for indexed edges via
+/// el(). The handle must stay alive as long as `input` is used (it is,
+/// because Workload holds it).
 struct Workload {
   std::string name;
-  graph::EdgeList el;
-  graph::DatasetInfo info;
+  std::shared_ptr<graph::DatasetHandle> handle;
+  graph::ArcsInput input;
+
+  /// Live provenance record (not a copy: el() below updates
+  /// materialize_seconds in place).
+  const graph::DatasetInfo& info() const { return handle->info(); }
+
+  /// Indexed edge storage, materialized (and cached) on demand; the
+  /// conversion time lands in info().materialize_seconds, kept separate
+  /// from both load and algorithm time.
+  const graph::EdgeList& el() const { return handle->edges(); }
 };
 
 /// Uniform workload resolution for bench mains. Declares `--dataset` on the
@@ -33,6 +49,20 @@ struct Workload {
 /// family sweep with that single input; otherwise each name in `families`
 /// is generated at `default_n` vertices. Exits with a message on unreadable
 /// datasets, so every bench fails loudly and identically.
+inline Workload resolve_one_workload(const std::string& program,
+                                     const std::string& spec) {
+  Workload w;
+  w.handle = std::make_shared<graph::DatasetHandle>();
+  std::string error;
+  if (!graph::load_dataset_zero_copy(spec, *w.handle, &error)) {
+    std::fprintf(stderr, "%s: %s\n", program.c_str(), error.c_str());
+    std::exit(2);
+  }
+  w.input = w.handle->input();
+  w.name = w.handle->info().name;
+  return w;
+}
+
 inline std::vector<Workload> resolve_workloads(
     util::Cli& cli, std::uint64_t default_n,
     const std::vector<std::string>& families, std::uint64_t seed = 99) {
@@ -42,22 +72,14 @@ inline std::vector<Workload> resolve_workloads(
       "overrides the built-in family sweep");
   std::vector<Workload> out;
   if (!dataset.empty()) {
-    Workload w;
-    std::string error;
-    if (!graph::load_dataset(dataset, w.el, &w.info, &error)) {
-      std::fprintf(stderr, "%s: %s\n", cli.program().c_str(), error.c_str());
-      std::exit(2);
-    }
-    w.name = w.info.name;
-    out.push_back(std::move(w));
+    out.push_back(resolve_one_workload(cli.program(), dataset));
     return out;
   }
   for (const std::string& family : families) {
-    Workload w;
+    Workload w = resolve_one_workload(
+        cli.program(), "gen:" + family + ":" + std::to_string(default_n) +
+                           ":" + std::to_string(seed));
     w.name = family;
-    w.el = graph::make_family(family, default_n, seed);
-    w.info.name = family;
-    w.info.source = "generator";
     out.push_back(std::move(w));
   }
   return out;
@@ -101,17 +123,19 @@ struct RunOutcome {
 /// Runs an algorithm, checks against the oracle, and averages over `reps`
 /// seeds (rounds are averaged, seconds take the median-of-reps minimum).
 /// `base` carries algorithm-specific overrides (seed is replaced per rep).
-inline RunOutcome run_algorithm(const graph::EdgeList& el, Algorithm alg,
+/// The ArcsInput overload runs CSR-backed datasets zero-copy (the oracle
+/// BFS too); the EdgeList overload forwards.
+inline RunOutcome run_algorithm(const graph::ArcsInput& in, Algorithm alg,
                                 std::uint64_t base_seed = 1, int reps = 3,
                                 const Options& base = {}) {
   RunOutcome out;
-  auto oracle = graph::bfs_components(graph::Graph::from_edges(el));
+  auto oracle = baselines::bfs_cc(in).labels;
   util::Accumulator secs, rounds;
   out.correct = true;
   for (int rep = 0; rep < reps; ++rep) {
     Options opt = base;
     opt.seed = base_seed + 7919ULL * static_cast<std::uint64_t>(rep);
-    auto r = connected_components(el, alg, opt);
+    auto r = connected_components(in, alg, opt);
     secs.add(r.seconds);
     rounds.add(static_cast<double>(progress_rounds(r)));
     out.correct = out.correct && graph::same_partition(oracle, r.labels);
@@ -120,6 +144,13 @@ inline RunOutcome run_algorithm(const graph::EdgeList& el, Algorithm alg,
   out.seconds = util::percentile(secs.values(), 50.0);
   out.rounds = static_cast<std::uint64_t>(rounds.summary().mean + 0.5);
   return out;
+}
+
+inline RunOutcome run_algorithm(const graph::EdgeList& el, Algorithm alg,
+                                std::uint64_t base_seed = 1, int reps = 3,
+                                const Options& base = {}) {
+  return run_algorithm(graph::ArcsInput::from_edges(el), alg, base_seed, reps,
+                       base);
 }
 
 inline void header(const char* id, const char* claim) {

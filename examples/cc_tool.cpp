@@ -106,27 +106,32 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  graph::EdgeList el;
-  graph::DatasetInfo info;
+  // Zero-copy load: binary inputs stay in their mmap'd CSR form and the
+  // algorithms ingest them directly (no EdgeList materialization). The
+  // handle owns the mmap and must outlive every use of `arcs`.
+  graph::DatasetHandle handle;
   std::string error;
   const std::string spec = !generate.empty() ? "gen:" + generate : input;
-  if (!graph::load_dataset(spec, el, &info, &error)) {
+  if (!graph::load_dataset_zero_copy(spec, handle, &error)) {
     std::fprintf(stderr, "cc_tool: %s\n", error.c_str());
     return 2;
   }
+  const graph::ArcsInput& arcs = handle.input();
+  const graph::DatasetInfo& info = handle.info();
 
   Options opt;
   opt.seed = seed;
   Algorithm alg = algorithm_from_string(algorithm_name);
-  auto r = connected_components(el, alg, opt);
+  auto r = connected_components(arcs, alg, opt);
 
   std::printf("n=%llu m=%llu components=%llu algorithm=%s time=%.1fms "
-              "(loaded via %s in %.1fms)\n",
-              static_cast<unsigned long long>(el.n),
-              static_cast<unsigned long long>(el.edges.size()),
+              "(loaded via %s in %.1fms%s)\n",
+              static_cast<unsigned long long>(arcs.num_vertices()),
+              static_cast<unsigned long long>(arcs.num_edges()),
               static_cast<unsigned long long>(r.num_components),
               to_string(alg), r.seconds * 1e3, info.source.c_str(),
-              info.load_seconds * 1e3);
+              info.load_seconds * 1e3,
+              arcs.csr_backed() ? ", csr-native" : "");
   if (show_stats) {
     std::printf("rounds=%llu phases=%llu prepare=%llu expand-rounds=%llu "
                 "max-level=%u peak-space=%llu finisher=%s\n",
@@ -149,7 +154,10 @@ int main(int argc, char** argv) {
   }
 
   if (!forest_path.empty()) {
-    auto f = spanning_forest(el, SfAlgorithm::kTheorem2, opt);
+    auto f = spanning_forest(arcs, SfAlgorithm::kTheorem2, opt);
+    // Forest output needs indexed edge endpoints; materialize the canonical
+    // edge list just for this step (the CC run above stayed zero-copy).
+    const graph::EdgeList& el = handle.edges();
     auto check = graph::validate_spanning_forest(el, f.forest_edges);
     if (!check.ok) {
       std::fprintf(stderr, "cc_tool: forest validation failed: %s\n",

@@ -33,8 +33,8 @@ void star_detect(const std::vector<VertexId>& d, std::vector<char>& st,
 }  // namespace
 
 // Synchronous rendering (see shiloach_vishkin.cpp for why).
-BaselineResult awerbuch_shiloach(const graph::EdgeList& el) {
-  const std::uint64_t n = el.n;
+BaselineResult awerbuch_shiloach(const graph::ArcsInput& in) {
+  const std::uint64_t n = in.num_vertices();
   std::vector<VertexId> d(n), next(n);
   for (std::uint64_t v = 0; v < n; ++v) d[v] = static_cast<VertexId>(v);
   std::vector<char> st, scratch;
@@ -48,16 +48,16 @@ BaselineResult awerbuch_shiloach(const graph::EdgeList& el) {
     // (1) star roots hook onto strictly smaller neighbour labels.
     star_detect(d, st, scratch);
     next = d;
-    for (const auto& e : el.edges) {
+    in.for_each_edge([&](VertexId eu, VertexId ev, std::uint32_t) {
       for (int dir = 0; dir < 2; ++dir) {
-        VertexId u = dir ? e.v : e.u;
-        VertexId v = dir ? e.u : e.v;
+        VertexId u = dir ? ev : eu;
+        VertexId v = dir ? eu : ev;
         if (st[u] && d[v] < d[u]) {
           next[d[u]] = d[v];
           changed = true;
         }
       }
-    }
+    });
     d.swap(next);
 
     // (2) trees that are *still* stars hook onto any neighbouring tree.
@@ -65,16 +65,16 @@ BaselineResult awerbuch_shiloach(const graph::EdgeList& el) {
     // would have hooked the larger), so no mutual hooking.
     star_detect(d, st, scratch);
     next = d;
-    for (const auto& e : el.edges) {
+    in.for_each_edge([&](VertexId eu, VertexId ev, std::uint32_t) {
       for (int dir = 0; dir < 2; ++dir) {
-        VertexId u = dir ? e.v : e.u;
-        VertexId v = dir ? e.u : e.v;
+        VertexId u = dir ? ev : eu;
+        VertexId v = dir ? eu : ev;
         if (st[u] && d[v] != d[u]) {
           next[d[u]] = d[v];
           changed = true;
         }
       }
-    }
+    });
     d.swap(next);
 
     // (3) shortcut.
@@ -98,6 +98,10 @@ BaselineResult awerbuch_shiloach(const graph::EdgeList& el) {
   }
   out.labels = std::move(d);
   return out;
+}
+
+BaselineResult awerbuch_shiloach(const graph::EdgeList& el) {
+  return awerbuch_shiloach(graph::ArcsInput::from_edges(el));
 }
 
 }  // namespace logcc::baselines

@@ -4,11 +4,20 @@
 
 namespace logcc::baselines {
 
-BaselineResult bfs_cc(const graph::EdgeList& el) {
+BaselineResult bfs_cc(const graph::ArcsInput& in) {
   BaselineResult out;
   out.rounds = 1;
-  out.labels = graph::bfs_components(graph::Graph::from_edges(el));
+  if (in.csr_backed()) {
+    out.labels = graph::bfs_components(in.csr());
+  } else {
+    out.labels = graph::bfs_components(
+        graph::Graph::from_edges(in.num_vertices(), in.edge_span()));
+  }
   return out;
+}
+
+BaselineResult bfs_cc(const graph::EdgeList& el) {
+  return bfs_cc(graph::ArcsInput::from_edges(el));
 }
 
 }  // namespace logcc::baselines

@@ -9,8 +9,8 @@ namespace logcc::baselines {
 using graph::Edge;
 using graph::VertexId;
 
-BaselineResult label_propagation(const graph::EdgeList& el) {
-  const std::uint64_t n = el.n;
+BaselineResult label_propagation(const graph::ArcsInput& in) {
+  const std::uint64_t n = in.num_vertices();
   std::vector<VertexId> label(n), next(n);
   for (std::uint64_t v = 0; v < n; ++v) label[v] = static_cast<VertexId>(v);
 
@@ -20,10 +20,10 @@ BaselineResult label_propagation(const graph::EdgeList& el) {
     changed = false;
     ++out.rounds;
     next = label;  // synchronous update: reads see the previous round
-    for (const auto& e : el.edges) {
-      next[e.u] = std::min(next[e.u], label[e.v]);
-      next[e.v] = std::min(next[e.v], label[e.u]);
-    }
+    in.for_each_edge([&](VertexId u, VertexId v, std::uint32_t) {
+      next[u] = std::min(next[u], label[v]);
+      next[v] = std::min(next[v], label[u]);
+    });
     if (next != label) {
       changed = true;
       label.swap(next);
@@ -33,11 +33,21 @@ BaselineResult label_propagation(const graph::EdgeList& el) {
   return out;
 }
 
-BaselineResult liu_tarjan(const graph::EdgeList& el) {
-  const std::uint64_t n = el.n;
+BaselineResult label_propagation(const graph::EdgeList& el) {
+  return label_propagation(graph::ArcsInput::from_edges(el));
+}
+
+BaselineResult liu_tarjan(const graph::ArcsInput& in) {
+  const std::uint64_t n = in.num_vertices();
   std::vector<VertexId> p(n);
   for (std::uint64_t v = 0; v < n; ++v) p[v] = static_cast<VertexId>(v);
-  std::vector<Edge> edges = el.edges;
+  // The shrinking arc list is the algorithm's own working set (ALTER
+  // rewrites it every round); seed it straight from the input — no
+  // intermediate EdgeList for CSR-backed datasets.
+  std::vector<Edge> edges;
+  edges.reserve(in.num_edges());
+  in.for_each_edge(
+      [&](VertexId u, VertexId v, std::uint32_t) { edges.push_back({u, v}); });
 
   BaselineResult out;
   while (true) {
@@ -80,6 +90,10 @@ BaselineResult liu_tarjan(const graph::EdgeList& el) {
   res.rounds = out.rounds;
   res.labels = std::move(p);
   return res;
+}
+
+BaselineResult liu_tarjan(const graph::EdgeList& el) {
+  return liu_tarjan(graph::ArcsInput::from_edges(el));
 }
 
 }  // namespace logcc::baselines

@@ -13,8 +13,12 @@
 
 namespace logcc::baselines {
 
+// ArcsInput overloads are the real entry points (zero-copy for CSR-backed
+// datasets); the EdgeList overloads are forwarding shims.
+BaselineResult label_propagation(const graph::ArcsInput& in);
 BaselineResult label_propagation(const graph::EdgeList& el);
 
+BaselineResult liu_tarjan(const graph::ArcsInput& in);
 BaselineResult liu_tarjan(const graph::EdgeList& el);
 
 }  // namespace logcc::baselines

@@ -10,8 +10,8 @@ using graph::VertexId;
 // semantics). Sequential in-place updates would cascade along chains within
 // one round (acting like path compression) and destroy the Θ(log n) round
 // structure the benches measure.
-BaselineResult shiloach_vishkin(const graph::EdgeList& el) {
-  const std::uint64_t n = el.n;
+BaselineResult shiloach_vishkin(const graph::ArcsInput& in) {
+  const std::uint64_t n = in.num_vertices();
   std::vector<VertexId> d(n), next(n);
   std::vector<std::uint32_t> q(n, 0);
   for (std::uint64_t v = 0; v < n; ++v) d[v] = static_cast<VertexId>(v);
@@ -41,33 +41,33 @@ BaselineResult shiloach_vishkin(const graph::EdgeList& el) {
     // smaller neighbouring label (concurrent writes: last proposal wins —
     // the ARBITRARY resolution). Strictly decreasing labels => acyclic.
     next = d;
-    for (const auto& e : el.edges) {
+    in.for_each_edge([&](VertexId eu, VertexId ev, std::uint32_t) {
       for (int dir = 0; dir < 2; ++dir) {
-        VertexId u = dir ? e.v : e.u;
-        VertexId v = dir ? e.u : e.v;
+        VertexId u = dir ? ev : eu;
+        VertexId v = dir ? eu : ev;
         if (d[u] == d[d[u]] && d[v] < d[u]) {
           next[d[u]] = d[v];
           q[d[v]] = iter;
           changed = true;
         }
       }
-    }
+    });
     d.swap(next);
 
     // Step 3: stagnant trees (untouched this iteration — necessarily stars)
     // hook onto any neighbouring tree. Two adjacent stagnant stars cannot
     // both exist (Step 2 would have fired), so no mutual hooking.
     next = d;
-    for (const auto& e : el.edges) {
+    in.for_each_edge([&](VertexId eu, VertexId ev, std::uint32_t) {
       for (int dir = 0; dir < 2; ++dir) {
-        VertexId u = dir ? e.v : e.u;
-        VertexId v = dir ? e.u : e.v;
+        VertexId u = dir ? ev : eu;
+        VertexId v = dir ? eu : ev;
         if (d[u] == d[d[u]] && q[d[u]] != iter && d[u] != d[v]) {
           next[d[u]] = d[v];
           changed = true;
         }
       }
-    }
+    });
     d.swap(next);
 
     // Step 4: shortcut again.
@@ -92,6 +92,10 @@ BaselineResult shiloach_vishkin(const graph::EdgeList& el) {
   }
   out.labels = std::move(d);
   return out;
+}
+
+BaselineResult shiloach_vishkin(const graph::EdgeList& el) {
+  return shiloach_vishkin(graph::ArcsInput::from_edges(el));
 }
 
 }  // namespace logcc::baselines

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/arcs_input.hpp"
 #include "graph/graph.hpp"
 
 namespace logcc::baselines {
@@ -18,7 +19,10 @@ struct BaselineResult {
 };
 
 /// Original-style Shiloach–Vishkin: shortcut, hook-smaller, stagnant hook
-/// (via Q stamps), shortcut; O(log n) rounds.
+/// (via Q stamps), shortcut; O(log n) rounds. The ArcsInput overload sweeps
+/// the edges straight off the backing storage every round (zero-copy for
+/// CSR datasets); the EdgeList overload is a forwarding shim.
+BaselineResult shiloach_vishkin(const graph::ArcsInput& in);
 BaselineResult shiloach_vishkin(const graph::EdgeList& el);
 
 }  // namespace logcc::baselines

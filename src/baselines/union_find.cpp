@@ -31,24 +31,29 @@ bool DisjointSets::unite(VertexId u, VertexId v) {
   return true;
 }
 
-BaselineResult union_find_cc(const graph::EdgeList& el) {
-  DisjointSets ds(el.n);
-  for (const auto& e : el.edges) ds.unite(e.u, e.v);
+BaselineResult union_find_cc(const graph::ArcsInput& in) {
+  const std::uint64_t n = in.num_vertices();
+  DisjointSets ds(n);
+  in.for_each_edge(
+      [&](VertexId u, VertexId v, std::uint32_t) { ds.unite(u, v); });
 
   BaselineResult out;
   out.rounds = 1;
   // Canonicalise to min-id labels.
-  std::vector<VertexId> min_of(el.n);
-  for (std::uint64_t v = 0; v < el.n; ++v)
-    min_of[v] = static_cast<VertexId>(v);
-  for (std::uint64_t v = 0; v < el.n; ++v) {
+  std::vector<VertexId> min_of(n);
+  for (std::uint64_t v = 0; v < n; ++v) min_of[v] = static_cast<VertexId>(v);
+  for (std::uint64_t v = 0; v < n; ++v) {
     VertexId r = ds.find(static_cast<VertexId>(v));
     min_of[r] = std::min(min_of[r], static_cast<VertexId>(v));
   }
-  out.labels.resize(el.n);
-  for (std::uint64_t v = 0; v < el.n; ++v)
+  out.labels.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v)
     out.labels[v] = min_of[ds.find(static_cast<VertexId>(v))];
   return out;
+}
+
+BaselineResult union_find_cc(const graph::EdgeList& el) {
+  return union_find_cc(graph::ArcsInput::from_edges(el));
 }
 
 }  // namespace logcc::baselines

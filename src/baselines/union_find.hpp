@@ -26,7 +26,11 @@ class DisjointSets {
   std::uint64_t num_sets_;
 };
 
-/// Connected components via union-find; labels are min vertex ids.
+/// Connected components via union-find; labels are min vertex ids. The
+/// ArcsInput overload streams edges straight off the backing storage
+/// (zero-copy for CSR datasets); the EdgeList overload is a forwarding
+/// shim.
+BaselineResult union_find_cc(const graph::ArcsInput& in);
 BaselineResult union_find_cc(const graph::EdgeList& el);
 
 }  // namespace logcc::baselines

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <limits>
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -12,12 +13,42 @@
 namespace logcc::core {
 
 std::vector<Arc> arcs_from_edges(const graph::EdgeList& el) {
-  std::vector<Arc> arcs(el.edges.size());
-  util::parallel_for(0, el.edges.size(), [&](std::size_t i) {
-    const auto& e = el.edges[i];
-    LOGCC_CHECK(e.u < el.n && e.v < el.n);
-    arcs[i] = {e.u, e.v, static_cast<std::uint32_t>(i)};
-  });
+  return arcs_from_input(graph::ArcsInput::from_edges(el));
+}
+
+std::vector<Arc> arcs_from_input(const graph::ArcsInput& in) {
+  LOGCC_CHECK_MSG(in.num_edges() <= std::numeric_limits<std::uint32_t>::max(),
+                  "edge count exceeds the 32-bit orig-index space");
+  if (!in.csr_backed()) {
+    const auto edges = in.edge_span();
+    const std::uint64_t n = in.num_vertices();
+    std::vector<Arc> arcs(edges.size());
+    util::parallel_for(0, edges.size(), [&](std::size_t i) {
+      const auto& e = edges[i];
+      LOGCC_CHECK(e.u < n && e.v < n);
+      arcs[i] = {e.u, e.v, static_cast<std::uint32_t>(i)};
+    });
+    return arcs;
+  }
+  // CSR-native scatter over the canonical smaller-endpoint suffixes
+  // (graph::csr_suffix_begin — the one definition of the order). The
+  // blocked emit assigns each vertex a deterministic output offset, and
+  // `orig` is that arc's dense index in the canonical edge order — the
+  // same indices edge_list_from_csr would have produced, so spanning-
+  // forest results refer to the same edges on both paths.
+  const graph::CsrView& v = in.csr();
+  std::vector<Arc> arcs;
+  util::parallel_emit<Arc>(
+      static_cast<std::size_t>(v.n), arcs,
+      [&](std::size_t u) {
+        return graph::csr_suffix(v, static_cast<graph::VertexId>(u)).size();
+      },
+      [&](std::size_t u, Arc* dst) {
+        std::uint32_t orig = static_cast<std::uint32_t>(dst - arcs.data());
+        for (graph::VertexId w :
+             graph::csr_suffix(v, static_cast<graph::VertexId>(u)))
+          *dst++ = {static_cast<graph::VertexId>(u), w, orig++};
+      });
   return arcs;
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/labels.hpp"
 #include "core/metrics.hpp"
+#include "graph/arcs_input.hpp"
 #include "graph/graph.hpp"
 
 namespace logcc::core {
@@ -29,6 +30,16 @@ struct Arc {
 /// Builds the initial arc list from the input (one Arc per undirected edge;
 /// algorithms enumerate both directions).
 std::vector<Arc> arcs_from_edges(const graph::EdgeList& el);
+
+/// arcs_from_edges generalized to ArcsInput — the CSR-native ingestion
+/// path. Edge-backed inputs copy the span in parallel (identical to
+/// arcs_from_edges); CSR-backed inputs scatter arcs straight out of the
+/// (mmap'd) adjacency with a blocked parallel emit, no intermediate
+/// EdgeList. The emitted (u, v, orig) sequence for a CSR is exactly
+/// arcs_from_edges(edge_list_from_csr(csr)) — the canonical smaller-
+/// endpoint order — so every downstream result is bit-identical between
+/// the two paths, for every thread count.
+std::vector<Arc> arcs_from_input(const graph::ArcsInput& in);
 
 /// ALTER: every arc (u, v) becomes (u.p, v.p); `orig` is preserved.
 /// Data-parallel map over the arcs.

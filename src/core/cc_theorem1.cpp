@@ -142,11 +142,11 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
   deterministic_contract(forest, arcs, stats);
 }
 
-CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params) {
+CcResult theorem1_cc(const graph::ArcsInput& in, const Theorem1Params& params) {
   CcResult out;
-  const std::uint64_t n = el.n;
+  const std::uint64_t n = in.num_vertices();
   ParentForest forest(n);
-  std::vector<Arc> arcs = arcs_from_edges(el);
+  std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);
   dedup_arcs(arcs);
   const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
@@ -189,6 +189,10 @@ CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params) {
   forest.flatten();
   out.labels = forest.root_labels();
   return out;
+}
+
+CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params) {
+  return theorem1_cc(graph::ArcsInput::from_edges(el), params);
 }
 
 }  // namespace logcc::core

@@ -61,6 +61,10 @@ struct CcResult {
   RunStats stats;
 };
 
+/// ArcsInput is the real entry point (CSR-backed inputs ingest without an
+/// EdgeList); the EdgeList overload is a forwarding shim.
+CcResult theorem1_cc(const graph::ArcsInput& in,
+                     const Theorem1Params& params = {});
 CcResult theorem1_cc(const graph::EdgeList& el, const Theorem1Params& params = {});
 
 /// Phase loop only, operating in place on (forest, arcs); used by the

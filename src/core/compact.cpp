@@ -62,11 +62,11 @@ std::optional<std::vector<std::uint32_t>> approximate_compaction_vec(
   return slot;
 }
 
-CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
+CompactResult compact(const graph::ArcsInput& in, const CompactParams& params) {
   CompactResult out;
-  const std::uint64_t n = el.n;
+  const std::uint64_t n = in.num_vertices();
   out.outer.reset(n);
-  std::vector<Arc> arcs = arcs_from_edges(el);
+  std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);
   dedup_arcs(arcs);
   const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
@@ -141,6 +141,10 @@ CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
       });
   out.stats.pram_steps += 3;  // compaction is O(log* n); modeled as O(1) here
   return out;
+}
+
+CompactResult compact(const graph::EdgeList& el, const CompactParams& params) {
+  return compact(graph::ArcsInput::from_edges(el), params);
 }
 
 }  // namespace logcc::core

@@ -44,7 +44,7 @@ Algorithm algorithm_from_string(const std::string& name) {
   return Algorithm::kBFS;
 }
 
-ComponentsResult connected_components(const graph::EdgeList& el,
+ComponentsResult connected_components(const graph::ArcsInput& in,
                                       Algorithm algorithm,
                                       const Options& options) {
   ComponentsResult out;
@@ -54,7 +54,7 @@ ComponentsResult connected_components(const graph::EdgeList& el,
       core::FasterCcParams p = options.faster;
       p.seed = options.seed;
       p.policy = options.policy;
-      auto r = core::faster_cc(el, p);
+      auto r = core::faster_cc(in, p);
       out.labels = std::move(r.labels);
       out.stats = r.stats;
       break;
@@ -62,52 +62,52 @@ ComponentsResult connected_components(const graph::EdgeList& el,
     case Algorithm::kTheorem1: {
       core::Theorem1Params p =
           options.policy == core::ParamPolicy::Kind::kPaper
-              ? core::Theorem1Params::paper(el.n, el.edges.size())
+              ? core::Theorem1Params::paper(in.num_vertices(), in.num_edges())
               : options.theorem1;
       p.seed = options.seed;
-      auto r = core::theorem1_cc(el, p);
+      auto r = core::theorem1_cc(in, p);
       out.labels = std::move(r.labels);
       out.stats = r.stats;
       break;
     }
     case Algorithm::kVanilla: {
-      auto r = core::vanilla_cc(el, options.seed);
+      auto r = core::vanilla_cc(in, options.seed);
       out.labels = std::move(r.labels);
       out.stats = r.stats;
       break;
     }
     case Algorithm::kShiloachVishkin: {
-      auto r = baselines::shiloach_vishkin(el);
+      auto r = baselines::shiloach_vishkin(in);
       out.labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kAwerbuchShiloach: {
-      auto r = baselines::awerbuch_shiloach(el);
+      auto r = baselines::awerbuch_shiloach(in);
       out.labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kLabelProp: {
-      auto r = baselines::label_propagation(el);
+      auto r = baselines::label_propagation(in);
       out.labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kLiuTarjan: {
-      auto r = baselines::liu_tarjan(el);
+      auto r = baselines::liu_tarjan(in);
       out.labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kUnionFind: {
-      auto r = baselines::union_find_cc(el);
+      auto r = baselines::union_find_cc(in);
       out.labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kBFS: {
-      auto r = baselines::bfs_cc(el);
+      auto r = baselines::bfs_cc(in);
       out.labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
@@ -119,7 +119,14 @@ ComponentsResult connected_components(const graph::EdgeList& el,
   return out;
 }
 
-ForestResult spanning_forest(const graph::EdgeList& el, SfAlgorithm algorithm,
+ComponentsResult connected_components(const graph::EdgeList& el,
+                                      Algorithm algorithm,
+                                      const Options& options) {
+  return connected_components(graph::ArcsInput::from_edges(el), algorithm,
+                              options);
+}
+
+ForestResult spanning_forest(const graph::ArcsInput& in, SfAlgorithm algorithm,
                              const Options& options) {
   ForestResult out;
   util::Timer timer;
@@ -127,13 +134,13 @@ ForestResult spanning_forest(const graph::EdgeList& el, SfAlgorithm algorithm,
     case SfAlgorithm::kTheorem2: {
       core::SpanningForestParams p = options.theorem1;
       p.seed = options.seed;
-      auto r = core::theorem2_sf(el, p);
+      auto r = core::theorem2_sf(in, p);
       out.forest_edges = std::move(r.forest_edges);
       out.stats = r.stats;
       break;
     }
     case SfAlgorithm::kVanillaSF: {
-      auto r = core::vanilla_sf(el, options.seed);
+      auto r = core::vanilla_sf(in, options.seed);
       out.forest_edges = std::move(r.forest_edges);
       out.stats = r.stats;
       break;
@@ -143,20 +150,37 @@ ForestResult spanning_forest(const graph::EdgeList& el, SfAlgorithm algorithm,
   return out;
 }
 
-bool verify_components(const graph::EdgeList& el,
+ForestResult spanning_forest(const graph::EdgeList& el, SfAlgorithm algorithm,
+                             const Options& options) {
+  return spanning_forest(graph::ArcsInput::from_edges(el), algorithm, options);
+}
+
+bool verify_components(const graph::ArcsInput& in,
                        const std::vector<graph::VertexId>& labels) {
-  if (labels.size() != el.n) return false;
-  // (1) Edges never cross label classes.
-  for (const auto& e : el.edges) {
-    if (e.u >= el.n || e.v >= el.n) return false;
-    if (labels[e.u] != labels[e.v]) return false;
-  }
+  const std::uint64_t n = in.num_vertices();
+  if (labels.size() != n) return false;
+  // (1) Edges never cross label classes. for_each_edge has no break, so
+  // after the first violation the sweep degrades to a no-op per edge
+  // rather than re-reading labels for the rest of a large dataset.
+  bool edges_ok = true;
+  in.for_each_edge([&](graph::VertexId u, graph::VertexId v, std::uint32_t) {
+    if (!edges_ok) return;
+    if (u >= n || v >= n || labels[u] != labels[v]) edges_ok = false;
+  });
+  if (!edges_ok) return false;
   // (2) Label classes are not coarser than the true partition: the number
   // of distinct labels must equal the union-find component count. Together
   // with (1) (not finer), the partitions coincide.
-  baselines::DisjointSets ds(el.n);
-  for (const auto& e : el.edges) ds.unite(e.u, e.v);
+  baselines::DisjointSets ds(n);
+  in.for_each_edge([&](graph::VertexId u, graph::VertexId v, std::uint32_t) {
+    ds.unite(u, v);
+  });
   return graph::count_components(labels) == ds.num_sets();
+}
+
+bool verify_components(const graph::EdgeList& el,
+                       const std::vector<graph::VertexId>& labels) {
+  return verify_components(graph::ArcsInput::from_edges(el), labels);
 }
 
 }  // namespace logcc

@@ -20,6 +20,7 @@
 #include "core/faster_cc.hpp"
 #include "core/metrics.hpp"
 #include "core/spanning_forest.hpp"
+#include "graph/arcs_input.hpp"
 #include "graph/graph.hpp"
 
 namespace logcc {
@@ -57,9 +58,17 @@ struct ComponentsResult {
   std::uint64_t num_components = 0;
 };
 
-ComponentsResult connected_components(const graph::EdgeList& el,
-                                      Algorithm algorithm = Algorithm::kFasterCC,
-                                      const Options& options = {});
+/// The ArcsInput overload is the real entry point: CSR-backed inputs (mmap
+/// datasets, Graph views) run with zero intermediate EdgeList
+/// materialization, and results are bit-identical to running the EdgeList
+/// path on the same canonical edge order. The EdgeList overload is a
+/// forwarding shim.
+ComponentsResult connected_components(
+    const graph::ArcsInput& in, Algorithm algorithm = Algorithm::kFasterCC,
+    const Options& options = {});
+ComponentsResult connected_components(
+    const graph::EdgeList& el, Algorithm algorithm = Algorithm::kFasterCC,
+    const Options& options = {});
 
 enum class SfAlgorithm {
   kTheorem2,  // §C
@@ -67,20 +76,26 @@ enum class SfAlgorithm {
 };
 
 struct ForestResult {
-  std::vector<std::uint64_t> forest_edges;  // indices into el.edges
+  std::vector<std::uint64_t> forest_edges;  // canonical edge indices
   core::RunStats stats;
   double seconds = 0.0;
 };
 
+ForestResult spanning_forest(const graph::ArcsInput& in,
+                             SfAlgorithm algorithm = SfAlgorithm::kTheorem2,
+                             const Options& options = {});
 ForestResult spanning_forest(const graph::EdgeList& el,
                              SfAlgorithm algorithm = SfAlgorithm::kTheorem2,
                              const Options& options = {});
 
 /// Independent O(m α(n)) verification that `labels` is exactly the
-/// component labeling of `el`: every edge joins equal labels, and the
+/// component labeling of the input: every edge joins equal labels, and the
 /// number of distinct labels equals the true component count (via
 /// union-find, no shared code with the PRAM algorithms). Use when the
-/// caller wants a certificate rather than trust.
+/// caller wants a certificate rather than trust. The ArcsInput overload
+/// verifies mmap-backed datasets without materializing their edges.
+bool verify_components(const graph::ArcsInput& in,
+                       const std::vector<graph::VertexId>& labels);
 bool verify_components(const graph::EdgeList& el,
                        const std::vector<graph::VertexId>& labels);
 

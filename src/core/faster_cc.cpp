@@ -11,16 +11,16 @@
 
 namespace logcc::core {
 
-CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params) {
+CcResult faster_cc(const graph::ArcsInput& in, const FasterCcParams& params) {
   CcResult out;
-  const std::uint64_t n = el.n;
+  const std::uint64_t n = in.num_vertices();
 
   // ---- COMPACT: PREPARE + renaming.
   CompactParams cp;
   cp.seed = params.seed;
   cp.target_density = params.prepare_target_density;
   cp.prepare_max_phases = params.prepare_max_phases;
-  CompactResult comp = compact(el, cp);
+  CompactResult comp = compact(in, cp);
   out.stats.absorb(comp.stats);
 
   if (comp.n_compact == 0) {
@@ -92,6 +92,10 @@ CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params) {
     }
   });
   return out;
+}
+
+CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params) {
+  return faster_cc(graph::ArcsInput::from_edges(el), params);
 }
 
 }  // namespace logcc::core

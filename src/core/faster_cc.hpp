@@ -43,6 +43,11 @@ struct FasterCcParams {
   Theorem1Params postprocess;
 };
 
-CcResult faster_cc(const graph::EdgeList& el, const FasterCcParams& params = {});
+/// ArcsInput is the real entry point (CSR-backed inputs ingest without an
+/// EdgeList); the EdgeList overload is a forwarding shim.
+CcResult faster_cc(const graph::ArcsInput& in,
+                   const FasterCcParams& params = {});
+CcResult faster_cc(const graph::EdgeList& el,
+                   const FasterCcParams& params = {});
 
 }  // namespace logcc::core

@@ -161,16 +161,16 @@ void tree_link(const ExpandEngine& expand,
 
 }  // namespace
 
-SfResult theorem2_sf(const graph::EdgeList& el,
+SfResult theorem2_sf(const graph::ArcsInput& in,
                      const SpanningForestParams& params) {
   SfResult out;
-  const std::uint64_t n = el.n;
+  const std::uint64_t n = in.num_vertices();
   ParentForest forest(n);
-  std::vector<Arc> arcs = arcs_from_edges(el);
+  std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);
   dedup_arcs(arcs);
   const std::uint64_t m0 = std::max<std::uint64_t>(arcs.size(), 1);
-  std::vector<std::uint8_t> in_forest(el.edges.size(), 0);
+  std::vector<std::uint8_t> in_forest(in.num_edges(), 0);
 
   std::vector<std::uint64_t> seen_scratch;  // reused by every phase
   ExpandScratch expand_scratch;             // ditto (slot map + fill buffers)
@@ -265,6 +265,11 @@ SfResult theorem2_sf(const graph::EdgeList& el,
   for (std::uint64_t i = 0; i < in_forest.size(); ++i)
     if (in_forest[i]) out.forest_edges.push_back(i);
   return out;
+}
+
+SfResult theorem2_sf(const graph::EdgeList& el,
+                     const SpanningForestParams& params) {
+  return theorem2_sf(graph::ArcsInput::from_edges(el), params);
 }
 
 }  // namespace logcc::core

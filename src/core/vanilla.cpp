@@ -86,10 +86,10 @@ std::uint64_t vanilla_sf_phases(ParentForest& forest, std::vector<Arc>& arcs,
                     [&](VertexId, const Arc& a) { in_forest[a.orig] = 1; });
 }
 
-VanillaCcResult vanilla_cc(const graph::EdgeList& el, std::uint64_t seed) {
+VanillaCcResult vanilla_cc(const graph::ArcsInput& in, std::uint64_t seed) {
   VanillaCcResult out;
-  ParentForest forest(el.n);
-  std::vector<Arc> arcs = arcs_from_edges(el);
+  ParentForest forest(in.num_vertices());
+  std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);
   VanillaOptions opt;
   opt.seed = seed;
@@ -99,18 +99,26 @@ VanillaCcResult vanilla_cc(const graph::EdgeList& el, std::uint64_t seed) {
   return out;
 }
 
-VanillaSfResult vanilla_sf(const graph::EdgeList& el, std::uint64_t seed) {
+VanillaCcResult vanilla_cc(const graph::EdgeList& el, std::uint64_t seed) {
+  return vanilla_cc(graph::ArcsInput::from_edges(el), seed);
+}
+
+VanillaSfResult vanilla_sf(const graph::ArcsInput& in, std::uint64_t seed) {
   VanillaSfResult out;
-  ParentForest forest(el.n);
-  std::vector<Arc> arcs = arcs_from_edges(el);
+  ParentForest forest(in.num_vertices());
+  std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);
-  std::vector<std::uint8_t> in_forest(el.edges.size(), 0);
+  std::vector<std::uint8_t> in_forest(in.num_edges(), 0);
   VanillaOptions opt;
   opt.seed = seed;
   vanilla_sf_phases(forest, arcs, in_forest, opt, out.stats);
   for (std::uint64_t i = 0; i < in_forest.size(); ++i)
     if (in_forest[i]) out.forest_edges.push_back(i);
   return out;
+}
+
+VanillaSfResult vanilla_sf(const graph::EdgeList& el, std::uint64_t seed) {
+  return vanilla_sf(graph::ArcsInput::from_edges(el), seed);
 }
 
 }  // namespace logcc::core

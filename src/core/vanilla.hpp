@@ -43,15 +43,19 @@ struct VanillaCcResult {
   RunStats stats;
 };
 
-/// Standalone Vanilla connected components.
+/// Standalone Vanilla connected components. The ArcsInput overload is the
+/// real entry point (CSR-backed inputs ingest without an EdgeList); the
+/// EdgeList overload is a forwarding shim.
+VanillaCcResult vanilla_cc(const graph::ArcsInput& in, std::uint64_t seed = 1);
 VanillaCcResult vanilla_cc(const graph::EdgeList& el, std::uint64_t seed = 1);
 
 struct VanillaSfResult {
-  std::vector<std::uint64_t> forest_edges;  // indices into el.edges
+  std::vector<std::uint64_t> forest_edges;  // canonical edge indices
   RunStats stats;
 };
 
 /// Standalone Vanilla-SF spanning forest.
+VanillaSfResult vanilla_sf(const graph::ArcsInput& in, std::uint64_t seed = 1);
 VanillaSfResult vanilla_sf(const graph::EdgeList& el, std::uint64_t seed = 1);
 
 }  // namespace logcc::core

@@ -1,0 +1,158 @@
+// ArcsInput: the one input type every CC/SF entry point consumes.
+//
+// Algorithms in src/core/ and src/baselines/ are arc-list machines: they
+// need the undirected edges of the input, in a deterministic order, with a
+// stable per-edge index (`orig`) for spanning-forest output. Historically
+// that meant `EdgeList` — and mmap-loaded binary CSR datasets paid a full
+// re-materialization (edge_list_from_csr) before the first round could run.
+//
+// ArcsInput is the non-owning fix: a `{n, span-of-edges | CsrView}` sum
+// type. Edge-list-backed inputs view the caller's vector; CSR-backed inputs
+// alias the mmap pages (or a Graph's arrays) directly, and the algorithms'
+// ingestion path (core::arcs_from_input) scatters arcs straight from the
+// CSR into their caller-owned scratch — no intermediate EdgeList ever
+// exists.
+//
+// Canonical edge order — the determinism keystone: a CSR-backed input
+// enumerates each undirected edge from its smaller endpoint, vertices
+// ascending, neighbor suffixes in sorted order. This is *exactly* the order
+// edge_list_from_csr materializes, so for the same dataset the CSR-native
+// and EdgeList paths feed algorithms identical (u, v, orig) sequences and
+// the results are bit-identical (tests/test_differential_cc.cpp pins this).
+//
+// Ownership rule: ArcsInput owns nothing. The backing storage — the
+// EdgeList vector, the graph::BinaryGraph mmap handle, or the Graph — must
+// outlive every use of the input (see docs/ARCHITECTURE.md, "Zero-copy
+// ownership rule").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace logcc::graph {
+
+/// Non-owning CSR adjacency view (what the mmap loader hands out). Valid
+/// exactly as long as its backing storage (BinaryGraph or Graph). Each
+/// undirected edge appears as two arcs (a self-loop as one); neighbor lists
+/// are sorted ascending — the conventions of the LOGCCSR1 on-disk format
+/// (graph/binary_io.hpp) and of Graph::from_edges(el, /*dedup=*/false).
+struct CsrView {
+  std::uint64_t n = 0;
+  std::uint64_t edges = 0;                 // undirected count
+  const std::uint64_t* offsets = nullptr;  // n+1 entries, offsets[0] == 0
+  const VertexId* adj = nullptr;           // offsets[n] entries
+
+  std::uint64_t num_vertices() const { return n; }
+  std::uint64_t num_edges() const { return edges; }
+  std::uint64_t num_arcs() const { return offsets ? offsets[n] : 0; }
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj + offsets[v], adj + offsets[v + 1]};
+  }
+};
+
+/// Start of the w >= u suffix of u's sorted neighbor list — the arcs whose
+/// undirected edge u is the smaller endpoint of (self-loops once, parallel
+/// copies kept). THE definition of the canonical edge order: every
+/// canonical enumerator (ArcsInput::for_each_edge, edge_list_from_csr,
+/// core::arcs_from_input) walks these suffixes with vertices ascending, so
+/// the order is specified in exactly one place.
+inline const VertexId* csr_suffix_begin(const CsrView& v, VertexId u) {
+  auto nb = v.neighbors(u);
+  return std::lower_bound(nb.data(), nb.data() + nb.size(), u);
+}
+
+/// The suffix itself, as a span — use this (not a hand-rolled
+/// begin/end pair) wherever the canonical order is enumerated or counted.
+inline std::span<const VertexId> csr_suffix(const CsrView& v, VertexId u) {
+  auto nb = v.neighbors(u);
+  return {csr_suffix_begin(v, u), nb.data() + nb.size()};
+}
+
+/// CSR view of a Graph's adjacency arrays (zero-copy; valid while the Graph
+/// is alive). The edge count follows the canonical convention: parallel
+/// copies counted, self-loops once.
+inline CsrView csr_view(const Graph& g) {
+  CsrView v;
+  v.n = g.num_vertices();
+  v.edges = (g.num_arcs() + g.num_self_loops()) / 2;
+  v.offsets = g.raw_offsets().data();
+  v.adj = g.raw_adj().data();
+  return v;
+}
+
+/// Non-owning algorithm input: n vertices plus undirected edges, backed by
+/// either an edge span or a CSR view. See the file comment for the
+/// canonical order and ownership rules. CSR-backed inputs must satisfy the
+/// validate_csr invariants (sorted symmetric adjacency, consistent edge
+/// count) — load_dataset-produced views always do.
+class ArcsInput {
+ public:
+  ArcsInput() = default;
+
+  static ArcsInput from_edges(const EdgeList& el) {
+    return from_edges(el.n, el.edges);
+  }
+  static ArcsInput from_edges(std::uint64_t n, std::span<const Edge> edges) {
+    ArcsInput in;
+    in.n_ = n;
+    in.edges_ = edges;
+    return in;
+  }
+  static ArcsInput from_csr(const CsrView& v) {
+    ArcsInput in;
+    in.n_ = v.n;
+    in.csr_ = v;  // copies the (pointer-sized) view, not the arrays
+    return in;
+  }
+
+  std::uint64_t num_vertices() const { return n_; }
+  std::uint64_t num_edges() const {
+    return csr_backed() ? csr_.edges : edges_.size();
+  }
+  bool csr_backed() const { return csr_.offsets != nullptr; }
+
+  /// Edge-backed storage (empty span when CSR-backed).
+  std::span<const Edge> edge_span() const { return edges_; }
+  /// CSR-backed storage (null view when edge-backed).
+  const CsrView& csr() const { return csr_; }
+
+  /// Enumerates every undirected edge once, as fn(u, v, orig), in the
+  /// canonical order (see file comment); `orig` is the dense edge index the
+  /// spanning-forest results refer to. Serial — the round-loop baselines
+  /// (SV, AS, label-prop) sweep edges through this every round instead of
+  /// materializing them.
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    // Same bound core::arcs_from_input enforces: `orig` indices are dense
+    // uint32 (id 2^32-1 would alias nothing, but a wrapped counter would
+    // silently duplicate indices — or never terminate the edge loop).
+    LOGCC_CHECK_MSG(
+        num_edges() <= std::numeric_limits<std::uint32_t>::max(),
+        "edge count exceeds the 32-bit orig-index space");
+    if (!csr_backed()) {
+      for (std::uint32_t i = 0; i < edges_.size(); ++i)
+        fn(edges_[i].u, edges_[i].v, i);
+      return;
+    }
+    std::uint32_t orig = 0;
+    for (std::uint64_t u = 0; u < n_; ++u) {
+      for (VertexId w : csr_suffix(csr_, static_cast<VertexId>(u)))
+        fn(static_cast<VertexId>(u), w, orig++);
+    }
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::span<const Edge> edges_{};
+  CsrView csr_{};
+};
+
+}  // namespace logcc::graph

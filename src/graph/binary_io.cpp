@@ -274,34 +274,65 @@ bool validate_csr_structure(const CsrView& v, std::string* error) {
 bool validate_csr(const CsrView& v, std::string* error) {
   if (!validate_csr_structure(v, error)) return false;
   const std::uint64_t n = v.n;
-  // Arc symmetry: every arc (u, w) must have a reverse arc (w, u); lists are
-  // sorted so a binary search suffices. Self-loops are their own reverse.
+  // Arc symmetry with *multiplicity*: for every distinct neighbor w of u,
+  // the number of (u, w) arcs must equal the number of (w, u) arcs — a
+  // membership-only check would accept e.g. adj(0)=[1,1,1], adj(1)=[0],
+  // whose canonical edge enumeration then disagrees with the header count
+  // (and with everything sized from it). Lists are sorted, so runs and
+  // equal_range do it in O(m log deg). Self-loops are their own reverse.
   const bool symmetric = util::parallel_reduce(
       std::size_t{0}, static_cast<std::size_t>(n), true,
       [&](std::size_t u) {
-        for (VertexId w : v.neighbors(static_cast<VertexId>(u))) {
-          auto back = v.neighbors(w);
-          if (!std::binary_search(back.begin(), back.end(),
-                                  static_cast<VertexId>(u)))
-            return false;
+        auto nb = v.neighbors(static_cast<VertexId>(u));
+        for (std::size_t i = 0; i < nb.size();) {
+          const VertexId w = nb[i];
+          std::size_t j = i;
+          while (j < nb.size() && nb[j] == w) ++j;  // multiplicity at u
+          if (w != static_cast<VertexId>(u)) {
+            auto back = v.neighbors(w);
+            auto range = std::equal_range(back.begin(), back.end(),
+                                          static_cast<VertexId>(u));
+            if (static_cast<std::size_t>(range.second - range.first) != j - i)
+              return false;
+          }
+          i = j;
         }
         return true;
       },
       [](bool a, bool b) { return a && b; });
   if (!symmetric) {
-    set_error(error, "asymmetric adjacency: an arc lacks its reverse");
+    set_error(error,
+              "asymmetric adjacency: arc multiplicities disagree between "
+              "endpoint lists");
     return false;
   }
-  std::uint64_t self_loops = 0;
-  for (std::uint64_t u = 0; u < n; ++u) {
-    auto nb = v.neighbors(static_cast<VertexId>(u));
-    auto range = std::equal_range(nb.begin(), nb.end(),
-                                  static_cast<VertexId>(u));
-    self_loops += static_cast<std::uint64_t>(range.second - range.first);
-  }
+  // Self-loop count (sums commute: thread-count-invariant reduction).
+  const std::uint64_t self_loops = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), std::uint64_t{0},
+      [&](std::size_t u) {
+        auto nb = v.neighbors(static_cast<VertexId>(u));
+        auto range = std::equal_range(nb.begin(), nb.end(),
+                                      static_cast<VertexId>(u));
+        return static_cast<std::uint64_t>(range.second - range.first);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  // Together with multiplicity symmetry above, this pins the header edge
+  // count to the canonical smaller-endpoint enumeration: every non-loop
+  // pair {u, w} of multiplicity k contributes k arcs at each endpoint and
+  // is counted once from the smaller, so the canonical count is exactly
+  // (num_arcs + self_loops) / 2. Buffers sized from num_edges (e.g. the
+  // spanning-forest in_forest marks, indexed by `orig`) can therefore
+  // never be overrun by the enumerators.
   if ((v.num_arcs() + self_loops) / 2 != v.edges ||
       (v.num_arcs() + self_loops) % 2 != 0) {
     set_error(error, "edge count in header disagrees with arc count");
+    return false;
+  }
+  // The algorithms index edges with dense uint32 `orig` ids; reject the
+  // ceiling here so an oversized (but well-formed) file is a clean load
+  // error instead of a LOGCC_CHECK abort at first use.
+  if (v.edges > std::numeric_limits<std::uint32_t>::max()) {
+    set_error(error, "edge count exceeds the 32-bit edge-index space");
     return false;
   }
   return true;
@@ -310,23 +341,18 @@ bool validate_csr(const CsrView& v, std::string* error) {
 EdgeList edge_list_from_csr(const CsrView& v) {
   EdgeList out;
   out.n = v.n;
-  // Each undirected edge is emitted from its smaller endpoint (self-loops
-  // from their single arc), so each parallel copy appears exactly once.
-  // Lists are sorted, so the w >= u suffix is one lower_bound away.
-  auto suffix_begin = [&v](std::size_t u) {
-    auto nb = v.neighbors(static_cast<VertexId>(u));
-    return std::lower_bound(nb.begin(), nb.end(), static_cast<VertexId>(u));
-  };
+  // Canonical smaller-endpoint order via the shared csr_suffix_begin
+  // (arcs_input.hpp) — the same sequence the CSR-native ingestion
+  // (core::arcs_from_input) and ArcsInput::for_each_edge emit, which is
+  // what makes the materializing and zero-copy paths bit-identical.
   util::parallel_emit<Edge>(
       static_cast<std::size_t>(v.n), out.edges,
       [&](std::size_t u) {
-        auto nb = v.neighbors(static_cast<VertexId>(u));
-        return static_cast<std::size_t>(nb.end() - suffix_begin(u));
+        return csr_suffix(v, static_cast<VertexId>(u)).size();
       },
       [&](std::size_t u, Edge* dst) {
-        auto nb = v.neighbors(static_cast<VertexId>(u));
-        for (auto it = suffix_begin(u); it != nb.end(); ++it)
-          *dst++ = Edge{static_cast<VertexId>(u), *it};
+        for (VertexId w : csr_suffix(v, static_cast<VertexId>(u)))
+          *dst++ = Edge{static_cast<VertexId>(u), w};
       });
   return out;
 }
@@ -362,11 +388,22 @@ bool parse_generator_spec(const std::string& spec, std::string& family,
   return parse_u64_strict(rest, n) && n > 0;
 }
 
-bool load_dataset(const std::string& spec, EdgeList& out, DatasetInfo* info,
-                  std::string* error) {
+const EdgeList& DatasetHandle::edges() {
+  if (input_.csr_backed() && !materialized_) {
+    util::Timer timer;
+    el_ = edge_list_from_csr(bg_.view());
+    info_.materialize_seconds += timer.seconds();
+    materialized_ = true;
+  }
+  return el_;
+}
+
+bool load_dataset_zero_copy(const std::string& spec, DatasetHandle& out,
+                            std::string* error) {
   util::Timer timer;
-  DatasetInfo local;
-  local.name = spec;
+  out = DatasetHandle{};
+  DatasetInfo& info = out.info_;
+  info.name = spec;
   if (spec.rfind("gen:", 0) == 0) {
     std::string family;
     std::uint64_t n = 0;
@@ -376,35 +413,46 @@ bool load_dataset(const std::string& spec, EdgeList& out, DatasetInfo* info,
                            "' (want gen:family:n[:seed])");
       return false;
     }
-    out = make_family(family, n, seed);
-    local.source = "generator";
+    out.el_ = make_family(family, n, seed);
+    out.input_ = ArcsInput::from_edges(out.el_);
+    info.source = "generator";
   } else if (sniff_binary_csr(spec)) {
-    BinaryGraph bg;
-    if (!bg.open(spec, error)) return false;
+    if (!out.bg_.open(spec, error)) return false;
     // Deep validation before any accessor dereferences interior offsets: a
     // corrupt (but envelope-consistent) file must be a clean error, not an
-    // out-of-bounds read — and the symmetry check matters too, because
-    // edge_list_from_csr emits from smaller-endpoint arc suffixes, so an
-    // asymmetric file would silently drop edges rather than crash.
-    if (!validate_csr(bg.view(), error)) {
+    // out-of-bounds read — and the symmetry check matters doubly here,
+    // because the CSR-native ingestion (core::arcs_from_input) and
+    // edge_list_from_csr both emit from smaller-endpoint arc suffixes, so
+    // an asymmetric file would silently drop edges rather than crash.
+    if (!validate_csr(out.bg_.view(), error)) {
       if (error) *error = "corrupt binary CSR '" + spec + "': " + *error;
       return false;
     }
-    out = edge_list_from_csr(bg.view());
-    local.name = basename_of(spec);
-    local.source = bg.zero_copy() ? "binary-mmap" : "binary-copy";
-    local.file_bytes = bg.file_bytes();
+    out.input_ = ArcsInput::from_csr(out.bg_.view());
+    info.name = basename_of(spec);
+    info.source = out.bg_.zero_copy() ? "binary-mmap" : "binary-copy";
+    info.file_bytes = out.bg_.file_bytes();
   } else {
-    if (!read_edge_list_file(spec, out)) {
+    if (!read_edge_list_file(spec, out.el_)) {
       set_error(error, "cannot read '" + spec +
                            "' as a text edge list (and it is not LOGCCSR1)");
       return false;
     }
-    local.name = basename_of(spec);
-    local.source = "text";
+    out.input_ = ArcsInput::from_edges(out.el_);
+    info.name = basename_of(spec);
+    info.source = "text";
   }
-  local.load_seconds = timer.seconds();
-  if (info) *info = local;
+  info.load_seconds = timer.seconds();
+  return true;
+}
+
+bool load_dataset(const std::string& spec, EdgeList& out, DatasetInfo* info,
+                  std::string* error) {
+  DatasetHandle h;
+  if (!load_dataset_zero_copy(spec, h, error)) return false;
+  h.edges();  // materialize CSR-backed inputs (timed into the info record)
+  out = std::move(h.el_);
+  if (info) *info = h.info();
   return true;
 }
 

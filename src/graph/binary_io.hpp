@@ -28,6 +28,7 @@
 #include <span>
 #include <string>
 
+#include "graph/arcs_input.hpp"
 #include "graph/graph.hpp"
 #include "util/mmap_file.hpp"
 
@@ -52,24 +53,8 @@ struct BinaryCsrHeader {
 };
 static_assert(sizeof(BinaryCsrHeader) == 64, "header must stay 64 bytes");
 
-/// Non-owning CSR adjacency view (what the mmap loader hands out). Valid
-/// exactly as long as its backing storage (BinaryGraph or Graph).
-struct CsrView {
-  std::uint64_t n = 0;
-  std::uint64_t edges = 0;               // undirected count
-  const std::uint64_t* offsets = nullptr;  // n+1 entries, offsets[0] == 0
-  const VertexId* adj = nullptr;           // offsets[n] entries
-
-  std::uint64_t num_vertices() const { return n; }
-  std::uint64_t num_edges() const { return edges; }
-  std::uint64_t num_arcs() const { return offsets ? offsets[n] : 0; }
-  std::uint32_t degree(VertexId v) const {
-    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
-  }
-  std::span<const VertexId> neighbors(VertexId v) const {
-    return {adj + offsets[v], adj + offsets[v + 1]};
-  }
-};
+// CsrView itself lives in graph/arcs_input.hpp (it is a graph type, not an
+// I/O type); this header provides its on-disk incarnation.
 
 /// A binary CSR file opened for reading. On POSIX the view aliases the mmap
 /// pages (zero-copy); elsewhere a heap fallback buffer backs it.
@@ -149,7 +134,13 @@ EdgeList edge_list_from_csr(const CsrView& v);
 struct DatasetInfo {
   std::string name;       // basename or generator spec
   std::string source;     // "binary-mmap" | "binary-copy" | "text" | "generator"
+  /// Open + validate (and, for text/generator sources, parse/build) time.
   double load_seconds = 0.0;
+  /// CSR -> EdgeList re-materialization time (edge_list_from_csr), reported
+  /// separately from load so bench.json never folds a format conversion
+  /// into either the load or the algorithm column. Exactly 0 on the
+  /// zero-copy path — the CI bench smoke asserts this for binary inputs.
+  double materialize_seconds = 0.0;
   std::uint64_t file_bytes = 0;  // 0 for generators
 };
 
@@ -168,5 +159,49 @@ bool parse_generator_spec(const std::string& spec, std::string& family,
 /// Returns false with a reason on unreadable/invalid input.
 bool load_dataset(const std::string& spec, EdgeList& out,
                   DatasetInfo* info = nullptr, std::string* error = nullptr);
+
+/// A resolved dataset that OWNS its backing storage and hands out a
+/// non-owning ArcsInput over it. This is the zero-copy counterpart of
+/// load_dataset: for LOGCCSR1 files the input aliases the mmap pages and no
+/// EdgeList is ever materialized; for text/generator sources the handle
+/// owns the edge vector the input views. Move-only (it may hold an mmap).
+///
+/// Ownership rule (docs/ARCHITECTURE.md): the handle must outlive every
+/// use of input() — the ArcsInput dangles the moment the handle dies.
+class DatasetHandle {
+ public:
+  DatasetHandle() = default;
+  DatasetHandle(DatasetHandle&&) = default;
+  DatasetHandle& operator=(DatasetHandle&&) = default;
+
+  const ArcsInput& input() const { return input_; }
+  const DatasetInfo& info() const { return info_; }
+
+  /// Materializes (and caches) the canonical EdgeList — only for consumers
+  /// that genuinely need indexed edge storage (e.g. spanning-forest edge
+  /// output). Records the conversion cost in info().materialize_seconds.
+  /// The returned reference lives as long as the handle. For edge-backed
+  /// sources this is the already-owned list (no cost recorded).
+  const EdgeList& edges();
+
+ private:
+  friend bool load_dataset_zero_copy(const std::string&, DatasetHandle&,
+                                     std::string*);
+  friend bool load_dataset(const std::string&, EdgeList&, DatasetInfo*,
+                           std::string*);
+  BinaryGraph bg_;   // keeps the mmap alive for CSR-backed inputs
+  EdgeList el_;      // backing for text/generator (or materialized) edges
+  bool materialized_ = false;
+  ArcsInput input_;
+  DatasetInfo info_;
+};
+
+/// Zero-copy variant of load_dataset — same spec grammar, same validation,
+/// but binary files stay in their mmap'd CSR form: info().load_seconds
+/// covers open + deep validate only and materialize_seconds stays 0 unless
+/// the caller asks for edges(). cc_bench/cc_tool run algorithms straight
+/// off handle.input().
+bool load_dataset_zero_copy(const std::string& spec, DatasetHandle& out,
+                            std::string* error = nullptr);
 
 }  // namespace logcc::graph

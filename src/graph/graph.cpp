@@ -16,29 +16,32 @@ void EdgeList::canonicalize() {
   std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
 }
 
-Graph Graph::from_edges(const EdgeList& el, bool dedup) {
-  EdgeList copy;
-  const EdgeList* src = &el;
+Graph Graph::from_edges(std::uint64_t n, std::span<const Edge> edges,
+                        bool dedup) {
   if (dedup) {
-    copy = el;
+    EdgeList copy;
+    copy.n = n;
+    copy.edges.assign(edges.begin(), edges.end());
     copy.canonicalize();
-    src = &copy;
+    return from_edges(copy.n, copy.edges, /*dedup=*/false);
   }
-  for (const Edge& e : src->edges) {
-    LOGCC_CHECK_MSG(e.u < src->n && e.v < src->n, "edge endpoint out of range");
+  for (const Edge& e : edges) {
+    LOGCC_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
   }
 
   Graph g;
-  const std::uint64_t n = src->n;
   g.offsets_.assign(n + 1, 0);
-  for (const Edge& e : src->edges) {
+  for (const Edge& e : edges) {
     ++g.offsets_[e.u + 1];
-    if (e.u != e.v) ++g.offsets_[e.v + 1];
+    if (e.u != e.v)
+      ++g.offsets_[e.v + 1];
+    else
+      ++g.self_loops_;
   }
   for (std::uint64_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
   g.adj_.resize(g.offsets_[n]);
   std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const Edge& e : src->edges) {
+  for (const Edge& e : edges) {
     g.adj_[cursor[e.u]++] = e.v;
     if (e.u != e.v) g.adj_[cursor[e.v]++] = e.u;
   }
@@ -48,6 +51,10 @@ Graph Graph::from_edges(const EdgeList& el, bool dedup) {
     std::sort(begin, end);
   }
   return g;
+}
+
+Graph Graph::from_edges(const EdgeList& el, bool dedup) {
+  return from_edges(el.n, el.edges, dedup);
 }
 
 EdgeList Graph::to_edges() const {

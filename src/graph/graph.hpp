@@ -53,9 +53,13 @@ class Graph {
   Graph() = default;
 
   /// Builds from an edge list; if `dedup` removes self-loops and parallel
-  /// edges first. Precondition: all endpoints < el.n (LOGCC_CHECK).
-  /// Deterministic: the result depends only on the edge multiset.
+  /// edges first. Precondition: all endpoints < n (LOGCC_CHECK).
+  /// Deterministic: the result depends only on the edge multiset. The span
+  /// overload builds straight from borrowed edges (no EdgeList copy when
+  /// `dedup` is false) — what ArcsInput-driven callers use.
   static Graph from_edges(const EdgeList& el, bool dedup = true);
+  static Graph from_edges(std::uint64_t n, std::span<const Edge> edges,
+                          bool dedup = true);
 
   std::uint64_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   /// Number of undirected edges (arcs / 2).
@@ -75,9 +79,20 @@ class Graph {
   /// sorted — the inverse of from_edges up to canonical order).
   EdgeList to_edges() const;
 
+  /// Self-loop arcs in the adjacency (each loop is a single arc). Together
+  /// with num_arcs this recovers the canonical undirected edge count
+  /// (arcs + loops) / 2 — what graph::csr_view (arcs_input.hpp) exposes.
+  std::uint64_t num_self_loops() const { return self_loops_; }
+
+  /// Raw CSR arrays, for zero-copy views (graph::csr_view). Valid while
+  /// the Graph is alive.
+  std::span<const std::uint64_t> raw_offsets() const { return offsets_; }
+  std::span<const VertexId> raw_adj() const { return adj_; }
+
  private:
   std::vector<std::uint64_t> offsets_;  // size n+1
   std::vector<VertexId> adj_;           // size 2m
+  std::uint64_t self_loops_ = 0;
 };
 
 }  // namespace logcc::graph

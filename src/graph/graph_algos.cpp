@@ -9,8 +9,8 @@
 
 namespace logcc::graph {
 
-std::vector<VertexId> bfs_components(const Graph& g) {
-  const std::uint64_t n = g.num_vertices();
+std::vector<VertexId> bfs_components(const CsrView& view) {
+  const std::uint64_t n = view.n;
   std::vector<VertexId> label(n, kInvalidVertex);
   std::vector<VertexId> queue;
   for (std::uint64_t s = 0; s < n; ++s) {
@@ -21,7 +21,7 @@ std::vector<VertexId> bfs_components(const Graph& g) {
     queue.push_back(root);
     for (std::size_t head = 0; head < queue.size(); ++head) {
       VertexId v = queue[head];
-      for (VertexId w : g.neighbors(v)) {
+      for (VertexId w : view.neighbors(v)) {
         if (label[w] == kInvalidVertex) {
           label[w] = root;
           queue.push_back(w);
@@ -30,6 +30,10 @@ std::vector<VertexId> bfs_components(const Graph& g) {
     }
   }
   return label;  // min-id labels because s scans upward
+}
+
+std::vector<VertexId> bfs_components(const Graph& g) {
+  return bfs_components(csr_view(g));
 }
 
 std::uint64_t count_components(const std::vector<VertexId>& labels) {

@@ -13,13 +13,16 @@
 #include <string>
 #include <vector>
 
+#include "graph/arcs_input.hpp"
 #include "graph/graph.hpp"
 
 namespace logcc::graph {
 
 /// Connected components by BFS. Returns, for each vertex, the *minimum vertex
 /// id* in its component — the canonical labeling all algorithms are compared
-/// through.
+/// through. The CsrView overload is the implementation (it runs zero-copy
+/// over mmap'd datasets); the Graph overload forwards through csr_view.
+std::vector<VertexId> bfs_components(const CsrView& v);
 std::vector<VertexId> bfs_components(const Graph& g);
 
 /// Number of distinct components given any labeling.

@@ -7,6 +7,8 @@
 #include <tuple>
 
 #include "core/connectivity.hpp"
+#include "graph/arcs_input.hpp"
+#include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
 #include "test_support.hpp"
@@ -94,6 +96,64 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Algorithm::kFasterCC,
                                          Algorithm::kTheorem1,
                                          Algorithm::kVanilla)));
+
+// CSR-native determinism: for EVERY algorithm, running over a CSR-backed
+// ArcsInput must produce labels bit-identical to the EdgeList path on the
+// same canonical edge order, under every thread count (1/2/4/8). This is
+// the zero-copy contract — arcs_from_input(csr) is elementwise
+// arcs_from_edges(edge_list_from_csr(csr)), so nothing downstream can
+// diverge — pinned here as a label-fingerprint equality per thread count
+// plus exact equality across thread counts.
+class CsrNativeBitIdentity
+    : public logcc::testing::ThreadInvariance,
+      public ::testing::WithParamInterface<std::tuple<std::string, Algorithm>> {
+};
+
+TEST_P(CsrNativeBitIdentity, MatchesEdgeListPathAcrossThreadCounts) {
+  const auto& [family, algorithm] = GetParam();
+  const graph::EdgeList el = graph::make_family(family, 257, 9);
+  const graph::Graph g = graph::Graph::from_edges(el, /*dedup=*/false);
+  const graph::CsrView view = csr_view(g);
+  const graph::ArcsInput csr_in = graph::ArcsInput::from_csr(view);
+  const graph::EdgeList canon = graph::edge_list_from_csr(view);
+  Options opt;
+  opt.seed = 1303;
+
+  std::vector<graph::VertexId> reference;
+  for (int threads : {1, 2, 4, 8}) {
+    util::set_parallelism(threads);
+    const auto via_csr = connected_components(csr_in, algorithm, opt);
+    const auto via_el = connected_components(canon, algorithm, opt);
+    ASSERT_EQ(via_csr.labels, via_el.labels)
+        << family << " alg=" << to_string(algorithm) << " threads=" << threads
+        << ": CSR-native labels diverge from the EdgeList path";
+    if (reference.empty())
+      reference = via_csr.labels;
+    else
+      ASSERT_EQ(via_csr.labels, reference)
+          << family << " alg=" << to_string(algorithm)
+          << ": labels changed between thread counts (threads=" << threads
+          << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CsrNativeBitIdentity,
+    ::testing::Combine(
+        ::testing::Values("path", "grid", "gnm2", "rmat", "lollipop"),
+        ::testing::Values(Algorithm::kFasterCC, Algorithm::kTheorem1,
+                          Algorithm::kVanilla, Algorithm::kShiloachVishkin,
+                          Algorithm::kAwerbuchShiloach, Algorithm::kLabelProp,
+                          Algorithm::kLiuTarjan, Algorithm::kUnionFind,
+                          Algorithm::kBFS)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, Algorithm>>&
+           info) {
+      std::string name = std::get<0>(info.param);
+      name += std::string("_") + to_string(std::get<1>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
 
 }  // namespace
 }  // namespace logcc
