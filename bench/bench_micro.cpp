@@ -6,7 +6,10 @@
 // regressions; the asymptotic claims live in the F/T benches.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/building_blocks.hpp"
+#include "core/round_arena.hpp"
 #include "core/compact.hpp"
 #include "core/expand.hpp"
 #include "core/expand_maxlink.hpp"
@@ -15,6 +18,7 @@
 #include "core/vote.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
+#include "util/arena.hpp"
 #include "util/hashing.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -24,14 +28,37 @@ namespace {
 
 using namespace logcc;
 
-// Captured before any benchmark runs so threaded variants can restore the
-// ambient thread count when they finish.
-const int kDefaultThreads = util::hardware_parallelism();
+// Ambient runtime configuration, captured lazily on first use (function-
+// local statics, NOT namespace-scope initializers: those would race the
+// cross-TU dynamic initialization of parallel.cpp's own globals). Guards
+// force the capture in their constructors, before mutating anything.
+int default_threads() {
+  static const int threads = util::hardware_parallelism();
+  return threads;
+}
+util::ParallelBackend default_backend() {
+  static const util::ParallelBackend backend = util::parallel_backend();
+  return backend;
+}
 
 /// Applies the benchmark's thread-count argument (range(1)) for its run.
 struct ThreadGuard {
-  explicit ThreadGuard(int threads) { util::set_parallelism(threads); }
-  ~ThreadGuard() { util::set_parallelism(kDefaultThreads); }
+  explicit ThreadGuard(int threads) {
+    default_threads();  // pin the ambient value before changing it
+    util::set_parallelism(threads);
+  }
+  ~ThreadGuard() { util::set_parallelism(default_threads()); }
+};
+
+/// Pins a dispatch backend for one benchmark run (pool vs OpenMP vs serial
+/// comparisons).
+struct BackendGuard {
+  explicit BackendGuard(util::ParallelBackend b) {
+    default_threads();  // capture both ambients before the backend switch
+    default_backend();
+    util::set_parallel_backend(b);
+  }
+  ~BackendGuard() { util::set_parallel_backend(default_backend()); }
 };
 
 void BM_PairwiseHash(benchmark::State& state) {
@@ -316,6 +343,116 @@ void BM_PrefixSumThreaded(benchmark::State& state) {
 BENCHMARK(BM_PrefixSumThreaded)
     ->Args({1 << 20, 1})
     ->Args({1 << 20, 4})
+    ->UseRealTime();
+
+// ---- Parallel-runtime microbenchmarks: per-dispatch latency of each
+// backend (the overhead every PRAM step of every round pays) and the
+// round-scratch arena. Args are {n, threads}.
+
+template <util::ParallelBackend kBackend>
+void BM_DispatchLatency(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BackendGuard backend(kBackend);
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  // Near-empty body: the measurement is the fork/join (OpenMP) vs
+  // wake/park (pool) cost per parallel_for, amortized per dispatch.
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    util::parallel_for(0, n, [&](std::size_t i) {
+      if (i == 0) sink.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchLatency<util::ParallelBackend::kPool>)
+    ->Args({util::kSerialGrain, 4})
+    ->Args({util::kSerialGrain, 8})
+    ->Args({1 << 16, 8})
+    ->UseRealTime();
+#ifdef LOGCC_HAVE_OPENMP
+BENCHMARK(BM_DispatchLatency<util::ParallelBackend::kOpenMP>)
+    ->Args({util::kSerialGrain, 4})
+    ->Args({util::kSerialGrain, 8})
+    ->Args({1 << 16, 8})
+    ->UseRealTime();
+#endif
+
+template <util::ParallelBackend kBackend>
+void BM_DispatchBlocks(benchmark::State& state) {
+  BackendGuard backend(kBackend);
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    util::parallel_for_blocks(blocks, [&](std::size_t b) {
+      if (b == 0) sink.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchBlocks<util::ParallelBackend::kPool>)
+    ->Args({64, 8})
+    ->UseRealTime();
+#ifdef LOGCC_HAVE_OPENMP
+BENCHMARK(BM_DispatchBlocks<util::ParallelBackend::kOpenMP>)
+    ->Args({64, 8})
+    ->UseRealTime();
+#endif
+
+void BM_ArenaAllocReset(benchmark::State& state) {
+  // One simulated round: the scratch-request mix of a mid-size phase
+  // (partials, counting grid, pack staging), then reset. Steady state is
+  // pure pointer bumps — compare against BM_RoundScratchHeap.
+  util::MonotonicArena arena;
+  for (auto _ : state) {
+    auto partials = arena.alloc<std::uint64_t>(256);
+    auto grid = arena.alloc_zero<std::uint64_t>(256 * 64);
+    auto staging = arena.alloc<std::uint64_t>(1 << 15);
+    benchmark::DoNotOptimize(partials.data());
+    benchmark::DoNotOptimize(grid.data());
+    benchmark::DoNotOptimize(staging.data());
+    arena.reset();
+  }
+}
+BENCHMARK(BM_ArenaAllocReset);
+
+void BM_RoundScratchHeap(benchmark::State& state) {
+  // The same request mix served by the heap (what every round paid before
+  // the arena).
+  for (auto _ : state) {
+    std::vector<std::uint64_t> partials(256);
+    std::vector<std::uint64_t> grid(256 * 64, 0);
+    std::vector<std::uint64_t> staging(1 << 15);
+    benchmark::DoNotOptimize(partials.data());
+    benchmark::DoNotOptimize(grid.data());
+    benchmark::DoNotOptimize(staging.data());
+  }
+}
+BENCHMARK(BM_RoundScratchHeap);
+
+void BM_PackThreadedArena(benchmark::State& state) {
+  // parallel_pack with the round arena active: steady-state rounds stage
+  // through retained arena bytes instead of a fresh vector.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  core::RoundArena arena;
+  core::RoundArena::Scope scope(arena);
+  std::vector<std::uint64_t> base(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = util::mix64(2, i);
+  std::vector<std::uint64_t> work;
+  for (auto _ : state) {
+    util::scratch_arena_round_reset();
+    work = base;
+    util::parallel_pack(work, [](std::uint64_t x) { return (x & 3) != 0; });
+    benchmark::DoNotOptimize(work.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PackThreadedArena)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 8})
     ->UseRealTime();
 
 void BM_ApproximateCompaction(benchmark::State& state) {

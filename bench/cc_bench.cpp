@@ -90,7 +90,39 @@ int main(int argc, char** argv) {
   const std::string dataset = cli.get_string(
       "dataset", "",
       "graph file (text or LOGCCSR1 binary) or gen:family:n[:seed]");
+  const std::string populate_arg = cli.get_string(
+      "populate", "none",
+      "mmap page population for binary datasets: none|willneed|populate "
+      "(recorded in bench.json)");
+  const std::string backend_arg = cli.get_string(
+      "backend", "",
+      "parallel dispatch backend: pool|omp|serial (default: the process "
+      "default, LOGCC_BACKEND)");
   cli.finish();
+
+  util::MmapPopulate populate = util::MmapPopulate::kNone;
+  if (populate_arg == "willneed") {
+    populate = util::MmapPopulate::kWillNeed;
+  } else if (populate_arg == "populate") {
+    populate = util::MmapPopulate::kPopulate;
+  } else if (populate_arg != "none") {
+    std::fprintf(stderr, "cc_bench: bad --populate '%s'\n",
+                 populate_arg.c_str());
+    return 2;
+  }
+  if (!backend_arg.empty()) {
+    if (backend_arg == "pool") {
+      util::set_parallel_backend(util::ParallelBackend::kPool);
+    } else if (backend_arg == "omp") {
+      util::set_parallel_backend(util::ParallelBackend::kOpenMP);
+    } else if (backend_arg == "serial") {
+      util::set_parallel_backend(util::ParallelBackend::kSerial);
+    } else {
+      std::fprintf(stderr, "cc_bench: bad --backend '%s'\n",
+                   backend_arg.c_str());
+      return 2;
+    }
+  }
 
   // Validate the sweep flags BEFORE the (potentially minutes-long) dataset
   // streaming/loading: a typo must fail in milliseconds, not after the
@@ -149,7 +181,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     stream_seconds = t.seconds();
-    if (!graph::load_dataset_zero_copy(binary_cache, handle, &error)) {
+    if (!graph::load_dataset_zero_copy(binary_cache, handle, &error,
+                                       populate)) {
       std::fprintf(stderr, "cc_bench: %s\n", error.c_str());
       return 2;
     }
@@ -158,7 +191,7 @@ int main(int argc, char** argv) {
     std::string spec = !generate.empty() ? "gen:" + generate
                        : !dataset.empty() ? dataset
                                           : "gen:gnm2:65536";
-    if (!graph::load_dataset_zero_copy(spec, handle, &error)) {
+    if (!graph::load_dataset_zero_copy(spec, handle, &error, populate)) {
       std::fprintf(stderr, "cc_bench: %s\n", error.c_str());
       return 2;
     }
@@ -171,10 +204,13 @@ int main(int argc, char** argv) {
   const graph::DatasetInfo& info = handle.info();
 
   std::printf("dataset %s (%s): n=%" PRIu64 " edges=%" PRIu64
-              " load=%.2fs materialize=%.2fs%s\n",
+              " load=%.2fs materialize=%.2fs populate=%s%s\n",
               dataset_name.c_str(), info.source.c_str(), input.num_vertices(),
               input.num_edges(), info.load_seconds, info.materialize_seconds,
+              util::to_string(info.populate),
               input.csr_backed() ? " (csr-native, zero-copy)" : "");
+  std::printf("runtime: backend=%s grain=%zu\n", util::parallel_backend_name(),
+              util::parallel_grain());
   if (stream_seconds > 0)
     std::printf("streamed to %s in %.2fs (%" PRIu64 " file bytes, mmap)\n",
                 binary_cache.c_str(), stream_seconds, info.file_bytes);
@@ -251,17 +287,21 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"schema\": \"logcc-bench-v1\",\n"
                  "  \"driver\": \"cc_bench\",\n"
+                 "  \"runtime\": {\"backend\": \"%s\", \"grain\": %zu},\n"
                  "  \"dataset\": {\"name\": \"%s\", \"source\": \"%s\", "
                  "\"n\": %" PRIu64 ", \"edges\": %" PRIu64
                  ", \"file_bytes\": %" PRIu64
                  ", \"load_seconds\": %.6f, \"materialize_seconds\": %.6f"
-                 ", \"stream_seconds\": %.6f, \"csr_native\": %s},\n"
+                 ", \"stream_seconds\": %.6f, \"csr_native\": %s"
+                 ", \"populate\": \"%s\"},\n"
                  "  \"sweep\": {\"threads\": [",
+                 util::parallel_backend_name(), util::parallel_grain(),
                  json_escape(dataset_name).c_str(),
                  json_escape(info.source).c_str(), input.num_vertices(),
                  input.num_edges(), info.file_bytes, info.load_seconds,
                  info.materialize_seconds, stream_seconds,
-                 input.csr_backed() ? "true" : "false");
+                 input.csr_backed() ? "true" : "false",
+                 util::to_string(info.populate));
     for (std::size_t i = 0; i < threads.size(); ++i)
       std::fprintf(out, "%s%d", i ? ", " : "", threads[i]);
     std::fprintf(out,

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare a cc_bench bench.json against the committed baseline trajectory.
+
+Regression gate for CI: for every (algorithm, threads) cell present in both
+documents, take the minimum algorithm seconds across reps (min-of-N is the
+standard low-noise estimator for a runner that can only get slower, never
+faster, by interference) and fail when the new minimum exceeds the baseline
+minimum by more than --threshold (default 25%).
+
+Robustness choices, deliberate:
+  - min across reps, not mean: tolerant of one noisy rep per cell (run
+    cc_bench with --reps=3 or more so the min is meaningful);
+  - cells below --min-seconds (default 5 ms) are reported but never fail:
+    at that scale the gate would measure the runner, not the code;
+  - cells present on only one side warn instead of failing, so adding an
+    algorithm or thread count to the sweep never breaks the gate;
+  - --update rewrites the baseline from the new document (commit the result
+    to move the trajectory).
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/parse error.
+
+Usage:
+  bench_compare.py NEW_JSON BASELINE_JSON [--threshold 0.25]
+                   [--min-seconds 0.005] [--update]
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != "logcc-bench-v1":
+        sys.exit(f"bench_compare: {path}: unexpected schema "
+                 f"{doc.get('schema')!r} (want logcc-bench-v1)")
+    return doc
+
+
+def min_seconds_by_cell(doc):
+    """{(algorithm, threads): min seconds across reps}."""
+    cells = {}
+    for run in doc.get("runs", []):
+        key = (run["algorithm"], run["threads"])
+        s = float(run["seconds"])
+        if key not in cells or s < cells[key]:
+            cells[key] = s
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("new_json")
+    ap.add_argument("baseline_json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fail when new_min > base_min * (1 + threshold)")
+    ap.add_argument("--min-seconds", type=float, default=0.005,
+                    help="cells faster than this never fail (noise floor)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy NEW_JSON over BASELINE_JSON instead of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        load(args.new_json)  # validate before overwriting the trajectory
+        shutil.copyfile(args.new_json, args.baseline_json)
+        print(f"bench_compare: baseline updated from {args.new_json}")
+        return 0
+
+    new_doc = load(args.new_json)
+    base_doc = load(args.baseline_json)
+    new_cells = min_seconds_by_cell(new_doc)
+    base_cells = min_seconds_by_cell(base_doc)
+
+    regressions = []
+    rows = []
+    for key in sorted(new_cells):
+        alg, threads = key
+        new_min = new_cells[key]
+        if key not in base_cells:
+            rows.append((alg, threads, None, new_min, "new cell (no baseline)"))
+            continue
+        base_min = base_cells[key]
+        ratio = new_min / base_min if base_min > 0 else float("inf")
+        verdict = "ok"
+        if new_min > base_min * (1.0 + args.threshold):
+            if base_min < args.min_seconds:
+                verdict = "noise-floor (ignored)"
+            else:
+                verdict = "REGRESSION"
+                regressions.append((alg, threads, base_min, new_min, ratio))
+        rows.append((alg, threads, base_min, new_min, verdict))
+    for key in sorted(set(base_cells) - set(new_cells)):
+        print(f"bench_compare: warning: baseline cell {key} missing from "
+              f"new run", file=sys.stderr)
+
+    print(f"{'algorithm':<12} {'threads':>7} {'baseline':>10} {'new':>10} "
+          f"{'ratio':>7}  verdict")
+    for alg, threads, base_min, new_min, verdict in rows:
+        base_s = f"{base_min:.4f}s" if base_min is not None else "-"
+        ratio = (f"{new_min / base_min:6.2f}x"
+                 if base_min else "      -")
+        print(f"{alg:<12} {threads:>7} {base_s:>10} {new_min:>9.4f}s "
+              f"{ratio:>7}  {verdict}")
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} regression(s) over "
+              f"{args.threshold:.0%} threshold:", file=sys.stderr)
+        for alg, threads, base_min, new_min, ratio in regressions:
+            print(f"  {alg} @ {threads}t: {base_min:.4f}s -> {new_min:.4f}s "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

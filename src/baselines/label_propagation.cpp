@@ -50,13 +50,17 @@ BaselineResult liu_tarjan(const graph::ArcsInput& in) {
       [&](VertexId u, VertexId v, std::uint32_t) { edges.push_back({u, v}); });
 
   BaselineResult out;
+  // Hoisted round buffers: steady-state rounds reuse capacity, never
+  // allocate (the round-scratch rule of core/round_arena.hpp).
+  std::vector<VertexId> target;
+  std::vector<Edge> next;
   while (true) {
     ++out.rounds;
     bool linked = false;
     // Parent link (min-combining flavour): every vertex adopts the smallest
     // neighbouring parent label; monotone, cycle-free because links strictly
     // decrease labels.
-    std::vector<VertexId> target = p;
+    target = p;
     for (const auto& e : edges) {
       target[e.u] = std::min(target[e.u], p[e.v]);
       target[e.v] = std::min(target[e.v], p[e.u]);
@@ -70,7 +74,7 @@ BaselineResult liu_tarjan(const graph::ArcsInput& in) {
     // Shortcut.
     for (std::uint64_t v = 0; v < n; ++v) p[v] = p[p[v]];
     // Alter: rewrite edges to parents, dropping loops.
-    std::vector<Edge> next;
+    next.clear();
     next.reserve(edges.size());
     for (const auto& e : edges) {
       VertexId a = p[e.u], b = p[e.v];

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/scan.hpp"
 
 namespace logcc::baselines {
 
@@ -38,12 +40,67 @@ std::vector<LtVariant> lt_incorrect_variants() {
           {LtConnect::kDirect, LtShortcut::kFull, false}};
 }
 
-BaselineResult liu_tarjan_variant(const graph::EdgeList& el,
+namespace {
+
+/// One synchronous SHORTCUT step, fused with the change flag: next[v] =
+/// p[p[v]] for every v, true iff anything moved. (The map runs exactly once
+/// per index — parallel_reduce's single-pass contract.)
+bool shortcut_step(std::vector<VertexId>& p, std::vector<VertexId>& next) {
+  const std::uint64_t n = p.size();
+  const bool moved = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), false,
+      [&](std::size_t v) {
+        const VertexId t = p[p[v]];
+        next[v] = t;
+        return t != p[v];
+      },
+      [](bool a, bool b) { return a || b; });
+  p.swap(next);
+  return moved;
+}
+
+}  // namespace
+
+BaselineResult liu_tarjan_variant(const graph::ArcsInput& in,
                                   const LtVariant& variant) {
-  const std::uint64_t n = el.n;
+  const std::uint64_t n = in.num_vertices();
   std::vector<VertexId> p(n), next(n);
-  for (std::uint64_t v = 0; v < n; ++v) p[v] = static_cast<VertexId>(v);
-  std::vector<Edge> edges = el.edges;
+  util::parallel_for(0, n,
+                     [&](std::size_t v) { p[v] = static_cast<VertexId>(v); });
+
+  // ALTER variants materialize a shrinking working list after round 1;
+  // without ALTER every round sweeps the input's own storage (the CSR
+  // adjacency of an mmap dataset, or the caller's edge span) — zero-copy.
+  std::vector<Edge> edges, edges_next;
+  bool use_working = false;
+
+  // Blocked parallel sweep calling arc_fn(v, w) for both directions of
+  // every non-loop edge of the current round's edge set.
+  auto sweep = [&](auto&& arc_fn) {
+    if (use_working) {
+      util::parallel_for(0, edges.size(), [&](std::size_t i) {
+        const Edge& e = edges[i];
+        arc_fn(e.u, e.v);
+        arc_fn(e.v, e.u);
+      });
+    } else if (in.csr_backed()) {
+      const graph::CsrView& g = in.csr();
+      util::parallel_for(0, n, [&](std::size_t u) {
+        const VertexId v = static_cast<VertexId>(u);
+        for (VertexId w : g.neighbors(v)) {
+          if (w != v) arc_fn(v, w);  // each direction appears as its own arc
+        }
+      });
+    } else {
+      const auto es = in.edge_span();
+      util::parallel_for(0, es.size(), [&](std::size_t i) {
+        const Edge& e = es[i];
+        if (e.u == e.v) return;
+        arc_fn(e.u, e.v);
+        arc_fn(e.v, e.u);
+      });
+    }
+  };
 
   BaselineResult out;
   bool changed = true;
@@ -51,48 +108,39 @@ BaselineResult liu_tarjan_variant(const graph::EdgeList& el,
     changed = false;
     ++out.rounds;
 
-    // Connect: proposals resolved by min (synchronous — reads see the
-    // previous round's parents).
-    next = p;
-    auto offer = [&](VertexId target, VertexId label) {
-      if (label < next[target]) {
-        next[target] = label;
-        changed = true;
-      }
-    };
-    for (const Edge& e : edges) {
-      if (e.u == e.v) continue;
-      for (int dir = 0; dir < 2; ++dir) {
-        VertexId v = dir ? e.v : e.u;
-        VertexId w = dir ? e.u : e.v;
-        switch (variant.connect) {
-          case LtConnect::kDirect:
-            // Root v adopts its smallest neighbour.
-            if (p[v] == v) offer(v, w);
-            break;
-          case LtConnect::kParent:
-            offer(p[v], p[w]);
-            break;
-          case LtConnect::kExtended:
-            offer(p[v], p[w]);
-            offer(p[v], p[p[w]]);
-            offer(v, p[w]);
-            break;
-        }
-      }
+    // Connect: min-combining offers (COMBINING-min CRCW) via atomic_min —
+    // next[t] ends as min(p[t], every offer to t), exactly what the serial
+    // sweep computed, for every thread count and sweep order.
+    util::parallel_for(0, n, [&](std::size_t v) { next[v] = p[v]; });
+    switch (variant.connect) {
+      case LtConnect::kDirect:
+        // Root v adopts its smallest neighbour.
+        sweep([&](VertexId v, VertexId w) {
+          if (p[v] == v) util::atomic_min(next[v], w);
+        });
+        break;
+      case LtConnect::kParent:
+        sweep([&](VertexId v, VertexId w) {
+          util::atomic_min(next[p[v]], p[w]);
+        });
+        break;
+      case LtConnect::kExtended:
+        sweep([&](VertexId v, VertexId w) {
+          util::atomic_min(next[p[v]], p[w]);
+          util::atomic_min(next[p[v]], p[p[w]]);
+          util::atomic_min(next[v], p[w]);
+        });
+        break;
     }
+    changed = util::parallel_reduce(
+        std::size_t{0}, static_cast<std::size_t>(n), false,
+        [&](std::size_t v) { return next[v] != p[v]; },
+        [](bool a, bool b) { return a || b; });
     p.swap(next);
 
     // Shortcut.
     if (variant.shortcut == LtShortcut::kSingle) {
-      next = p;
-      for (std::uint64_t v = 0; v < n; ++v) {
-        if (next[v] != p[p[v]]) {
-          next[v] = p[p[v]];
-          changed = true;
-        }
-      }
-      p.swap(next);
+      changed = shortcut_step(p, next) || changed;
     } else {
       // Full flatten. Every inner SHORTCUT step is a PRAM step; count each
       // beyond the first so "-F" rounds stay comparable to "-S" rounds
@@ -100,33 +148,58 @@ BaselineResult liu_tarjan_variant(const graph::EdgeList& el,
       bool more = true;
       bool first = true;
       while (more) {
-        more = false;
-        next = p;
-        for (std::uint64_t v = 0; v < n; ++v) {
-          if (next[v] != p[p[v]]) {
-            next[v] = p[p[v]];
-            more = true;
-            changed = true;
-          }
-        }
-        p.swap(next);
+        more = shortcut_step(p, next);
+        changed = changed || more;
         if (!first && more) ++out.rounds;
         first = false;
       }
     }
 
-    // Alter.
+    // Alter: blocked parallel emit of the surviving normalized edges, then
+    // sort + unique — the resulting edge *set* (what every later round
+    // depends on) matches the historical serial path exactly.
     if (variant.alter) {
-      std::vector<Edge> altered;
-      altered.reserve(edges.size());
-      for (const Edge& e : edges) {
-        VertexId a = p[e.u], b = p[e.v];
-        if (a != b) altered.push_back({a, b});
+      auto normalized = [&](VertexId a, VertexId b) -> Edge {
+        return a <= b ? Edge{a, b} : Edge{b, a};
+      };
+      if (use_working) {
+        util::parallel_emit<Edge>(
+            edges.size(), edges_next,
+            [&](std::size_t i) -> std::size_t {
+              return p[edges[i].u] != p[edges[i].v] ? 1 : 0;
+            },
+            [&](std::size_t i, Edge* dst) {
+              *dst = normalized(p[edges[i].u], p[edges[i].v]);
+            });
+      } else if (in.csr_backed()) {
+        const graph::CsrView& g = in.csr();
+        util::parallel_emit<Edge>(
+            n, edges_next,
+            [&](std::size_t u) -> std::size_t {
+              std::size_t c = 0;
+              for (VertexId w : graph::csr_suffix(g, static_cast<VertexId>(u)))
+                c += p[static_cast<VertexId>(u)] != p[w] ? 1 : 0;
+              return c;
+            },
+            [&](std::size_t u, Edge* dst) {
+              for (VertexId w : graph::csr_suffix(g, static_cast<VertexId>(u)))
+                if (p[static_cast<VertexId>(u)] != p[w])
+                  *dst++ = normalized(p[static_cast<VertexId>(u)], p[w]);
+            });
+      } else {
+        const auto es = in.edge_span();
+        util::parallel_emit<Edge>(
+            es.size(), edges_next,
+            [&](std::size_t i) -> std::size_t {
+              return p[es[i].u] != p[es[i].v] ? 1 : 0;
+            },
+            [&](std::size_t i, Edge* dst) {
+              *dst = normalized(p[es[i].u], p[es[i].v]);
+            });
       }
-      edges.swap(altered);
+      edges.swap(edges_next);
+      use_working = true;
       // Deduplicate to keep rounds O(m)-work.
-      for (Edge& e : edges)
-        if (e.u > e.v) std::swap(e.u, e.v);
       std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
         return a.u != b.u ? a.u < b.u : a.v < b.v;
       });
@@ -150,6 +223,11 @@ BaselineResult liu_tarjan_variant(const graph::EdgeList& el,
   }
   out.labels = std::move(p);
   return out;
+}
+
+BaselineResult liu_tarjan_variant(const graph::EdgeList& el,
+                                  const LtVariant& variant) {
+  return liu_tarjan_variant(graph::ArcsInput::from_edges(el), variant);
 }
 
 }  // namespace logcc::baselines

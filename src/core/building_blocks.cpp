@@ -5,6 +5,7 @@
 #include <bit>
 #include <limits>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -93,6 +94,14 @@ bool has_nonloop(const std::vector<Arc>& arcs) {
 std::vector<VertexId> collect_ongoing(const ParentForest& forest,
                                       const std::vector<Arc>& arcs,
                                       std::vector<std::uint64_t>& first_seen) {
+  std::vector<VertexId> out;
+  collect_ongoing(forest, arcs, first_seen, out);
+  return out;
+}
+
+void collect_ongoing(const ParentForest& forest, const std::vector<Arc>& arcs,
+                     std::vector<std::uint64_t>& first_seen,
+                     std::vector<VertexId>& out) {
   first_seen.resize(forest.size(), kUnseenIndex);
   const std::size_t m2 = arcs.size() * 2;
   auto endpoint = [&](std::size_t j) {
@@ -108,7 +117,6 @@ std::vector<VertexId> collect_ongoing(const ParentForest& forest,
     util::atomic_min(first_seen[endpoint(j)],
                      static_cast<std::uint64_t>(j));
   });
-  std::vector<VertexId> out;
   util::parallel_emit(
       m2, out,
       [&](std::size_t j) -> std::size_t {
@@ -125,7 +133,6 @@ std::vector<VertexId> collect_ongoing(const ParentForest& forest,
   // entries (every written entry appears in `out` exactly once).
   util::parallel_for(0, out.size(),
                      [&](std::size_t i) { first_seen[out[i]] = kUnseenIndex; });
-  return out;
 }
 
 std::uint64_t count_ongoing(const ParentForest& forest,
@@ -197,19 +204,23 @@ std::size_t dedup_bucket_count(std::size_t n) {
 /// of a pair share u after normalization, hence a bucket), sort + unique
 /// each bucket independently, then pack the survivors back. Output order is
 /// bucket-major — deterministic, but different from the fully sorted serial
-/// path, which is why the path choice above keys on size alone.
+/// path, which is why the path choice above keys on size alone. All
+/// staging lives in round-arena scratch, so a steady-state round's dedup
+/// performs no heap allocation.
 void dedup_bucketed(std::vector<Arc>& arcs) {
   const std::size_t n = arcs.size();
   const std::size_t buckets = dedup_bucket_count(n);
   const int shift = 64 - std::countr_zero(buckets);
-  std::vector<Arc> scattered;
-  const std::vector<std::size_t> bucket_begin = util::parallel_bucket_partition(
-      arcs, scattered, buckets, [shift](const Arc& a) {
+  util::ScratchBuffer<Arc> scattered(n);
+  util::ScratchBuffer<std::size_t> bucket_begin(buckets + 1);
+  util::parallel_bucket_partition_into(
+      arcs.data(), n, scattered.data(), bucket_begin.span(), buckets,
+      [shift](const Arc& a) {
         return static_cast<std::size_t>(util::mix64(a.u) >> shift);
       });
 
   // Sort + unique each bucket in place; record surviving sizes.
-  std::vector<std::size_t> kept(buckets);
+  util::ScratchBuffer<std::size_t> kept(buckets);
   util::parallel_for_blocks(buckets, [&](std::size_t k) {
     Arc* lo = scattered.data() + bucket_begin[k];
     Arc* hi = scattered.data() + bucket_begin[k + 1];
@@ -256,6 +267,7 @@ std::uint64_t contract_impl(ParentForest& forest, std::vector<Arc>& arcs,
   std::vector<std::uint64_t> best;  // (candidate parent << 32) | arc index
   std::uint64_t rounds = 0;
   while (has_nonloop(arcs)) {
+    util::scratch_arena_round_reset();
     ++rounds;
     ++stats.phases;
     stats.pram_steps += 3;  // hook, flatten(amortised), alter

@@ -78,6 +78,14 @@ std::vector<VertexId> collect_ongoing(const ParentForest& forest,
                                       const std::vector<Arc>& arcs,
                                       std::vector<std::uint64_t>& first_seen);
 
+/// Out-parameter form of collect_ongoing: `out` is clear()ed and refilled,
+/// so a phase loop that hoists it reuses its capacity — no per-phase
+/// allocation in steady state (part of the RoundArena zero-allocation
+/// property; see core/round_arena.hpp).
+void collect_ongoing(const ParentForest& forest, const std::vector<Arc>& arcs,
+                     std::vector<std::uint64_t>& first_seen,
+                     std::vector<VertexId>& out);
+
 /// Count-only variant of collect_ongoing, same scratch protocol.
 std::uint64_t count_ongoing(const ParentForest& forest,
                             const std::vector<Arc>& arcs,

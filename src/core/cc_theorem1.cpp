@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "core/expand.hpp"
+#include "core/round_arena.hpp"
 #include "core/vanilla.hpp"
 #include "core/vote.hpp"
+#include "util/arena.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -49,8 +51,14 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
 
   std::vector<std::uint64_t> seen_scratch;  // reused by every phase
   ExpandScratch expand_scratch;             // ditto (slot map + fill buffers)
+  // Hoisted per-phase buffers (ongoing set, leader flags, LINK choices):
+  // steady-state phases reuse their capacity instead of allocating.
+  std::vector<VertexId> ongoing;
+  std::vector<std::uint8_t> leader;
+  std::vector<VertexId> chosen;
   std::uint64_t phase = 0;
   while (true) {
+    util::scratch_arena_round_reset();
     dedup_arcs(arcs);
     drop_loops(arcs);
     if (!has_nonloop(arcs)) return;
@@ -58,7 +66,7 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
     ++phase;
     ++stats.phases;
 
-    std::vector<VertexId> ongoing = collect_ongoing(forest, arcs, seen_scratch);
+    collect_ongoing(forest, arcs, seen_scratch, ongoing);
     const double n_prime = params.exact_count
                                ? static_cast<double>(ongoing.size())
                                : std::max(1.0, n_tilde);
@@ -84,7 +92,7 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
     VoteParams vp;
     vp.dormant_leader_prob = std::pow(b, -2.0 / 3.0);
     vp.seed = util::mix64(params.seed, 0x40E + phase);
-    std::vector<std::uint8_t> leader = vote(expand, vp, stats);
+    vote(expand, vp, stats, leader);
 
     // Space in use this phase: arc processors + all tables.
     stats.peak_space_words =
@@ -100,7 +108,7 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
     // every thread count.
     stats.pram_steps += 1;
     const std::uint32_t num = expand.num_slots();
-    std::vector<VertexId> chosen(num, graph::kInvalidVertex);
+    chosen.assign(num, graph::kInvalidVertex);
     util::parallel_for(0, arcs.size(), [&](std::size_t i) {
       const Arc& a = arcs[i];
       if (a.u == a.v) return;
@@ -144,6 +152,8 @@ void theorem1_phases(ParentForest& forest, std::vector<Arc>& arcs,
 
 CcResult theorem1_cc(const graph::ArcsInput& in, const Theorem1Params& params) {
   CcResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
   const std::uint64_t n = in.num_vertices();
   ParentForest forest(n);
   std::vector<Arc> arcs = arcs_from_input(in);
@@ -166,10 +176,11 @@ CcResult theorem1_cc(const graph::ArcsInput& in, const Theorem1Params& params) {
                      2.0 * util::loglog_density(n, m0)) +
                  4;
       std::vector<std::uint64_t> seen_scratch;
+      std::vector<VertexId> ongoing;
       std::uint64_t prepare_phases = 0;
       while (prepare_phases < budget && has_nonloop(arcs)) {
-        std::vector<VertexId> ongoing =
-            collect_ongoing(forest, arcs, seen_scratch);
+        util::scratch_arena_round_reset();
+        collect_ongoing(forest, arcs, seen_scratch, ongoing);
         if (static_cast<double>(m0) /
                 std::max<double>(1.0, static_cast<double>(ongoing.size())) >=
             params.prepare_target_density)

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "core/round_arena.hpp"
 #include "core/vanilla.hpp"
+#include "util/arena.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
 #include "util/hashing.hpp"
@@ -33,6 +35,7 @@ std::optional<std::vector<std::uint32_t>> approximate_compaction_vec(
   std::vector<std::uint32_t> unplaced = std::move(items);
   for (std::uint32_t round = 0; round < max_rounds && !unplaced.empty();
        ++round) {
+    util::scratch_arena_round_reset();
     auto h = util::PairwiseHash::from_seed(seed, 0xC0417 + round);
     // Contend by fetch-min (the minimum id wins the cell — a deterministic
     // ARBITRARY resolution); winners re-read and claim their cell, losers
@@ -64,6 +67,8 @@ std::optional<std::vector<std::uint32_t>> approximate_compaction_vec(
 
 CompactResult compact(const graph::ArcsInput& in, const CompactParams& params) {
   CompactResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
   const std::uint64_t n = in.num_vertices();
   out.outer.reset(n);
   std::vector<Arc> arcs = arcs_from_input(in);
@@ -81,6 +86,7 @@ CompactResult compact(const graph::ArcsInput& in, const CompactParams& params) {
   vo.max_phases = 1;
   std::vector<std::uint64_t> seen_scratch;  // reused by every phase
   while (phases < budget && has_nonloop(arcs)) {
+    util::scratch_arena_round_reset();
     std::uint64_t ongoing = count_ongoing(out.outer, arcs, seen_scratch);
     if (static_cast<double>(m0) /
             std::max<double>(1.0, static_cast<double>(ongoing)) >=

@@ -5,6 +5,7 @@
 #include "baselines/label_propagation.hpp"
 #include "baselines/shiloach_vishkin.hpp"
 #include "baselines/union_find.hpp"
+#include "core/round_arena.hpp"
 #include "core/vanilla.hpp"
 #include "graph/graph_algos.hpp"
 #include "util/check.hpp"
@@ -48,6 +49,11 @@ ComponentsResult connected_components(const graph::ArcsInput& in,
                                       Algorithm algorithm,
                                       const Options& options) {
   ComponentsResult out;
+  // One round-scratch arena for the whole run: the paper drivers install
+  // their own (inner scopes no-op), and the round-loop baselines get the
+  // same steady-state zero-allocation behaviour through this one.
+  core::RoundArena round_arena;
+  core::RoundArena::Scope arena_scope(round_arena);
   util::Timer timer;
   switch (algorithm) {
     case Algorithm::kFasterCC: {
@@ -129,6 +135,8 @@ ComponentsResult connected_components(const graph::EdgeList& el,
 ForestResult spanning_forest(const graph::ArcsInput& in, SfAlgorithm algorithm,
                              const Options& options) {
   ForestResult out;
+  core::RoundArena round_arena;
+  core::RoundArena::Scope arena_scope(round_arena);
   util::Timer timer;
   switch (algorithm) {
     case SfAlgorithm::kTheorem2: {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/scan.hpp"
@@ -113,8 +114,11 @@ void ExpandEngine::assign_blocks() {
   });
   const std::size_t buckets = occupancy_bucket_count(num);
   const int shift = 64 - std::countr_zero(buckets);
-  const std::vector<std::size_t> begin = util::parallel_bucket_partition(
-      keys, scattered, buckets, [shift](const auto& kv) {
+  scattered.resize(keys.size());
+  util::ScratchBuffer<std::size_t> begin(buckets + 1);
+  util::parallel_bucket_partition_into(
+      keys.data(), keys.size(), scattered.data(), begin.span(), buckets,
+      [shift](const auto& kv) {
         return static_cast<std::size_t>(util::mix64(kv.first) >> shift);
       });
   util::parallel_for_blocks(buckets, [&](std::size_t k) {
@@ -175,8 +179,10 @@ void ExpandEngine::seed_tables() {
         dst[1] = {sv, w};
       });
   const std::uint32_t num = num_slots();
-  const std::vector<std::size_t> slot_begin = util::parallel_group_by(
-      items, grouped, num, [](const auto& it) { return it.first; });
+  util::ScratchBuffer<std::size_t> slot_begin(num + 1);
+  util::parallel_group_by_into(items, grouped, num,
+                               [](const auto& it) { return it.first; },
+                               slot_begin.span());
   auto& coll = scratch_->collisions;
   util::parallel_for(0, num, [&](std::size_t s) {
     coll[s] = 0;
@@ -226,6 +232,9 @@ void ExpandEngine::doubling_rounds() {
   std::vector<std::uint8_t> changed_now(num), dormant_now(num);
 
   for (std::uint32_t round = 1; round <= params_.max_rounds; ++round) {
+    // Safe here even when a phase loop above holds the arena: between
+    // kernel calls nothing lives in it (the RoundArena rule).
+    util::scratch_arena_round_reset();
     ++stats_.pram_steps;
     ++stats_.expand_rounds;
 

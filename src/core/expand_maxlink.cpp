@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/hashing.hpp"
 #include "util/parallel.hpp"
@@ -215,9 +216,11 @@ bool ExpandMaxlink::round() {
         if (eligible(a.u, a.v)) *dst++ = {a.u, a.v};
         if (eligible(a.v, a.u)) *dst = {a.v, a.u};
       });
-  const std::vector<std::size_t> root_begin = util::parallel_group_by(
+  util::ScratchBuffer<std::size_t> root_begin(n_ + 1);
+  util::parallel_group_by_into(
       fill_items_, fill_grouped_, n_,
-      [](const auto& it) { return static_cast<std::size_t>(it.first); });
+      [](const auto& it) { return static_cast<std::size_t>(it.first); },
+      root_begin.span());
   util::parallel_for(0, n_, [&](std::size_t v) {
     coll_[v] = 0;
     VertexTable& t = table_[v];

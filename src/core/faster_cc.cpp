@@ -4,6 +4,8 @@
 
 #include "core/compact.hpp"
 #include "core/expand_maxlink.hpp"
+#include "core/round_arena.hpp"
+#include "util/arena.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -13,6 +15,8 @@ namespace logcc::core {
 
 CcResult faster_cc(const graph::ArcsInput& in, const FasterCcParams& params) {
   CcResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
   const std::uint64_t n = in.num_vertices();
 
   // ---- COMPACT: PREPARE + renaming.
@@ -50,6 +54,7 @@ CcResult faster_cc(const graph::ArcsInput& in, const FasterCcParams& params) {
 
   bool broke = false;
   for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    util::scratch_arena_round_reset();
     if (engine.round()) {
       broke = true;
       break;

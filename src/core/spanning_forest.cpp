@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "core/expand.hpp"
+#include "core/round_arena.hpp"
 #include "core/vanilla.hpp"
 #include "core/vote.hpp"
+#include "util/arena.hpp"
 #include "util/bitutil.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -164,6 +166,8 @@ void tree_link(const ExpandEngine& expand,
 SfResult theorem2_sf(const graph::ArcsInput& in,
                      const SpanningForestParams& params) {
   SfResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
   const std::uint64_t n = in.num_vertices();
   ParentForest forest(n);
   std::vector<Arc> arcs = arcs_from_input(in);
@@ -185,9 +189,10 @@ SfResult theorem2_sf(const graph::ArcsInput& in,
           static_cast<std::uint64_t>(2.0 * util::loglog_density(n, m0)) + 4;
     VanillaOptions vo;
     vo.max_phases = 1;
+    std::vector<VertexId> ongoing;
     while (prepare_phases < budget && has_nonloop(arcs)) {
-      std::vector<VertexId> ongoing =
-          collect_ongoing(forest, arcs, seen_scratch);
+      util::scratch_arena_round_reset();
+      collect_ongoing(forest, arcs, seen_scratch, ongoing);
       if (static_cast<double>(m0) /
               std::max<double>(1.0, static_cast<double>(ongoing.size())) >=
           params.prepare_target_density)
@@ -208,7 +213,10 @@ SfResult theorem2_sf(const graph::ArcsInput& in,
   }
 
   std::uint64_t phase = 0;
+  std::vector<VertexId> ongoing;
+  std::vector<std::uint8_t> leader;
   while (true) {
+    util::scratch_arena_round_reset();
     dedup_arcs(arcs);
     drop_loops(arcs);
     if (!has_nonloop(arcs)) break;
@@ -220,8 +228,7 @@ SfResult theorem2_sf(const graph::ArcsInput& in,
     ++phase;
     ++out.stats.phases;
 
-    std::vector<VertexId> ongoing =
-        collect_ongoing(forest, arcs, seen_scratch);
+    collect_ongoing(forest, arcs, seen_scratch, ongoing);
     const double delta =
         std::max(2.0, static_cast<double>(m0) /
                           std::max<double>(1.0, static_cast<double>(ongoing.size())));
@@ -245,7 +252,7 @@ SfResult theorem2_sf(const graph::ArcsInput& in,
     VoteParams vp;
     vp.dormant_leader_prob = std::pow(b, -2.0 / 3.0);
     vp.seed = util::mix64(params.seed, 0x5F0E + phase);
-    std::vector<std::uint8_t> leader = vote(expand, vp, out.stats);
+    vote(expand, vp, out.stats, leader);
 
     out.stats.peak_space_words = std::max<std::uint64_t>(
         out.stats.peak_space_words,

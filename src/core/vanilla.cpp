@@ -1,5 +1,7 @@
 #include "core/vanilla.hpp"
 
+#include "core/round_arena.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
@@ -24,6 +26,7 @@ std::uint64_t run_phases(ParentForest& forest, std::vector<Arc>& arcs,
   std::uint64_t phases = 0;
   while (has_nonloop(arcs)) {
     if (opt.max_phases && phases >= opt.max_phases) break;
+    util::scratch_arena_round_reset();
     ++phases;
     ++stats.phases;
     stats.pram_steps += 5;  // vote, mark, link, shortcut, alter
@@ -88,6 +91,8 @@ std::uint64_t vanilla_sf_phases(ParentForest& forest, std::vector<Arc>& arcs,
 
 VanillaCcResult vanilla_cc(const graph::ArcsInput& in, std::uint64_t seed) {
   VanillaCcResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
   ParentForest forest(in.num_vertices());
   std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);
@@ -105,6 +110,8 @@ VanillaCcResult vanilla_cc(const graph::EdgeList& el, std::uint64_t seed) {
 
 VanillaSfResult vanilla_sf(const graph::ArcsInput& in, std::uint64_t seed) {
   VanillaSfResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
   ParentForest forest(in.num_vertices());
   std::vector<Arc> arcs = arcs_from_input(in);
   drop_loops(arcs);

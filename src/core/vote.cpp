@@ -7,8 +7,15 @@ namespace logcc::core {
 
 std::vector<std::uint8_t> vote(const ExpandEngine& expand,
                                const VoteParams& params, RunStats& stats) {
+  std::vector<std::uint8_t> leader;
+  vote(expand, params, stats, leader);
+  return leader;
+}
+
+void vote(const ExpandEngine& expand, const VoteParams& params,
+          RunStats& stats, std::vector<std::uint8_t>& leader) {
   const std::uint32_t num = expand.num_slots();
-  std::vector<std::uint8_t> leader(num);
+  leader.resize(num);
   // Fused map + min pass sharing Vanilla's kernel style: every slot scans
   // its own table (live: the deterministic min-id rule) or draws a
   // counter-based coin keyed on its vertex id (dormant) — no shared RNG
@@ -30,7 +37,6 @@ std::vector<std::uint8_t> vote(const ExpandEngine& expand,
     leader[s] = lead;
   });
   stats.pram_steps += 1;
-  return leader;
 }
 
 }  // namespace logcc::core

@@ -30,4 +30,10 @@ struct VoteParams {
 std::vector<std::uint8_t> vote(const ExpandEngine& expand,
                                const VoteParams& params, RunStats& stats);
 
+/// Out-parameter form: `leader` is resized to the slot count and fully
+/// overwritten. Phase loops hoist it so steady-state phases reuse its
+/// capacity instead of allocating (see core/round_arena.hpp).
+void vote(const ExpandEngine& expand, const VoteParams& params,
+          RunStats& stats, std::vector<std::uint8_t>& leader);
+
 }  // namespace logcc::core

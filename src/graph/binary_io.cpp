@@ -179,8 +179,9 @@ bool sniff_binary_csr(const std::string& path) {
   return got && std::memcmp(magic, kBinaryCsrMagic, sizeof(magic)) == 0;
 }
 
-bool BinaryGraph::open(const std::string& path, std::string* error) {
-  map_ = util::MmapFile::open_read(path, error);
+bool BinaryGraph::open(const std::string& path, std::string* error,
+                       util::MmapPopulate populate) {
+  map_ = util::MmapFile::open_read(path, error, populate);
   view_ = CsrView{};
   if (!map_.valid()) return false;
   if (map_.size() < kHeaderBytes) {
@@ -399,7 +400,7 @@ const EdgeList& DatasetHandle::edges() {
 }
 
 bool load_dataset_zero_copy(const std::string& spec, DatasetHandle& out,
-                            std::string* error) {
+                            std::string* error, util::MmapPopulate populate) {
   util::Timer timer;
   out = DatasetHandle{};
   DatasetInfo& info = out.info_;
@@ -417,7 +418,8 @@ bool load_dataset_zero_copy(const std::string& spec, DatasetHandle& out,
     out.input_ = ArcsInput::from_edges(out.el_);
     info.source = "generator";
   } else if (sniff_binary_csr(spec)) {
-    if (!out.bg_.open(spec, error)) return false;
+    if (!out.bg_.open(spec, error, populate)) return false;
+    info.populate = populate;
     // Deep validation before any accessor dereferences interior offsets: a
     // corrupt (but envelope-consistent) file must be a clean error, not an
     // out-of-bounds read — and the symmetry check matters doubly here,

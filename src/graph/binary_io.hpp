@@ -63,8 +63,10 @@ class BinaryGraph {
   /// Validates the header (magic, version, endianness, exact file size) and
   /// the offsets envelope (offsets[0] == 0, offsets[n] == num_arcs).
   /// Returns false with a reason in `error` on any mismatch — truncated or
-  /// foreign files never yield a view.
-  bool open(const std::string& path, std::string* error = nullptr);
+  /// foreign files never yield a view. `populate` selects eager page
+  /// population of the mapping (util/mmap_file.hpp).
+  bool open(const std::string& path, std::string* error = nullptr,
+            util::MmapPopulate populate = util::MmapPopulate::kNone);
 
   const CsrView& view() const { return view_; }
   bool zero_copy() const { return map_.is_mapped(); }
@@ -142,6 +144,8 @@ struct DatasetInfo {
   /// zero-copy path — the CI bench smoke asserts this for binary inputs.
   double materialize_seconds = 0.0;
   std::uint64_t file_bytes = 0;  // 0 for generators
+  /// Page-population mode the mapping was opened with (binary sources).
+  util::MmapPopulate populate = util::MmapPopulate::kNone;
 };
 
 /// Parses a "family:n[:seed]" generator spec (what load_dataset accepts
@@ -186,7 +190,7 @@ class DatasetHandle {
 
  private:
   friend bool load_dataset_zero_copy(const std::string&, DatasetHandle&,
-                                     std::string*);
+                                     std::string*, util::MmapPopulate);
   friend bool load_dataset(const std::string&, EdgeList&, DatasetInfo*,
                            std::string*);
   BinaryGraph bg_;   // keeps the mmap alive for CSR-backed inputs
@@ -200,8 +204,12 @@ class DatasetHandle {
 /// but binary files stay in their mmap'd CSR form: info().load_seconds
 /// covers open + deep validate only and materialize_seconds stays 0 unless
 /// the caller asks for edges(). cc_bench/cc_tool run algorithms straight
-/// off handle.input().
+/// off handle.input(). `populate` selects eager page population for binary
+/// (mmap) sources and is recorded in info().populate (cc_bench
+/// --populate).
 bool load_dataset_zero_copy(const std::string& spec, DatasetHandle& out,
-                            std::string* error = nullptr);
+                            std::string* error = nullptr,
+                            util::MmapPopulate populate =
+                                util::MmapPopulate::kNone);
 
 }  // namespace logcc::graph

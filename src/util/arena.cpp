@@ -1,0 +1,22 @@
+#include "util/arena.hpp"
+
+namespace logcc::util {
+
+namespace {
+thread_local MonotonicArena* tl_active_arena = nullptr;
+}  // namespace
+
+MonotonicArena* active_scratch_arena() { return tl_active_arena; }
+
+ScratchArenaScope::ScratchArenaScope(MonotonicArena* arena)
+    : previous_(tl_active_arena) {
+  tl_active_arena = arena;
+}
+
+ScratchArenaScope::~ScratchArenaScope() { tl_active_arena = previous_; }
+
+void scratch_arena_round_reset() {
+  if (tl_active_arena) tl_active_arena->reset();
+}
+
+}  // namespace logcc::util

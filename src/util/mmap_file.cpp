@@ -54,7 +54,17 @@ bool MmapFile::sync() {
   return true;
 }
 
-MmapFile MmapFile::open_read(const std::string& path, std::string* error) {
+const char* to_string(MmapPopulate populate) {
+  switch (populate) {
+    case MmapPopulate::kNone: return "none";
+    case MmapPopulate::kWillNeed: return "willneed";
+    case MmapPopulate::kPopulate: return "populate";
+  }
+  return "?";
+}
+
+MmapFile MmapFile::open_read(const std::string& path, std::string* error,
+                             MmapPopulate populate) {
   MmapFile f;
 #ifdef LOGCC_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -74,7 +84,11 @@ MmapFile MmapFile::open_read(const std::string& path, std::string* error) {
     ::close(fd);
     return f;  // valid, empty
   }
-  void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+  if (populate == MmapPopulate::kPopulate) flags |= MAP_POPULATE;
+#endif
+  void* p = ::mmap(nullptr, f.size_, PROT_READ, flags, fd, 0);
   ::close(fd);  // the mapping keeps its own reference
   if (p == MAP_FAILED) {
     f.size_ = 0;
@@ -82,10 +96,19 @@ MmapFile MmapFile::open_read(const std::string& path, std::string* error) {
     set_error(error, "mmap failed for '" + path + "'");
     return f;
   }
+#ifdef MAP_POPULATE
+  if (populate == MmapPopulate::kWillNeed)
+    ::madvise(p, f.size_, MADV_WILLNEED);
+#else
+  // No MAP_POPULATE on this platform: both eager modes degrade to the
+  // readahead hint (best effort; ignore failure).
+  if (populate != MmapPopulate::kNone) ::madvise(p, f.size_, MADV_WILLNEED);
+#endif
   f.data_ = static_cast<std::uint8_t*>(p);
   f.mapped_ = true;
   return f;
 #else
+  (void)populate;  // the heap fallback reads the whole file eagerly anyway
   // Heap fallback: correct but not zero-copy.
   std::FILE* fp = std::fopen(path.c_str(), "rb");
   if (!fp) {

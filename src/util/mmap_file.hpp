@@ -24,6 +24,17 @@
 
 namespace logcc::util {
 
+/// Page-population policy for read mappings. Default (kNone) faults pages
+/// in lazily on first touch; the eager modes trade load latency for
+/// first-sweep latency on large cold datasets (cc_bench --populate sweeps
+/// this and records the mode in bench.json):
+///   kWillNeed — madvise(MADV_WILLNEED): asynchronous readahead hint.
+///   kPopulate — MAP_POPULATE (Linux): synchronously pre-fault every page
+///               at mmap time (falls back to kWillNeed where unsupported).
+enum class MmapPopulate { kNone, kWillNeed, kPopulate };
+
+const char* to_string(MmapPopulate populate);
+
 class MmapFile {
  public:
   MmapFile() = default;
@@ -36,8 +47,11 @@ class MmapFile {
 
   /// Maps `path` read-only. On failure returns an invalid MmapFile and, if
   /// `error` is non-null, stores a human-readable reason. Empty files map
-  /// as valid with size 0.
-  static MmapFile open_read(const std::string& path, std::string* error = nullptr);
+  /// as valid with size 0. `populate` selects eager page population (a
+  /// no-op for the heap fallback, which is eager by nature).
+  static MmapFile open_read(const std::string& path,
+                            std::string* error = nullptr,
+                            MmapPopulate populate = MmapPopulate::kNone);
 
   /// Creates (or truncates) `path`, sizes it to exactly `size` bytes, and
   /// maps it read-write. The mapping is flushed and unmapped on destruction

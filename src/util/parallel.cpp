@@ -1,99 +1,202 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
 #ifdef LOGCC_HAVE_OPENMP
 #include <omp.h>
 #endif
 
-// Under ThreadSanitizer, route parallel_for through std::thread instead of
-// OpenMP. GCC's libgomp is not TSan-instrumented, so TSan cannot see the
-// happens-before edges of the fork/join barriers and reports false races
-// between accesses in *different*, properly-joined parallel regions.
-// pthread create/join edges are fully modeled, so the std::thread backend
-// race-checks exactly the library's own kernels — which is what the TSan CI
-// job is for. The work split is blocked and deterministic either way.
+// Under ThreadSanitizer force the pool backend: GCC's libgomp is not
+// TSan-instrumented, so TSan cannot see the happens-before edges of the
+// OpenMP fork/join barriers and reports false races between accesses in
+// *different*, properly-synchronized parallel regions. The pool's
+// mutex/condvar/atomic edges are fully modeled, so the TSan job race-checks
+// exactly the library's own kernels.
 #if defined(__SANITIZE_THREAD__)
-#define LOGCC_TSAN_BACKEND 1
+#define LOGCC_TSAN_BUILD 1
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
-#define LOGCC_TSAN_BACKEND 1
+#define LOGCC_TSAN_BUILD 1
 #endif
-#endif
-
-#ifdef LOGCC_TSAN_BACKEND
-#include <algorithm>
-#include <cstdlib>
-#include <thread>
-#include <vector>
 #endif
 
 namespace logcc::util {
 
-#ifdef LOGCC_TSAN_BACKEND
 namespace {
-int tsan_initial_threads() {
-  // Honour OMP_NUM_THREADS so the TSan CI job's pinning applies to this
-  // backend too.
+
+int env_threads() {
   if (const char* env = std::getenv("OMP_NUM_THREADS")) {
     const int v = std::atoi(env);
     if (v >= 1) return v;
   }
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
-int g_tsan_threads = tsan_initial_threads();
-}  // namespace
+
+ParallelBackend default_backend() {
+  if (const char* env = std::getenv("LOGCC_BACKEND")) {
+    if (std::strcmp(env, "serial") == 0) return ParallelBackend::kSerial;
+    if (std::strcmp(env, "omp") == 0) {
+#if defined(LOGCC_HAVE_OPENMP) && !defined(LOGCC_TSAN_BUILD)
+      return ParallelBackend::kOpenMP;
+#else
+      return ParallelBackend::kPool;
 #endif
+    }
+    if (std::strcmp(env, "pool") != 0) {
+      // A typo'd backend must not silently measure the wrong thing.
+      std::fprintf(stderr,
+                   "logcc: unknown LOGCC_BACKEND '%s' "
+                   "(want pool|omp|serial); using pool\n",
+                   env);
+    }
+  }
+  return ParallelBackend::kPool;
+}
+
+std::atomic<ParallelBackend> g_backend{default_backend()};
+// Thread cap for the serial-unaware paths (OpenMP tracks its own; the pool
+// tracks lanes). Kept so backend switches preserve the requested width.
+std::atomic<int> g_threads{env_threads()};
+
+constexpr std::size_t kDefaultGrain = 1024;
+constexpr std::size_t kMinGrain = 256;
+constexpr std::size_t kMaxGrain = 16384;
+
+/// Measures the pool's empty-dispatch latency and derives a grain such that
+/// one chunk's work (assuming on the order of a nanosecond per index)
+/// amortises the dispatch. Purely a scheduling knob: results never depend
+/// on it. LOGCC_GRAIN pins it instead.
+std::size_t calibrate_grain() {
+  if (const char* env = std::getenv("LOGCC_GRAIN")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  if (g_backend.load(std::memory_order_relaxed) != ParallelBackend::kPool ||
+      g_threads.load(std::memory_order_relaxed) <= 1)
+    return kDefaultGrain;
+  ThreadPool& pool = ThreadPool::instance();
+  pool.set_lanes(g_threads.load(std::memory_order_relaxed));
+  auto noop = [](void*, std::size_t, std::size_t) {};
+  // Warm the pool (starts workers), then time a handful of empty
+  // dispatches.
+  pool.run(0, 64, 1, nullptr, noop);
+  constexpr int kReps = 32;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) pool.run(0, 64, 1, nullptr, noop);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      kReps;
+  // Chunk work should dwarf the per-dispatch cost; at ~1ns/index, `ns`
+  // indices per chunk puts the whole-dispatch overhead near 1/lanes of one
+  // chunk.
+  return std::clamp<std::size_t>(static_cast<std::size_t>(ns), kMinGrain,
+                                 kMaxGrain);
+}
+
+std::atomic<std::size_t> g_grain{0};  // 0 = not yet calibrated
+
+}  // namespace
+
+ParallelBackend parallel_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void set_parallel_backend(ParallelBackend backend) {
+#if !defined(LOGCC_HAVE_OPENMP) || defined(LOGCC_TSAN_BUILD)
+  if (backend == ParallelBackend::kOpenMP) backend = ParallelBackend::kPool;
+#endif
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+const char* parallel_backend_name() {
+  switch (parallel_backend()) {
+    case ParallelBackend::kSerial: return "serial";
+    case ParallelBackend::kOpenMP: return "omp";
+    case ParallelBackend::kPool: return "pool";
+  }
+  return "?";
+}
 
 int hardware_parallelism() {
-#if defined(LOGCC_TSAN_BACKEND)
-  return g_tsan_threads;
-#elif defined(LOGCC_HAVE_OPENMP)
-  return omp_get_max_threads();
+  switch (parallel_backend()) {
+    case ParallelBackend::kSerial:
+      return 1;
+    case ParallelBackend::kOpenMP:
+#ifdef LOGCC_HAVE_OPENMP
+      return omp_get_max_threads();
 #else
-  return 1;
+      return 1;
 #endif
+    case ParallelBackend::kPool:
+      return g_threads.load(std::memory_order_relaxed);
+  }
+  return 1;
 }
 
 void set_parallelism(int threads) {
-#if defined(LOGCC_TSAN_BACKEND)
-  if (threads >= 1) g_tsan_threads = threads;
-#elif defined(LOGCC_HAVE_OPENMP)
-  if (threads >= 1) omp_set_num_threads(threads);
-#else
-  (void)threads;
+  if (threads < 1) return;
+  g_threads.store(threads, std::memory_order_relaxed);
+#ifdef LOGCC_HAVE_OPENMP
+  omp_set_num_threads(threads);
 #endif
+  ThreadPool::instance().set_lanes(threads);
+}
+
+std::size_t parallel_grain() {
+  std::size_t g = g_grain.load(std::memory_order_relaxed);
+  if (g == 0) {
+    g = calibrate_grain();
+    g_grain.store(g, std::memory_order_relaxed);
+  }
+  return g;
+}
+
+void set_parallel_grain(std::size_t grain) {
+  g_grain.store(std::max<std::size_t>(1, grain), std::memory_order_relaxed);
 }
 
 namespace detail {
 
-void parallel_for_impl(std::size_t begin, std::size_t end, void* ctx,
-                       void (*body)(void*, std::size_t)) {
-#if defined(LOGCC_TSAN_BACKEND)
-  const std::size_t n = end - begin;
-  const std::size_t workers =
-      std::min<std::size_t>(static_cast<std::size_t>(g_tsan_threads), n);
-  if (workers <= 1) {
-    for (std::size_t i = begin; i < end; ++i) body(ctx, i);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + n / workers * w + std::min(w, n % workers);
-    const std::size_t hi =
-        begin + n / workers * (w + 1) + std::min(w + 1, n % workers);
-    pool.emplace_back([ctx, body, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) body(ctx, i);
-    });
-  }
-  for (auto& t : pool) t.join();
-#elif defined(LOGCC_HAVE_OPENMP)
-  const std::int64_t b = static_cast<std::int64_t>(begin);
-  const std::int64_t e = static_cast<std::int64_t>(end);
+void parallel_run_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       void* ctx,
+                       void (*chunk)(void*, std::size_t, std::size_t)) {
+  if (end <= begin) return;
+  switch (parallel_backend()) {
+    case ParallelBackend::kSerial:
+      chunk(ctx, begin, end);
+      return;
+    case ParallelBackend::kOpenMP: {
+#ifdef LOGCC_HAVE_OPENMP
+      const std::size_t n = end - begin;
+      const std::size_t g = std::max<std::size_t>(1, grain);
+      const std::int64_t chunks =
+          static_cast<std::int64_t>((n + g - 1) / g);
 #pragma omp parallel for schedule(static)
-  for (std::int64_t i = b; i < e; ++i) body(ctx, static_cast<std::size_t>(i));
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + static_cast<std::size_t>(c) * g;
+        chunk(ctx, lo, std::min(end, lo + g));
+      }
 #else
-  for (std::size_t i = begin; i < end; ++i) body(ctx, i);
+      chunk(ctx, begin, end);
 #endif
+      return;
+    }
+    case ParallelBackend::kPool: {
+      ThreadPool& pool = ThreadPool::instance();
+      pool.set_lanes(g_threads.load(std::memory_order_relaxed));
+      pool.run(begin, end, grain, ctx, chunk);
+      return;
+    }
+  }
 }
 
 }  // namespace detail

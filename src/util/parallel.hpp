@@ -1,15 +1,33 @@
-// Data-parallel loop primitive.
+// Data-parallel loop primitive over interchangeable backends.
 //
-// One PRAM step over k processors maps to `parallel_for(0, k, fn)`. With
-// OpenMP available the loop is work-shared across hardware threads; without
-// it (or when the range is small) it degrades to a serial loop. Under
-// ThreadSanitizer the backend swaps to std::thread fork/join (see
-// parallel.cpp) so TSan sees every synchronization edge and race-checks the
-// library's own kernels without libgomp false positives. Algorithms never
-// depend on the execution order inside a step: all cross-processor
+// One PRAM step over k processors maps to `parallel_for(0, k, fn)`. The
+// dispatch goes through one of three backends of the same executor API:
+//
+//   kPool   — the persistent parking worker pool (util/thread_pool.hpp).
+//             The default: no per-dispatch thread creation or fork/join,
+//             chunked work distribution with a calibrated grain, adaptive
+//             spin before parking. Fully instrumented under TSan (plain
+//             std::thread/std::mutex synchronization).
+//   kOpenMP — `#pragma omp parallel for` over the same chunks, when built
+//             with LOGCC_HAVE_OPENMP. Kept for comparison benches and as an
+//             escape hatch; selecting it without OpenMP support falls back
+//             to the pool.
+//   kSerial — inline serial loop (also what sub-grain ranges always get).
+//
+// Selection: LOGCC_BACKEND=pool|omp|serial in the environment, or
+// set_parallel_backend() from code. Under ThreadSanitizer the default is
+// forced to the pool — GCC's libgomp is not TSan-instrumented, so OpenMP
+// barriers would produce false races; the pool's pthread edges are fully
+// modeled, which makes the TSan CI job race-check exactly this library's
+// kernels.
+//
+// The backend choice NEVER affects results. Algorithms never depend on the
+// execution order or placement inside a step: all cross-processor
 // communication goes through buffered writes resolved between steps (see
 // pram/machine.hpp) or through commutative atomics-free patterns
-// (idempotent writes / seeded arbitrary-winner resolution).
+// (idempotent writes / fetch-min resolution), and the blocked primitives in
+// scan.hpp fix their block structure as a function of input size alone.
+// Every invariance suite runs bit-identically under all three backends.
 #pragma once
 
 #include <cstddef>
@@ -17,20 +35,49 @@
 
 namespace logcc::util {
 
-/// Number of worker threads parallel_for may use (1 when OpenMP is absent).
+enum class ParallelBackend {
+  kSerial,
+  kOpenMP,
+  kPool,
+};
+
+/// The active backend (resolved: kOpenMP is only ever reported when the
+/// build has OpenMP support).
+ParallelBackend parallel_backend();
+
+/// Switches the dispatch backend. kOpenMP without OpenMP support selects
+/// the pool instead. Benches and tests use this to compare backends; the
+/// LOGCC_BACKEND environment variable sets the process default.
+void set_parallel_backend(ParallelBackend backend);
+
+/// "pool" | "omp" | "serial" — for bench.json provenance records.
+const char* parallel_backend_name();
+
+/// Number of worker threads parallel_for may use under the active backend
+/// (1 for kSerial).
 int hardware_parallelism();
 
-/// Caps the number of worker threads (no-op without OpenMP). Benches and the
-/// thread-invariance tests use this to pin the thread count from code.
+/// Caps the number of worker threads (no-op for kSerial). Benches and the
+/// thread-invariance tests use this to pin the thread count from code; the
+/// initial value honours OMP_NUM_THREADS for every backend.
 void set_parallelism(int threads);
 
 /// Grain below which parallel_for always runs serially.
 inline constexpr std::size_t kSerialGrain = 4096;
 
+/// Minimum indices per chunk handed to a lane in one claim. Calibrated
+/// once, lazily, from the measured dispatch latency (LOGCC_GRAIN overrides;
+/// see parallel.cpp). Affects scheduling only, never results.
+std::size_t parallel_grain();
+void set_parallel_grain(std::size_t grain);
+
 namespace detail {
-void parallel_for_impl(std::size_t begin, std::size_t end, void* ctx,
-                       void (*body)(void*, std::size_t));
-}
+/// Dispatches chunk(ctx, lo, hi) covering [begin, end) on the active
+/// backend; chunks hold at least `grain` indices.
+void parallel_run_impl(std::size_t begin, std::size_t end, std::size_t grain,
+                       void* ctx,
+                       void (*chunk)(void*, std::size_t, std::size_t));
+}  // namespace detail
 
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
@@ -39,25 +86,30 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  detail::parallel_for_impl(begin, end, &fn, [](void* ctx, std::size_t i) {
-    (*static_cast<Fn*>(ctx))(i);
-  });
+  detail::parallel_run_impl(begin, end, parallel_grain(), &fn,
+                            [](void* ctx, std::size_t lo, std::size_t hi) {
+                              Fn& f = *static_cast<Fn*>(ctx);
+                              for (std::size_t i = lo; i < hi; ++i) f(i);
+                            });
 }
 
 /// Dispatches `blocks` coarse work items, each already covering at least a
 /// grain of underlying work, so — unlike parallel_for — there is no
-/// element-count threshold: any count above 1 work-shares. The blocked
-/// primitives in scan.hpp dispatch through this (their block counts are
-/// far below kSerialGrain by design).
+/// element-count threshold: any count above 1 work-shares (with chunk size
+/// 1: each block is claimed individually). The blocked primitives in
+/// scan.hpp dispatch through this (their block counts are far below
+/// kSerialGrain by design).
 template <typename Fn>
 void parallel_for_blocks(std::size_t blocks, Fn&& fn) {
   if (blocks <= 1 || hardware_parallelism() == 1) {
     for (std::size_t b = 0; b < blocks; ++b) fn(b);
     return;
   }
-  detail::parallel_for_impl(0, blocks, &fn, [](void* ctx, std::size_t i) {
-    (*static_cast<Fn*>(ctx))(i);
-  });
+  detail::parallel_run_impl(0, blocks, 1, &fn,
+                            [](void* ctx, std::size_t lo, std::size_t hi) {
+                              Fn& f = *static_cast<Fn*>(ctx);
+                              for (std::size_t b = lo; b < hi; ++b) f(b);
+                            });
 }
 
 }  // namespace logcc::util

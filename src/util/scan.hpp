@@ -6,10 +6,18 @@
 // are combined in block order, and pack/filter preserve input order. That
 // determinism is the contract the algorithm layer builds on — a PRAM step
 // implemented with these primitives produces bit-identical output under
-// OMP_NUM_THREADS=1 and =N (see tests/test_scan.cpp).
+// OMP_NUM_THREADS=1 and =N (see tests/test_scan.cpp) and under every
+// dispatch backend (pool / OpenMP / serial, see parallel.hpp).
 //
 // Below `kSerialGrain` elements every primitive degrades to the obvious
 // serial loop, so callers never pay threading overhead on small inputs.
+//
+// Internal temporaries (per-block partials, counting grids, pack staging)
+// are util::ScratchBuffer: when a round-scratch arena is active (see
+// util/arena.hpp and core/round_arena.hpp) they cost zero heap allocations
+// in steady state; without one they fall back to the heap. The `_into`
+// variants additionally let round loops supply the *result* storage, so a
+// whole round can run allocation-free.
 #pragma once
 
 #include <algorithm>
@@ -17,8 +25,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 
 namespace logcc::util {
@@ -84,9 +94,9 @@ T parallel_reduce(std::size_t begin, std::size_t end, T identity, Map&& map,
     return acc;
   }
   const std::size_t blocks = scan_block_count(n);
-  // Raw array, NOT std::vector<T>: with T=bool a vector would bit-pack the
-  // partials and concurrent per-block writes become racy word RMWs.
-  std::unique_ptr<T[]> partial(new T[blocks]());
+  // Raw storage, NOT std::vector<T>: with T=bool a vector would bit-pack
+  // the partials and concurrent per-block writes become racy word RMWs.
+  ScratchBuffer<T> partial(blocks);
   parallel_for_blocks(blocks, [&](std::size_t b) {
     T acc = identity;
     const std::size_t lo = begin + detail::block_begin(n, blocks, b);
@@ -118,7 +128,7 @@ T parallel_prefix_sum(T* data, std::size_t n) {
     return run;
   }
   const std::size_t blocks = scan_block_count(n);
-  std::vector<T> sums(blocks);
+  ScratchBuffer<T> sums(blocks);
   parallel_for_blocks(blocks, [&](std::size_t b) {
     T acc{0};
     const std::size_t hi = detail::block_begin(n, blocks, b + 1);
@@ -164,7 +174,7 @@ std::vector<T> parallel_filter(const std::vector<T>& v, Pred&& keep) {
     return out;
   }
   const std::size_t blocks = scan_block_count(n);
-  std::vector<std::size_t> offset(blocks);
+  ScratchBuffer<std::size_t> offset(blocks);
   parallel_for_blocks(blocks, [&](std::size_t b) {
     std::size_t count = 0;
     const std::size_t hi = detail::block_begin(n, blocks, b + 1);
@@ -187,10 +197,12 @@ std::vector<T> parallel_filter(const std::vector<T>& v, Pred&& keep) {
 /// original order, and shrinks `v`. Returns the number removed. Same
 /// determinism requirement on `keep` as parallel_filter.
 ///
-/// The parallel path scatters into a fresh buffer and moves it into `v`.
+/// The parallel path scatters into a staging buffer and copies back.
 /// In-place scatter would race: when an early block keeps few elements, a
 /// later block's write range [off_b, off_b + count_b) can land inside a
-/// source region another block is still reading concurrently.
+/// source region another block is still reading concurrently. With an
+/// active scratch arena the staging buffer is arena-backed, so a
+/// steady-state pack allocates nothing; `v` only ever shrinks.
 template <typename T, typename Pred>
 std::size_t parallel_pack(std::vector<T>& v, Pred&& keep) {
   const std::size_t n = v.size();
@@ -202,10 +214,33 @@ std::size_t parallel_pack(std::vector<T>& v, Pred&& keep) {
     v.resize(w);
     return removed;
   }
-  std::vector<T> out = parallel_filter(v, keep);
-  const std::size_t removed = n - out.size();
-  v = std::move(out);
-  return removed;
+  const std::size_t blocks = scan_block_count(n);
+  ScratchBuffer<std::size_t> offset(blocks);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t count = 0;
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      count += keep(v[i]) ? 1 : 0;
+    offset[b] = count;
+  });
+  const std::size_t kept = parallel_prefix_sum(offset.data(), blocks);
+  ScratchBuffer<T> staged(kept);
+  parallel_for_blocks(blocks, [&](std::size_t b) {
+    std::size_t w = offset[b];
+    const std::size_t hi = detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
+      if (keep(v[i])) staged[w++] = v[i];
+  });
+  v.resize(kept);
+  T* dst = v.data();
+  const T* src = staged.data();
+  const std::size_t copy_blocks = scan_block_count(kept);
+  parallel_for_blocks(copy_blocks, [&](std::size_t b) {
+    const std::size_t lo = detail::block_begin(kept, copy_blocks, b);
+    const std::size_t hi = detail::block_begin(kept, copy_blocks, b + 1);
+    std::copy(src + lo, src + hi, dst + lo);
+  });
+  return n - kept;
 }
 
 /// Segmented pack ("multi-emit"): index i contributes count(i) items,
@@ -233,7 +268,7 @@ void parallel_emit(std::size_t n, std::vector<T>& out, CountFn&& count,
     return;
   }
   const std::size_t blocks = scan_block_count(n);
-  std::vector<std::size_t> offset(blocks);
+  ScratchBuffer<std::size_t> offset(blocks);
   parallel_for_blocks(blocks, [&](std::size_t b) {
     std::size_t c = 0;
     const std::size_t hi = detail::block_begin(n, blocks, b + 1);
@@ -270,7 +305,7 @@ std::vector<std::uint64_t> parallel_histogram(std::size_t n, std::size_t bins,
     return counts;
   }
   const std::size_t blocks = scan_block_count(n);
-  std::vector<std::uint64_t> grid(blocks * bins, 0);
+  ScratchBuffer<std::uint64_t> grid(blocks * bins, /*zeroed=*/true);
   parallel_for_blocks(blocks, [&](std::size_t b) {
     std::uint64_t* row = grid.data() + b * bins;
     const std::size_t hi = detail::block_begin(n, blocks, b + 1);
@@ -282,31 +317,31 @@ std::vector<std::uint64_t> parallel_histogram(std::size_t n, std::size_t bins,
   return counts;
 }
 
-/// Stable bucket partition: scatters `in` into `out` (resized) so that
-/// bucket k occupies [r[k], r[k+1]) of the returned offsets r, with input
-/// order preserved inside every bucket. bucket(x) must be deterministic and
-/// < buckets; keep `buckets` modest (the counting grid is blocks x buckets
-/// words). This is the scatter phase shared by the bucketed arc dedup and
-/// the per-slot table fills.
+/// Stable bucket partition, span form: scatters the n elements at `in` into
+/// `out` (disjoint from `in`, at least n elements) so that bucket k
+/// occupies [begin[k], begin[k+1]) of the caller-provided `begin` array
+/// (buckets + 1 entries, fully overwritten), with input order preserved
+/// inside every bucket. bucket(x) must be deterministic and < buckets; keep
+/// `buckets` modest (the counting grid is blocks x buckets words). Round
+/// loops use this form with arena/hoisted storage so a steady-state
+/// partition allocates nothing.
 template <typename T, typename BucketFn>
-std::vector<std::size_t> parallel_bucket_partition(const std::vector<T>& in,
-                                                   std::vector<T>& out,
-                                                   std::size_t buckets,
-                                                   BucketFn&& bucket) {
-  const std::size_t n = in.size();
-  std::vector<std::size_t> begin(buckets + 1, 0);
-  out.resize(n);
-  if (n == 0) return begin;
+void parallel_bucket_partition_into(const T* in, std::size_t n, T* out,
+                                    std::span<std::size_t> begin,
+                                    std::size_t buckets, BucketFn&& bucket) {
+  for (std::size_t k = 0; k <= buckets; ++k) begin[k] = 0;
+  if (n == 0) return;
   if (n < kSerialGrain || buckets == 1) {
-    for (const T& x : in) ++begin[bucket(x) + 1];
+    for (std::size_t i = 0; i < n; ++i) ++begin[bucket(in[i]) + 1];
     for (std::size_t k = 0; k < buckets; ++k) begin[k + 1] += begin[k];
-    std::vector<std::size_t> cur(begin.begin(), begin.end() - 1);
-    for (const T& x : in) out[cur[bucket(x)]++] = x;
-    return begin;
+    ScratchBuffer<std::size_t> cur(buckets);
+    std::copy(begin.data(), begin.data() + buckets, cur.data());
+    for (std::size_t i = 0; i < n; ++i) out[cur[bucket(in[i])]++] = in[i];
+    return;
   }
   const std::size_t blocks = scan_block_count(n);
   // counts[b * buckets + k]: elements of block b landing in bucket k.
-  std::vector<std::size_t> counts(blocks * buckets, 0);
+  ScratchBuffer<std::size_t> counts(blocks * buckets, /*zeroed=*/true);
   parallel_for_blocks(blocks, [&](std::size_t b) {
     std::size_t* row = counts.data() + b * buckets;
     const std::size_t hi = detail::block_begin(n, blocks, b + 1);
@@ -332,6 +367,19 @@ std::vector<std::size_t> parallel_bucket_partition(const std::vector<T>& in,
     for (std::size_t i = detail::block_begin(n, blocks, b); i < hi; ++i)
       out[row[bucket(in[i])]++] = in[i];
   });
+}
+
+/// Vector-returning convenience wrapper over
+/// parallel_bucket_partition_into (same semantics; `out` is resized).
+template <typename T, typename BucketFn>
+std::vector<std::size_t> parallel_bucket_partition(const std::vector<T>& in,
+                                                   std::vector<T>& out,
+                                                   std::size_t buckets,
+                                                   BucketFn&& bucket) {
+  std::vector<std::size_t> begin(buckets + 1);
+  out.resize(in.size());
+  parallel_bucket_partition_into(in.data(), in.size(), out.data(), begin,
+                                 buckets, bucket);
   return begin;
 }
 
@@ -343,33 +391,38 @@ std::vector<std::size_t> parallel_bucket_partition(const std::vector<T>& in,
 /// even for vertex-scale key spaces. Output is canonical (sorted, stable),
 /// hence identical for every thread count and for the serial path.
 template <typename T, typename KeyFn>
-std::vector<std::size_t> parallel_group_by(const std::vector<T>& in,
-                                           std::vector<T>& out,
-                                           std::size_t num_keys, KeyFn&& key) {
+void parallel_group_by_into(const std::vector<T>& in, std::vector<T>& out,
+                            std::size_t num_keys, KeyFn&& key,
+                            std::span<std::size_t> offsets) {
   const std::size_t n = in.size();
-  std::vector<std::size_t> offsets(num_keys + 1, 0);
   out.resize(n);
-  if (n == 0) return offsets;
-  if (n < kSerialGrain) {
+  if (n == 0 || n < kSerialGrain) {
+    for (std::size_t k = 0; k <= num_keys; ++k) offsets[k] = 0;
+    if (n == 0) return;
     for (const T& x : in) ++offsets[key(x) + 1];
     for (std::size_t k = 0; k < num_keys; ++k) offsets[k + 1] += offsets[k];
-    std::vector<std::size_t> cur(offsets.begin(), offsets.end() - 1);
+    ScratchBuffer<std::size_t> cur(num_keys);
+    std::copy(offsets.data(), offsets.data() + num_keys, cur.data());
     for (const T& x : in) out[cur[key(x)]++] = x;
-    return offsets;
+    return;
   }
   // Coarse ranges of q consecutive keys per bucket.
   const std::size_t max_buckets = std::min<std::size_t>(num_keys, 512);
   const std::size_t q = (num_keys + max_buckets - 1) / max_buckets;
   const std::size_t buckets = (num_keys + q - 1) / q;
-  std::vector<T> tmp;
-  std::vector<std::size_t> bucket_begin = parallel_bucket_partition(
-      in, tmp, buckets, [&](const T& x) { return key(x) / q; });
+  ScratchBuffer<T> tmp(n);
+  ScratchBuffer<std::size_t> bucket_begin(buckets + 1);
+  parallel_bucket_partition_into(
+      in.data(), n, tmp.data(), bucket_begin.span(), buckets,
+      [&](const T& x) { return key(x) / q; });
   parallel_for_blocks(buckets, [&](std::size_t k) {
     const std::size_t lo_key = k * q;
     const std::size_t hi_key = std::min(num_keys, lo_key + q);
     const std::size_t lo = bucket_begin[k], hi = bucket_begin[k + 1];
     // Private count buffer, exclusive scan into the bucket's disjoint
-    // offsets slice [lo_key, hi_key), stable scatter.
+    // offsets slice [lo_key, hi_key), stable scatter. (A plain vector, not
+    // arena scratch: this runs on pool worker threads, which by design have
+    // no active arena.)
     std::vector<std::size_t> cur(hi_key - lo_key, 0);
     for (std::size_t i = lo; i < hi; ++i) ++cur[key(tmp[i]) - lo_key];
     std::size_t acc = lo;
@@ -383,6 +436,15 @@ std::vector<std::size_t> parallel_group_by(const std::vector<T>& in,
       out[cur[key(tmp[i]) - lo_key]++] = tmp[i];
   });
   offsets[num_keys] = n;
+}
+
+/// Vector-returning convenience wrapper over parallel_group_by_into.
+template <typename T, typename KeyFn>
+std::vector<std::size_t> parallel_group_by(const std::vector<T>& in,
+                                           std::vector<T>& out,
+                                           std::size_t num_keys, KeyFn&& key) {
+  std::vector<std::size_t> offsets(num_keys + 1);
+  parallel_group_by_into(in, out, num_keys, key, offsets);
   return offsets;
 }
 
