@@ -10,6 +10,7 @@
 
 #include "core/building_blocks.hpp"
 #include "core/round_arena.hpp"
+#include "core/table_slab.hpp"
 #include "core/compact.hpp"
 #include "core/expand.hpp"
 #include "core/expand_maxlink.hpp"
@@ -84,6 +85,52 @@ void BM_TableInsert(benchmark::State& state) {
   benchmark::DoNotOptimize(t.count());
 }
 BENCHMARK(BM_TableInsert)->Arg(64)->Arg(4096);
+
+void BM_VertexTableReset(benchmark::State& state) {
+  // Arg 0: reset at the SAME capacity — a generation-stamp bump, O(1) in
+  // the table size. Arg 1: alternating capacities — the full re-assign
+  // path every call. The gap is the win of the epoch reset.
+  const std::uint32_t cap = 1 << 16;
+  const bool alternate = state.range(0) != 0;
+  core::VertexTable t(cap);
+  std::uint32_t flip = 0;
+  for (auto _ : state) {
+    t.reset(alternate && (++flip & 1) ? cap + 1 : cap);
+    benchmark::DoNotOptimize(t.capacity());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VertexTableReset)->Arg(0)->Arg(1);
+
+void BM_TableSlabFillThreaded(benchmark::State& state) {
+  // Bucketized table fill: one epoch-bump reset of the whole slab plus the
+  // hashed-insert write pattern of an EXPAND seeding pass. Memory-bound —
+  // bytes/sec is the number to watch across thread counts.
+  const std::uint32_t num = static_cast<std::uint32_t>(state.range(0));
+  ThreadGuard guard(static_cast<int>(state.range(1)));
+  constexpr std::uint32_t kCap = 8;
+  auto h = util::PairwiseHash::from_seed(11);
+  core::TableSlab slab;
+  for (auto _ : state) {
+    slab.reset_uniform(num, kCap);
+    util::parallel_for(0, num, [&](std::size_t t) {
+      const auto t32 = static_cast<std::uint32_t>(t);
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        const auto w = static_cast<graph::VertexId>(util::mix64(t, j) %
+                                                    (8ull * num));
+        slab.insert_at(t32, static_cast<std::uint32_t>(h(w, kCap)), w);
+      }
+    });
+    benchmark::DoNotOptimize(slab.slab_words());
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(slab.slab_words() * sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_TableSlabFillThreaded)
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 8})
+    ->UseRealTime();
 
 void BM_Shortcut(benchmark::State& state) {
   const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
@@ -174,6 +221,9 @@ void BM_ShortcutThreaded(benchmark::State& state) {
     benchmark::DoNotOptimize(f.shortcut());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  // One pointer read + one write per vertex (memory-bound).
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          2 * sizeof(graph::VertexId));
 }
 BENCHMARK(BM_ShortcutThreaded)
     ->Args({1 << 20, 1})
@@ -195,6 +245,11 @@ void BM_DedupArcsThreaded(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(arcs.size()));
+  // Scatter + in-bucket radix passes + pack all stream the arc array
+  // (memory-bound).
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arcs.size()) *
+                          sizeof(core::Arc));
 }
 BENCHMARK(BM_DedupArcsThreaded)
     ->Args({1 << 19, 1})
@@ -237,6 +292,10 @@ void BM_GroupByThreaded(benchmark::State& state) {
     benchmark::DoNotOptimize(off.back());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  // Partition pass + in-bucket counting-sort scatter: each item moves
+  // twice (memory-bound).
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          2 * sizeof(items[0]));
 }
 BENCHMARK(BM_GroupByThreaded)
     ->Args({1 << 20, 1})
@@ -339,6 +398,9 @@ void BM_PrefixSumThreaded(benchmark::State& state) {
     benchmark::DoNotOptimize(util::parallel_prefix_sum(copy));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  // In-place exclusive scan: one read + one write per word (memory-bound).
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          2 * sizeof(std::uint64_t));
 }
 BENCHMARK(BM_PrefixSumThreaded)
     ->Args({1 << 20, 1})
@@ -449,6 +511,9 @@ void BM_PackThreadedArena(benchmark::State& state) {
     benchmark::DoNotOptimize(work.size());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  // Flag scan + staged compaction copy (memory-bound).
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          2 * sizeof(std::uint64_t));
 }
 BENCHMARK(BM_PackThreadedArena)
     ->Args({1 << 20, 1})

@@ -17,7 +17,14 @@ Robustness choices, deliberate:
   - --update rewrites the baseline from the new document (commit the result
     to move the trajectory).
 
-Exit status: 0 = no regression, 1 = regression, 2 = usage/parse error.
+Exit status:
+  0 = no regression,
+  1 = regression,
+  2 = usage/parse error,
+  3 = no regression AND at least one cell improved by more than the
+      threshold — success with a notice. CI must treat 3 as success; it
+      signals the committed baseline is stale and should be refreshed with
+      --update so later regressions are measured against the faster code.
 
 Usage:
   bench_compare.py NEW_JSON BASELINE_JSON [--threshold 0.25]
@@ -78,6 +85,7 @@ def main():
     base_cells = min_seconds_by_cell(base_doc)
 
     regressions = []
+    improvements = []
     rows = []
     for key in sorted(new_cells):
         alg, threads = key
@@ -94,19 +102,26 @@ def main():
             else:
                 verdict = "REGRESSION"
                 regressions.append((alg, threads, base_min, new_min, ratio))
+        elif new_min < base_min * (1.0 - args.threshold):
+            if base_min < args.min_seconds:
+                verdict = "noise-floor (ignored)"
+            else:
+                verdict = "IMPROVED"
+                improvements.append((alg, threads, base_min, new_min, ratio))
         rows.append((alg, threads, base_min, new_min, verdict))
     for key in sorted(set(base_cells) - set(new_cells)):
         print(f"bench_compare: warning: baseline cell {key} missing from "
               f"new run", file=sys.stderr)
 
+    # Per-cell summary; speedup = baseline/new, so >1.00x is faster.
     print(f"{'algorithm':<12} {'threads':>7} {'baseline':>10} {'new':>10} "
-          f"{'ratio':>7}  verdict")
+          f"{'speedup':>8}  verdict")
     for alg, threads, base_min, new_min, verdict in rows:
         base_s = f"{base_min:.4f}s" if base_min is not None else "-"
-        ratio = (f"{new_min / base_min:6.2f}x"
-                 if base_min else "      -")
+        speedup = (f"{base_min / new_min:7.2f}x"
+                   if base_min and new_min > 0 else "       -")
         print(f"{alg:<12} {threads:>7} {base_s:>10} {new_min:>9.4f}s "
-              f"{ratio:>7}  {verdict}")
+              f"{speedup:>8}  {verdict}")
 
     if regressions:
         print(f"\nbench_compare: {len(regressions)} regression(s) over "
@@ -115,6 +130,14 @@ def main():
             print(f"  {alg} @ {threads}t: {base_min:.4f}s -> {new_min:.4f}s "
                   f"({ratio:.2f}x)", file=sys.stderr)
         return 1
+    if improvements:
+        print(f"\nbench_compare: no regressions; {len(improvements)} cell(s) "
+              f"improved by more than {args.threshold:.0%} — refresh the "
+              f"baseline with --update")
+        for alg, threads, base_min, new_min, ratio in improvements:
+            print(f"  {alg} @ {threads}t: {base_min:.4f}s -> {new_min:.4f}s "
+                  f"({base_min / new_min:.2f}x faster)")
+        return 3
     print("\nbench_compare: no regressions")
     return 0
 

@@ -8,6 +8,7 @@
 #include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/radix.hpp"
 #include "util/random.hpp"
 #include "util/scan.hpp"
 
@@ -200,13 +201,40 @@ std::size_t dedup_bucket_count(std::size_t n) {
   return buckets;
 }
 
+/// In-bucket sort + unique, in place; returns the surviving count. Large
+/// buckets take the radix path: a stable LSD sort on the packed (u, v) key
+/// followed by a run scan that keeps the minimum-orig arc per pair —
+/// exactly the survivor std::sort(arc_less) + unique kept, so the two
+/// paths produce identical contents and the per-bucket size cutoff (a pure
+/// function of the input) cannot affect results.
+std::size_t dedup_bucket(Arc* a, std::size_t n) {
+  if (n < util::kRadixSortCutoff) {
+    std::sort(a, a + n, arc_less);
+    return static_cast<std::size_t>(std::unique(a, a + n, arc_same_pair) - a);
+  }
+  util::radix_sort_key64(a, n, [](const Arc& x) {
+    return (static_cast<std::uint64_t>(x.u) << 32) | x.v;
+  });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n;) {
+    Arc best = a[i];
+    std::size_t j = i + 1;
+    for (; j < n && arc_same_pair(a[j], best); ++j)
+      if (a[j].orig < best.orig) best = a[j];
+    a[out++] = best;
+    i = j;
+  }
+  return out;
+}
+
 /// Bucket-partitioned dedup: scatter arcs by mix64(u) high bits (all copies
-/// of a pair share u after normalization, hence a bucket), sort + unique
-/// each bucket independently, then pack the survivors back. Output order is
-/// bucket-major — deterministic, but different from the fully sorted serial
-/// path, which is why the path choice above keys on size alone. All
-/// staging lives in round-arena scratch, so a steady-state round's dedup
-/// performs no heap allocation.
+/// of a pair share u after normalization, hence a bucket), radix-sort +
+/// unique each bucket independently (dedup_bucket above), then pack the
+/// survivors back. Output order is bucket-major — deterministic, but
+/// different from the fully sorted serial path, which is why the path
+/// choice above keys on size alone. All staging lives in arena scratch
+/// (round arena on the dispatcher, lane arenas on workers), so a
+/// steady-state round's dedup performs no heap allocation.
 void dedup_bucketed(std::vector<Arc>& arcs) {
   const std::size_t n = arcs.size();
   const std::size_t buckets = dedup_bucket_count(n);
@@ -223,10 +251,7 @@ void dedup_bucketed(std::vector<Arc>& arcs) {
   util::ScratchBuffer<std::size_t> kept(buckets);
   util::parallel_for_blocks(buckets, [&](std::size_t k) {
     Arc* lo = scattered.data() + bucket_begin[k];
-    Arc* hi = scattered.data() + bucket_begin[k + 1];
-    std::sort(lo, hi, arc_less);
-    kept[k] = static_cast<std::size_t>(
-        std::unique(lo, hi, arc_same_pair) - lo);
+    kept[k] = dedup_bucket(lo, bucket_begin[k + 1] - bucket_begin[k]);
   });
 
   const std::size_t total = util::parallel_prefix_sum(kept.data(), buckets);

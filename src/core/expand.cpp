@@ -55,13 +55,15 @@ ExpandEngine::ExpandEngine(std::uint64_t n, std::span<const VertexId> ongoing,
   util::parallel_for(0, num, [&](std::size_t s) {
     LOGCC_CHECK_MSG(slot_of[ongoing_[s]] == s, "duplicate ongoing id");
   });
-  owns_block_.resize(num);
-  dormant_round_.resize(num);
-  tables_.resize(num);
+  // Tables live in the scratch's contiguous slab: epoch-reset is O(num)
+  // bookkeeping (no per-cell zeroing, no per-table vectors), and across
+  // phases the slab memory is reused outright.
+  scratch_->tables.reset_uniform(num, params_.table_capacity);
+  scratch_->owns_block.resize(num);
+  scratch_->dormant_round.resize(num);
   util::parallel_for(0, num, [&](std::size_t s) {
-    owns_block_[s] = 0;
-    dormant_round_[s] = kNeverDormant;
-    tables_[s].reset(params_.table_capacity);
+    scratch_->owns_block[s] = 0;
+    scratch_->dormant_round[s] = kNeverDormant;
   });
   scratch_->collisions.resize(num);
 }
@@ -73,7 +75,8 @@ ExpandEngine::~ExpandEngine() {
 }
 
 void ExpandEngine::mark_dormant(std::uint32_t slot, std::uint32_t round) {
-  if (dormant_round_[slot] == kNeverDormant) dormant_round_[slot] = round;
+  auto& dormant_round = scratch_->dormant_round;
+  if (dormant_round[slot] == kNeverDormant) dormant_round[slot] = round;
 }
 
 void ExpandEngine::flush_collisions() {
@@ -91,13 +94,15 @@ void ExpandEngine::assign_blocks() {
   // Both paths compute the same "occupancy == 1" predicate; the path choice
   // keys on size only, so results never depend on the thread count.
   const std::uint32_t num = num_slots();
+  auto& owns_block = scratch_->owns_block;
+  auto& dormant_round = scratch_->dormant_round;
   if (num < util::kSerialGrain) {
     std::unordered_map<std::uint64_t, std::uint32_t> occupancy;
     occupancy.reserve(num * 2);
     for (VertexId v : ongoing_) ++occupancy[hb_(v, params_.block_count)];
     for (std::uint32_t s = 0; s < num; ++s) {
-      owns_block_[s] = occupancy[hb_(ongoing_[s], params_.block_count)] == 1;
-      if (!owns_block_[s]) mark_dormant(s, 0);
+      owns_block[s] = occupancy[hb_(ongoing_[s], params_.block_count)] == 1;
+      if (!owns_block[s]) mark_dormant(s, 0);
     }
     stats_.pram_steps += 2;
     return;
@@ -130,8 +135,8 @@ void ExpandEngine::assign_blocks() {
       while (q != hi && q->first == p->first) ++q;
       const bool owner = (q - p) == 1;
       for (; p != q; ++p) {
-        owns_block_[p->second] = owner;
-        if (!owner) dormant_round_[p->second] = 0;
+        owns_block[p->second] = owner;
+        if (!owner) dormant_round[p->second] = 0;
       }
     }
   });
@@ -145,6 +150,8 @@ void ExpandEngine::seed_tables() {
   // round 0).
   const std::size_t m2 = arcs_.size() * 2;
   const auto& slot_of = scratch_->slot_of;
+  auto& owns_block = scratch_->owns_block;
+  auto& dormant_round = scratch_->dormant_round;
   util::parallel_for(0, m2, [&](std::size_t j) {
     const Arc& a = arcs_[j >> 1];
     const VertexId v = (j & 1) ? a.v : a.u;
@@ -152,7 +159,7 @@ void ExpandEngine::seed_tables() {
     const std::uint32_t sv = slot_of[v];
     const std::uint32_t sw = slot_of[w];
     if (sv == kNoSlot || sw == kNoSlot) return;
-    if (!owns_block_[sv]) util::relaxed_store(dormant_round_[sw], 0u);
+    if (!owns_block[sv]) util::relaxed_store(dormant_round[sw], 0u);
   });
   // Bucket-partitioned table fill: emit the (owner slot, vertex) items in
   // directed-arc order, group them by slot, then let every slot replay its
@@ -168,7 +175,7 @@ void ExpandEngine::seed_tables() {
         const VertexId w = (j & 1) ? a.u : a.v;
         const std::uint32_t sv = slot_of[v];
         const std::uint32_t sw = slot_of[w];
-        return (sv != kNoSlot && sw != kNoSlot && owns_block_[sv]) ? 2 : 0;
+        return (sv != kNoSlot && sw != kNoSlot && owns_block[sv]) ? 2 : 0;
       },
       [&](std::size_t j, std::pair<std::uint32_t, VertexId>* dst) {
         const Arc& a = arcs_[j >> 1];
@@ -184,26 +191,28 @@ void ExpandEngine::seed_tables() {
                                [](const auto& it) { return it.first; },
                                slot_begin.span());
   auto& coll = scratch_->collisions;
+  TableSlab& tables = scratch_->tables;
+  const std::uint32_t cap = params_.table_capacity;
   util::parallel_for(0, num, [&](std::size_t s) {
     coll[s] = 0;
-    if (!owns_block_[s]) return;
-    VertexTable& t = tables_[s];
+    if (!owns_block[s]) return;
+    const auto t = static_cast<std::uint32_t>(s);
     for (std::size_t i = slot_begin[s]; i < slot_begin[s + 1]; ++i) {
       const VertexId w = grouped[i].second;
-      if (t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w) ==
-          VertexTable::Insert::kCollision)
+      if (tables.insert_at(t, static_cast<std::uint32_t>(hv_(w, cap)), w) ==
+          TableSlab::Insert::kCollision)
         ++coll[s];
     }
     // Isolated block owner still holds itself.
     const VertexId v = ongoing_[s];
-    if (t.insert_at(static_cast<std::uint32_t>(hv_(v, t.capacity())), v) ==
-        VertexTable::Insert::kCollision)
+    if (tables.insert_at(t, static_cast<std::uint32_t>(hv_(v, cap)), v) ==
+        TableSlab::Insert::kCollision)
       ++coll[s];
   });
   flush_collisions();
   // Step (4): collisions observed in round 0.
   util::parallel_for(0, num, [&](std::size_t s) {
-    if (tables_[s].collided()) mark_dormant(s, 0);
+    if (tables.collided(static_cast<std::uint32_t>(s))) mark_dormant(s, 0);
   });
   stats_.pram_steps += 2;
 }
@@ -213,23 +222,40 @@ void ExpandEngine::snapshot_history() {
   history_.emplace_back();
   auto& snap = history_.back();
   snap.resize(ongoing_.size());
-  util::parallel_for(0, ongoing_.size(),
-                     [&](std::size_t s) { snap[s] = tables_[s].items(); });
+  const TableSlab& tables = scratch_->tables;
+  util::parallel_for(0, ongoing_.size(), [&](std::size_t s) {
+    auto& items = snap[s];
+    items.clear();
+    items.reserve(tables.count(static_cast<std::uint32_t>(s)));
+    tables.for_each(static_cast<std::uint32_t>(s),
+                    [&](VertexId w) { items.push_back(w); });
+  });
 }
 
 void ExpandEngine::doubling_rounds() {
   const std::uint32_t num = num_slots();
   const auto& slot_of = scratch_->slot_of;
   auto& coll = scratch_->collisions;
-  std::vector<std::uint8_t> changed(num, 1);  // table changed last round
-  std::vector<std::uint8_t> went_dormant(num, 0);
-  util::parallel_for(0, num, [&](std::size_t s) {
-    went_dormant[s] = dormant_round_[s] != kNeverDormant;
-  });
+  auto& owns_block = scratch_->owns_block;
+  auto& dormant_round = scratch_->dormant_round;
+  TableSlab& tables = scratch_->tables;
+  const std::uint32_t cap = params_.table_capacity;
 
-  std::vector<std::vector<VertexId>> prev(num);
-  std::vector<std::uint8_t> dormant_in(num);
-  std::vector<std::uint8_t> changed_now(num), dormant_now(num);
+  auto& changed = scratch_->changed;          // table changed last round
+  auto& went_dormant = scratch_->went_dormant;
+  auto& dormant_in = scratch_->dormant_in;
+  auto& changed_now = scratch_->changed_now;
+  auto& dormant_now = scratch_->dormant_now;
+  changed.resize(num);
+  went_dormant.resize(num);
+  dormant_in.resize(num);
+  changed_now.resize(num);
+  dormant_now.resize(num);
+  util::parallel_for(0, num, [&](std::size_t s) {
+    changed[s] = 1;
+    went_dormant[s] = dormant_round[s] != kNeverDormant;
+  });
+  auto& snap = scratch_->snapshot_words;
 
   for (std::uint32_t round = 1; round <= params_.max_rounds; ++round) {
     // Safe here even when a phase loop above holds the arena: between
@@ -239,56 +265,56 @@ void ExpandEngine::doubling_rounds() {
     ++stats_.expand_rounds;
 
     // Snapshot table contents (synchronous semantics: this round reads the
-    // previous round's tables) and dormancy entering this round.
+    // previous round's tables) as ONE flat copy of the slab — no per-slot
+    // item vectors — and dormancy entering this round.
+    tables.snapshot_into(snap);
     util::parallel_for(0, num, [&](std::size_t s) {
-      prev[s] = tables_[s].items();
-      dormant_in[s] = dormant_round_[s] != kNeverDormant;
+      dormant_in[s] = dormant_round[s] != kNeverDormant;
       changed_now[s] = 0;
       dormant_now[s] = 0;
       coll[s] = 0;
     });
 
     // One doubling step, parallel over slots: slot s reads only the
-    // snapshots and writes only its own table/flags/tally.
+    // snapshots and writes only its own table/flags/tally. Iteration is in
+    // cell order, exactly the order the per-slot items() snapshots gave.
     util::parallel_for(0, num, [&](std::size_t s) {
-      if (!owns_block_[s]) return;
+      if (!owns_block[s]) return;
+      const auto t = static_cast<std::uint32_t>(s);
       // Skip slots whose whole 2-neighbourhood in table space is stable.
       bool needs_work = changed[s] != 0;
       if (!needs_work) {
-        for (VertexId v : prev[s]) {
+        tables.for_each_in(snap, t, [&](VertexId v) {
           std::uint32_t sv = slot_of[v];
-          if (sv != kNoSlot && (changed[sv] || went_dormant[sv])) {
+          if (sv != kNoSlot && (changed[sv] || went_dormant[sv]))
             needs_work = true;
-            break;
-          }
-        }
+        });
       }
       if (!needs_work) return;
 
-      VertexTable& t = tables_[s];
-      for (VertexId v : prev[s]) {
+      tables.for_each_in(snap, t, [&](VertexId v) {
         std::uint32_t sv = slot_of[v];
-        if (sv == kNoSlot) continue;
+        if (sv == kNoSlot) return;
         if (dormant_in[sv]) {
-          if (dormant_round_[s] == kNeverDormant) {
-            mark_dormant(s, round);
+          if (dormant_round[s] == kNeverDormant) {
+            mark_dormant(t, round);
             dormant_now[s] = 1;
           }
         }
-        for (VertexId w : prev[sv]) {
-          auto r =
-              t.insert_at(static_cast<std::uint32_t>(hv_(w, t.capacity())), w);
-          if (r == VertexTable::Insert::kNew) {
+        tables.for_each_in(snap, sv, [&](VertexId w) {
+          auto r = tables.insert_at(
+              t, static_cast<std::uint32_t>(hv_(w, cap)), w);
+          if (r == TableSlab::Insert::kNew) {
             changed_now[s] = 1;
-          } else if (r == VertexTable::Insert::kCollision) {
+          } else if (r == TableSlab::Insert::kCollision) {
             ++coll[s];
-            if (dormant_round_[s] == kNeverDormant) {
-              mark_dormant(s, round);
+            if (dormant_round[s] == kNeverDormant) {
+              mark_dormant(t, round);
               dormant_now[s] = 1;
             }
           }
-        }
-      }
+        });
+      });
     });
     flush_collisions();
     const bool any_change = util::parallel_reduce(

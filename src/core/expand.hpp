@@ -31,8 +31,8 @@
 #include <vector>
 
 #include "core/building_blocks.hpp"
-#include "core/hash_table.hpp"
 #include "core/metrics.hpp"
+#include "core/table_slab.hpp"
 #include "util/hashing.hpp"
 
 namespace logcc::core {
@@ -47,9 +47,10 @@ struct ExpandParams {
 
 /// Caller-hoisted scratch for the engine's parallel kernels. Phase loops
 /// construct one ExpandEngine per phase; hoisting the scratch (like the
-/// collect_ongoing scratch) avoids re-allocating the O(n) slot map and the
-/// bucket-partition buffers every phase. `slot_of` must be all-kNoSlot on
-/// entry; the engine restores it (touched entries only) on destruction.
+/// collect_ongoing scratch) avoids re-allocating the O(n) slot map, the
+/// bucket-partition buffers, the table slab and the doubling-round state
+/// every phase. `slot_of` must be all-kNoSlot on entry; the engine restores
+/// it (touched entries only) on destruction.
 struct ExpandScratch {
   std::vector<std::uint32_t> slot_of;  // n entries, kNoSlot except ongoing
   std::vector<std::pair<std::uint64_t, std::uint32_t>> block_keys;
@@ -57,6 +58,13 @@ struct ExpandScratch {
   std::vector<std::pair<std::uint32_t, VertexId>> fill_items;
   std::vector<std::pair<std::uint32_t, VertexId>> fill_items_grouped;
   std::vector<std::uint64_t> collisions;  // per-slot tallies
+  TableSlab tables;                       // H(u) buckets, epoch-reset per phase
+  std::vector<std::uint64_t> snapshot_words;  // per-round flat table snapshot
+  std::vector<std::uint8_t> owns_block;
+  std::vector<std::uint32_t> dormant_round;
+  // Doubling-round flags (hoisted: rounds are the innermost hot loop).
+  std::vector<std::uint8_t> changed, went_dormant, dormant_in;
+  std::vector<std::uint8_t> changed_now, dormant_now;
 };
 
 class ExpandEngine {
@@ -84,23 +92,27 @@ class ExpandEngine {
   std::uint32_t slot_of(VertexId v) const { return scratch_->slot_of[v]; }
   VertexId vertex_of(std::uint32_t slot) const { return ongoing_[slot]; }
 
-  bool owns_block(std::uint32_t slot) const { return owns_block_[slot]; }
-  bool fully_dormant(std::uint32_t slot) const { return !owns_block_[slot]; }
+  bool owns_block(std::uint32_t slot) const {
+    return scratch_->owns_block[slot] != 0;
+  }
+  bool fully_dormant(std::uint32_t slot) const { return !owns_block(slot); }
   /// Round at which the vertex became dormant; kNeverDormant if it stayed
   /// live throughout. Fully dormant vertices report round 0.
   std::uint32_t dormant_round(std::uint32_t slot) const {
-    return dormant_round_[slot];
+    return scratch_->dormant_round[slot];
   }
   bool live_after(std::uint32_t slot) const {
-    return dormant_round_[slot] == kNeverDormant;
+    return dormant_round(slot) == kNeverDormant;
   }
   /// "v is live in round j of Step (5)" in the paper's sense.
   bool live_in_round(std::uint32_t slot, std::uint32_t j) const {
-    return owns_block_[slot] &&
-           (dormant_round_[slot] == kNeverDormant || dormant_round_[slot] > j);
+    return owns_block(slot) &&
+           (dormant_round(slot) == kNeverDormant || dormant_round(slot) > j);
   }
 
-  const VertexTable& table(std::uint32_t slot) const { return tables_[slot]; }
+  TableView table(std::uint32_t slot) const {
+    return TableView(&scratch_->tables, slot);
+  }
 
   /// Total doubling rounds executed (the paper's T).
   std::uint32_t rounds() const { return rounds_; }
@@ -129,10 +141,7 @@ class ExpandEngine {
 
   util::PairwiseHash hb_, hv_;
   ExpandScratch own_scratch_;   // used when the caller passes none
-  ExpandScratch* scratch_;
-  std::vector<std::uint8_t> owns_block_;
-  std::vector<std::uint32_t> dormant_round_;
-  std::vector<VertexTable> tables_;
+  ExpandScratch* scratch_;      // tables/flags live here, hoisted per phase
   std::vector<std::vector<std::vector<VertexId>>> history_;  // [round][slot]
   std::uint32_t rounds_ = 0;
 };

@@ -180,18 +180,21 @@ bool ExpandMaxlink::round() {
   });
   if (tally_raises(raised_) > 0) level_changed = true;
 
-  // ---- Step (3): hash equal-budget root neighbours into fresh tables.
+  // ---- Step (3): hash equal-budget root neighbours into fresh tables —
+  // one epoch-reset slab generation with per-root capacities (non-roots get
+  // no bucket at all).
   ++stats_.pram_steps;
-  table_.resize(n_);
   coll_.resize(n_);
   auto is_root_vertex = [&](VertexId v) {
     return exists_[v] && forest_.is_root(v);
   };
+  caps_.resize(n_);
   util::parallel_for(0, n_, [&](std::size_t v) {
-    table_[v].reset(is_root_vertex(static_cast<VertexId>(v))
-                        ? policy_.table_capacity(budget_[v])
-                        : 0);
+    caps_[v] = is_root_vertex(static_cast<VertexId>(v))
+                   ? policy_.table_capacity(budget_[v])
+                   : 0;
   });
+  table_.reset_variable(caps_);
   // Bucket-partitioned fill: emit (root, neighbour) items in arc order,
   // group them per root, then every root replays its own inserts — self
   // first (v ∈ N(v): without it, Step (5) would keep "discovering" v
@@ -223,16 +226,17 @@ bool ExpandMaxlink::round() {
       root_begin.span());
   util::parallel_for(0, n_, [&](std::size_t v) {
     coll_[v] = 0;
-    VertexTable& t = table_[v];
-    if (t.capacity() == 0) return;
-    if (t.insert_at(static_cast<std::uint32_t>(h(v, t.capacity())),
-                    static_cast<VertexId>(v)) ==
-        VertexTable::Insert::kCollision)
+    const std::uint32_t cap = caps_[v];
+    if (cap == 0) return;
+    const auto t = static_cast<std::uint32_t>(v);
+    if (table_.insert_at(t, static_cast<std::uint32_t>(h(v, cap)),
+                         static_cast<VertexId>(v)) ==
+        TableSlab::Insert::kCollision)
       ++coll_[v];
     for (std::size_t i = root_begin[v]; i < root_begin[v + 1]; ++i) {
       const VertexId w = fill_grouped_[i].second;
-      if (t.insert_at(static_cast<std::uint32_t>(h(w, t.capacity())), w) ==
-          VertexTable::Insert::kCollision)
+      if (table_.insert_at(t, static_cast<std::uint32_t>(h(w, cap)), w) ==
+          TableSlab::Insert::kCollision)
         ++coll_[v];
     }
   });
@@ -242,43 +246,39 @@ bool ExpandMaxlink::round() {
   dormant_.resize(n_);
   dormant0_.resize(n_);
   util::parallel_for(0, n_, [&](std::size_t v) {
-    dormant0_[v] = table_[v].collided() ? 1 : 0;
+    dormant0_[v] = table_.collided(static_cast<std::uint32_t>(v)) ? 1 : 0;
     dormant_[v] = dormant0_[v];
   });
   util::parallel_for(0, n_, [&](std::size_t v) {
-    if (table_[v].capacity() == 0) return;
-    table_[v].for_each([&](VertexId w) {
+    if (caps_[v] == 0) return;
+    table_.for_each(static_cast<std::uint32_t>(v), [&](VertexId w) {
       if (dormant0_[w]) dormant_[v] = 1;
     });
   });
 
   // ---- Step (5): one doubling step H(v) ∪= H(w), w ∈ H(v). Parallel over
-  // roots: v reads only the snapshots and writes only its own table/flags.
+  // roots: v reads only the flat slab snapshot (one word copy, no per-root
+  // item vectors) and writes only its own table/flags.
   ++stats_.pram_steps;
   closure_.resize(n_);
-  snapshot_.resize(n_);
-  util::parallel_for(0, n_, [&](std::size_t v) {
-    if (table_[v].count() > 0)
-      snapshot_[v] = table_[v].items();
-    else
-      snapshot_[v].clear();
-  });
+  table_.snapshot_into(snap_words_);
   util::parallel_for(0, n_, [&](std::size_t v) {
     closure_[v] = 0;
     if (!is_root_vertex(static_cast<VertexId>(v))) return;
-    VertexTable& t = table_[v];
-    if (t.capacity() == 0) return;
-    for (VertexId w : snapshot_[v]) {
-      for (VertexId u : snapshot_[w]) {
-        auto r = t.insert_at(static_cast<std::uint32_t>(h(u, t.capacity())), u);
-        if (r == VertexTable::Insert::kNew) {
+    const std::uint32_t cap = caps_[v];
+    if (cap == 0) return;
+    const auto t = static_cast<std::uint32_t>(v);
+    table_.for_each_in(snap_words_, t, [&](VertexId w) {
+      table_.for_each_in(snap_words_, w, [&](VertexId u) {
+        auto r = table_.insert_at(t, static_cast<std::uint32_t>(h(u, cap)), u);
+        if (r == TableSlab::Insert::kNew) {
           closure_[v] = 1;
-        } else if (r == VertexTable::Insert::kCollision) {
+        } else if (r == TableSlab::Insert::kCollision) {
           ++coll_[v];
           dormant_[v] = 1;
         }
-      }
-    }
+      });
+    });
   });
   stats_.hash_collisions += util::parallel_reduce(
       std::size_t{0}, n_, std::uint64_t{0},
@@ -294,11 +294,12 @@ bool ExpandMaxlink::round() {
   util::parallel_emit(
       n_, emit_tmp_,
       [&](std::size_t v) -> std::size_t {
-        const VertexTable& t = table_[v];
-        return t.capacity() == 0 ? 0 : t.count() - 1;
+        return caps_[v] == 0
+                   ? 0
+                   : table_.count(static_cast<std::uint32_t>(v)) - 1;
       },
       [&](std::size_t v, Arc* dst) {
-        table_[v].for_each([&](VertexId w) {
+        table_.for_each(static_cast<std::uint32_t>(v), [&](VertexId w) {
           if (w != static_cast<VertexId>(v))
             *dst++ = {static_cast<VertexId>(v), w, 0};
         });

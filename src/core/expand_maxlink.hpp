@@ -31,8 +31,8 @@
 
 #include "core/budget.hpp"
 #include "core/building_blocks.hpp"
-#include "core/hash_table.hpp"
 #include "core/labels.hpp"
+#include "core/table_slab.hpp"
 #include "core/metrics.hpp"
 #include "graph/graph.hpp"
 
@@ -102,11 +102,14 @@ class ExpandMaxlink {
 
   // Round-hoisted scratch (the engine persists across rounds, so these
   // allocate once): packed (level, id) fetch-max cells for MAXLINK, the
-  // per-round tables and their group-by buffers, and per-vertex tallies.
+  // per-round table slab (variable per-root capacities, epoch-reset each
+  // round) with its flat snapshot, the group-by buffers, and per-vertex
+  // tallies.
   std::vector<std::uint64_t> best_;
-  std::vector<VertexTable> table_;
+  TableSlab table_;
+  std::vector<std::uint32_t> caps_;        // per-vertex table capacity
+  std::vector<std::uint64_t> snap_words_;  // Step-(5) synchronous snapshot
   std::vector<std::pair<VertexId, VertexId>> fill_items_, fill_grouped_;
-  std::vector<std::vector<VertexId>> snapshot_;
   std::vector<std::uint8_t> active_, raised_, forced_, dormant_, dormant0_;
   std::vector<std::uint8_t> closure_;
   std::vector<std::uint64_t> coll_, new_words_;

@@ -6,8 +6,17 @@
 //
 // The table never resolves collisions: the algorithms react to them (mark
 // dormant, raise level), so the table just records that one happened.
+//
+// reset() at an unchanged capacity is O(1): every cell carries a generation
+// stamp and a cell is occupied only when its stamp matches the table's
+// current generation, so clearing the table is one counter bump instead of
+// an O(capacity) re-fill (bench_micro BM_TableReset* measures the gap).
+// The bulk EXPAND paths use the slab-backed layout in core/table_slab.hpp;
+// this class remains the single-table form (TREE-LINK's per-slot Q' tables,
+// tests, and the differential reference for the slab).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -24,7 +33,19 @@ class VertexTable {
   explicit VertexTable(std::uint32_t capacity) { reset(capacity); }
 
   void reset(std::uint32_t capacity) {
-    cells_.assign(capacity, graph::kInvalidVertex);
+    if (capacity == cells_.size()) {
+      // Same backing storage, new generation: every cell is logically
+      // empty again without touching it. Generation 0 is reserved as
+      // "never written", so a wrap re-zeroes before reuse.
+      if (++gen_ == 0) {
+        std::fill(stamp_.begin(), stamp_.end(), 0u);
+        gen_ = 1;
+      }
+    } else {
+      cells_.assign(capacity, graph::kInvalidVertex);
+      stamp_.assign(capacity, 0u);
+      gen_ = 1;
+    }
     count_ = 0;
     collided_ = false;
   }
@@ -39,13 +60,13 @@ class VertexTable {
   /// Writes `w` into `cell`; the caller computes cell = h(w, capacity()).
   Insert insert_at(std::uint32_t cell, graph::VertexId w) {
     LOGCC_DCHECK(cell < cells_.size());
-    graph::VertexId& slot = cells_[cell];
-    if (slot == w) return Insert::kPresent;
-    if (slot == graph::kInvalidVertex) {
-      slot = w;
+    if (stamp_[cell] != gen_) {
+      cells_[cell] = w;
+      stamp_[cell] = gen_;
       ++count_;
       return Insert::kNew;
     }
+    if (cells_[cell] == w) return Insert::kPresent;
     collided_ = true;
     return Insert::kCollision;
   }
@@ -53,14 +74,14 @@ class VertexTable {
   /// True iff `w` sits in `cell` (the paper's collision *detection*: write,
   /// then re-read the same location).
   bool contains_at(std::uint32_t cell, graph::VertexId w) const {
-    return cell < cells_.size() && cells_[cell] == w;
+    return cell < cells_.size() && stamp_[cell] == gen_ && cells_[cell] == w;
   }
 
   /// Iterates occupied cells.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (graph::VertexId w : cells_)
-      if (w != graph::kInvalidVertex) fn(w);
+    for (std::uint32_t c = 0; c < cells_.size(); ++c)
+      if (stamp_[c] == gen_) fn(cells_[c]);
   }
 
   std::vector<graph::VertexId> items() const {
@@ -70,10 +91,18 @@ class VertexTable {
     return out;
   }
 
-  const std::vector<graph::VertexId>& cells() const { return cells_; }
+  /// Cell image of the current generation: kInvalidVertex in empty cells.
+  std::vector<graph::VertexId> cells() const {
+    std::vector<graph::VertexId> out(cells_.size(), graph::kInvalidVertex);
+    for (std::uint32_t c = 0; c < cells_.size(); ++c)
+      if (stamp_[c] == gen_) out[c] = cells_[c];
+    return out;
+  }
 
  private:
   std::vector<graph::VertexId> cells_;
+  std::vector<std::uint32_t> stamp_;  // cell live iff stamp_[c] == gen_
+  std::uint32_t gen_ = 0;
   std::uint32_t count_ = 0;
   bool collided_ = false;
 };

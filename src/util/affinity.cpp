@@ -1,0 +1,112 @@
+#include "util/affinity.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace logcc::util {
+
+namespace {
+
+PinMode parse_pin_mode() {
+  const char* env = std::getenv("LOGCC_PIN");
+  if (!env || !*env || std::strcmp(env, "none") == 0) return PinMode::kNone;
+  if (std::strcmp(env, "compact") == 0) return PinMode::kCompact;
+  if (std::strcmp(env, "spread") == 0) return PinMode::kSpread;
+  // A typo'd mode must not silently measure the wrong placement.
+  std::fprintf(stderr,
+               "logcc: unknown LOGCC_PIN '%s' (want none|compact|spread); "
+               "not pinning\n",
+               env);
+  return PinMode::kNone;
+}
+
+int detect_numa_nodes() {
+#if defined(__linux__)
+  // Count /sys/devices/system/node/node<k> entries. Probing k in order is
+  // enough: Linux numbers possible nodes densely from 0.
+  int nodes = 0;
+  for (;; ++nodes) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/sys/devices/system/node/node%d",
+                  nodes);
+    std::FILE* f = std::fopen(path, "r");
+    if (!f) break;
+    std::fclose(f);
+    if (nodes >= 1024) break;  // defensive bound
+  }
+  return nodes > 0 ? nodes : 1;
+#else
+  return 1;
+#endif
+}
+
+int ncpus() {
+  static const int n =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return n;
+}
+
+/// lane → CPU under `mode`. Spread round-robins lanes across nodes assuming
+/// the common contiguous-per-node CPU numbering (node j owns CPUs
+/// [j*ncpus/nodes, (j+1)*ncpus/nodes)); with one node it reduces to
+/// compact's (lane mod ncpus).
+int cpu_for_lane(PinMode mode, std::size_t lane) {
+  const int cpus = ncpus();
+  if (mode == PinMode::kCompact) return static_cast<int>(lane % cpus);
+  const int nodes = numa_node_count();
+  if (nodes <= 1) return static_cast<int>(lane % cpus);
+  const int per_node = cpus / nodes > 0 ? cpus / nodes : 1;
+  const int node = static_cast<int>(lane % nodes);
+  const int slot = static_cast<int>(lane / nodes) % per_node;
+  return (node * per_node + slot) % cpus;
+}
+
+}  // namespace
+
+PinMode pin_mode() {
+  static const PinMode mode = parse_pin_mode();
+  return mode;
+}
+
+const char* pin_mode_name() {
+  switch (pin_mode()) {
+    case PinMode::kNone: return "none";
+    case PinMode::kCompact: return "compact";
+    case PinMode::kSpread: return "spread";
+  }
+  return "?";
+}
+
+int numa_node_count() {
+  static const int nodes = detect_numa_nodes();
+  return nodes;
+}
+
+void pin_current_thread(std::size_t lane) {
+  const PinMode mode = pin_mode();
+  if (mode == PinMode::kNone || lane == 0) return;
+#if defined(__linux__)
+  // Idempotent per thread: repeat dispatches on the same worker re-request
+  // the same CPU; skip the syscall once it stuck.
+  thread_local int pinned_cpu = -1;
+  const int cpu = cpu_for_lane(mode, lane);
+  if (cpu == pinned_cpu) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0)
+    pinned_cpu = cpu;
+#else
+  (void)lane;
+#endif
+}
+
+}  // namespace logcc::util

@@ -19,4 +19,39 @@ void scratch_arena_round_reset() {
   if (tl_active_arena) tl_active_arena->reset();
 }
 
+namespace {
+// One arena per worker thread, created on the worker itself so its blocks
+// are first-touched (hence NUMA-resident) where they are used. The first
+// block is sized to cover a chunk's whole scratch stack (in-bucket sort
+// staging + counting grids) outright: lane growth events are rare, and a
+// prewarmed lane is allocation-free from its first dispatch.
+MonotonicArena& lane_arena() {
+  thread_local MonotonicArena arena(/*first_block_bytes=*/std::size_t{1}
+                                    << 20);
+  return arena;
+}
+}  // namespace
+
+void prewarm_worker_arena() {
+  // Force the first block into existence at thread startup — outside any
+  // measured steady-state window, and regardless of when (or whether) work
+  // stealing first routes a scratch-using chunk to this lane.
+  MonotonicArena& a = lane_arena();
+  a.alloc<std::byte>(1);
+  a.reset();
+}
+
+WorkerArenaScope::WorkerArenaScope() : installed_(tl_active_arena == nullptr) {
+  if (installed_) tl_active_arena = &lane_arena();
+}
+
+WorkerArenaScope::~WorkerArenaScope() {
+  if (installed_) {
+    // All lane scratch is dead (LIFO); rewind and consolidate so the
+    // steady state is one retained allocation-free block per lane.
+    tl_active_arena->reset();
+    tl_active_arena = nullptr;
+  }
+}
+
 }  // namespace logcc::util

@@ -19,10 +19,16 @@
 //
 // The active arena is a thread_local pointer installed by ScratchArenaScope
 // (drivers install a core::RoundArena for the whole run; see
-// core/round_arena.hpp for the ownership rule). Kernels running on pool
-// worker threads see no active arena and fall back to the heap — the arena
-// is single-owner by design: only the dispatching thread allocates from it,
-// so it needs no synchronization.
+// core/round_arena.hpp for the ownership rule). Every arena is single-owner
+// by design: only one thread ever allocates from a given arena, so it needs
+// no synchronization. Worker threads get their own: the parallel runtimes
+// (pool worker_main, the OpenMP region in util/parallel.cpp) wrap each
+// lane's work in a WorkerArenaScope, which installs a thread_local per-lane
+// arena when no arena is active. The lane arena is first-touched, grown,
+// and reused entirely by its own worker — in-bucket sort staging and
+// group-by counting grids stay in lane-local (first-touch NUMA-local)
+// memory and stop heap-allocating once every lane reached its high-water
+// size.
 //
 // Arena memory is raw storage: ScratchBuffer places only trivially
 // destructible types there (anything else silently uses the heap path), and
@@ -187,6 +193,31 @@ class ScratchArenaScope {
 /// top of every round; it requires that no ScratchBuffer is live on this
 /// thread (true between kernel calls by construction).
 void scratch_arena_round_reset();
+
+/// Allocates this thread's per-lane arena's first block now. Worker threads
+/// call it once at startup so lane-arena creation never lands inside a
+/// steady-state round (whose zero-allocation property
+/// tests/test_round_arena.cpp asserts with an operator-new counter).
+void prewarm_worker_arena();
+
+/// Installs this thread's per-lane arena as the active scratch arena — but
+/// only when none is active (the dispatching thread keeps its RoundArena;
+/// nested parallel regions keep the outer scope's arena). The parallel
+/// runtimes wrap each lane's work in one of these: worker-side
+/// ScratchBuffers then draw from memory the worker itself first-touched and
+/// retains across dispatches. On exit the lane arena is reset (all scratch
+/// is dead by LIFO) so the next dispatch starts from a rewound,
+/// consolidated block.
+class WorkerArenaScope {
+ public:
+  WorkerArenaScope();
+  ~WorkerArenaScope();
+  WorkerArenaScope(const WorkerArenaScope&) = delete;
+  WorkerArenaScope& operator=(const WorkerArenaScope&) = delete;
+
+ private:
+  bool installed_;
+};
 
 /// RAII scratch span: arena-backed (with LIFO rewind on destruction) when
 /// an arena is active and T is trivially destructible; heap-backed

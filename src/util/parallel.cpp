@@ -8,6 +8,8 @@
 #include <cstring>
 #include <thread>
 
+#include "util/affinity.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 #ifdef LOGCC_HAVE_OPENMP
@@ -180,10 +182,21 @@ void parallel_run_impl(std::size_t begin, std::size_t end, std::size_t grain,
       const std::size_t g = std::max<std::size_t>(1, grain);
       const std::int64_t chunks =
           static_cast<std::int64_t>((n + g - 1) / g);
-#pragma omp parallel for schedule(static)
-      for (std::int64_t c = 0; c < chunks; ++c) {
-        const std::size_t lo = begin + static_cast<std::size_t>(c) * g;
-        chunk(ctx, lo, std::min(end, lo + g));
+      // Explicit region (not `parallel for`) so each OMP thread gets a
+      // lane-local scratch arena around its static chunk share — same
+      // per-lane memory discipline as the pool backend. The master thread's
+      // WorkerArenaScope no-ops (its RoundArena is already active), and
+      // optional LOGCC_PIN placement applies once per region thread.
+#pragma omp parallel
+      {
+        pin_current_thread(
+            static_cast<std::size_t>(omp_get_thread_num()));
+        WorkerArenaScope arena;
+#pragma omp for schedule(static)
+        for (std::int64_t c = 0; c < chunks; ++c) {
+          const std::size_t lo = begin + static_cast<std::size_t>(c) * g;
+          chunk(ctx, lo, std::min(end, lo + g));
+        }
       }
 #else
       chunk(ctx, begin, end);

@@ -420,10 +420,11 @@ void parallel_group_by_into(const std::vector<T>& in, std::vector<T>& out,
     const std::size_t hi_key = std::min(num_keys, lo_key + q);
     const std::size_t lo = bucket_begin[k], hi = bucket_begin[k + 1];
     // Private count buffer, exclusive scan into the bucket's disjoint
-    // offsets slice [lo_key, hi_key), stable scatter. (A plain vector, not
-    // arena scratch: this runs on pool worker threads, which by design have
-    // no active arena.)
-    std::vector<std::size_t> cur(hi_key - lo_key, 0);
+    // offsets slice [lo_key, hi_key), stable scatter. Arena scratch: on the
+    // dispatching thread this draws from the round arena, on worker threads
+    // from the per-lane arena the runtime installs (util/arena.hpp) — no
+    // heap in steady state on either.
+    ScratchBuffer<std::size_t> cur(hi_key - lo_key, /*zeroed=*/true);
     for (std::size_t i = lo; i < hi; ++i) ++cur[key(tmp[i]) - lo_key];
     std::size_t acc = lo;
     for (std::size_t k2 = lo_key; k2 < hi_key; ++k2) {

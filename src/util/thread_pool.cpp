@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include "util/affinity.hpp"
+#include "util/arena.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -77,6 +79,8 @@ struct ThreadPool::Impl {
   // fresh worker (after a resize restart) must NOT mistake an already-
   // consumed epoch for new work and run on stale segments.
   void worker_main(std::size_t lane, std::uint64_t seen) {
+    pin_current_thread(lane);  // no-op unless LOGCC_PIN is set
+    prewarm_worker_arena();
     for (;;) {
       // Spin briefly for the next epoch, then park.
       bool got = false;
@@ -97,7 +101,15 @@ struct ThreadPool::Impl {
       if (stopping) return;
       seen = epoch.load(std::memory_order_acquire);
       tl_in_region = true;
-      work(lane);
+      {
+        // Lane-local scratch arena for the kernels this dispatch runs:
+        // worker-side ScratchBuffers draw from memory this worker
+        // first-touched and retains across dispatches (zero heap in steady
+        // state). The scope resets the arena on exit — all scratch is dead
+        // by LIFO once work() returns.
+        WorkerArenaScope arena;
+        work(lane);
+      }
       tl_in_region = false;
       if (lanes_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(mu);

@@ -11,6 +11,7 @@
 #include <new>
 
 #include "core/building_blocks.hpp"
+#include "core/expand.hpp"
 #include "core/vanilla.hpp"
 #include "graph/generators.hpp"
 #include "test_support.hpp"
@@ -153,9 +154,18 @@ TEST_F(BackendInvariance, VanillaSteadyStatePhasesAllocateNothing) {
     return g_new_calls.load() - before;
   };
 
-  // Warm the pool (worker startup allocates) outside the counted windows.
+  // Warm the pool (worker startup allocates) and every lane's arena (the
+  // per-lane arenas of util/arena.hpp grow to their high-water demand on
+  // first touch) outside the counted windows. Work stealing decides which
+  // lane sees the peak chunk, so a single warm-up run may leave a lane
+  // cold — run full passes until the allocation count stabilizes.
   RunStats warm_stats;
-  run_phases_counting(1, warm_stats);
+  std::uint64_t prev_allocs = run_phases_counting(0, warm_stats);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t cur = run_phases_counting(0, warm_stats);
+    if (cur == prev_allocs) break;
+    prev_allocs = cur;
+  }
 
   RunStats full_stats;
   const std::uint64_t full_allocs = run_phases_counting(0, full_stats);
@@ -167,6 +177,53 @@ TEST_F(BackendInvariance, VanillaSteadyStatePhasesAllocateNothing) {
   EXPECT_EQ(full_allocs, short_allocs)
       << "phases 4.." << full_stats.phases
       << " allocated: steady-state rounds must be allocation-free";
+}
+
+// The bucketized table fills: EXPAND with a persistent ExpandScratch keeps
+// its whole table slab (and every round's doubling snapshot) in retained
+// memory — once warm, a full engine run performs a *stable* number of
+// allocations (the engine's own member vectors), and the slab itself never
+// allocates again: same-shape resets are epoch bumps.
+TEST_F(BackendInvariance, ExpandSlabFillsAreAllocationFreeWhenWarm) {
+  util::set_parallel_backend(util::ParallelBackend::kPool);
+  util::set_parallelism(4);
+  const std::uint64_t n = 1 << 14;
+  auto el = graph::make_gnm(n, 3 * n, 9);
+  auto arcs = arcs_from_edges(el);
+  drop_loops(arcs);
+  std::vector<graph::VertexId> ongoing(n);
+  for (graph::VertexId v = 0; v < n; ++v) ongoing[v] = v;
+  ExpandParams p;
+  p.block_count = 4 * n + 7;
+  p.table_capacity = 8;
+  p.seed = 42;
+  p.max_rounds = 16;
+
+  RoundArena arena;
+  RoundArena::Scope scope(arena);
+  ExpandScratch scratch;
+  auto run_counting = [&]() -> std::uint64_t {
+    util::scratch_arena_round_reset();
+    const std::uint64_t before = g_new_calls.load();
+    RunStats stats;
+    ExpandEngine engine(n, ongoing, arcs, p, stats, &scratch);
+    engine.run();
+    return g_new_calls.load() - before;
+  };
+
+  // Warm until flat (pool workers, lane arenas, slab, round arena).
+  std::uint64_t prev = run_counting();
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t cur = run_counting();
+    if (cur == prev) break;
+    prev = cur;
+  }
+  const std::uint64_t slab_allocs = scratch.tables.slab_allocations();
+  const std::uint64_t a = run_counting();
+  const std::uint64_t b = run_counting();
+  EXPECT_EQ(a, b) << "warm EXPAND runs must have a stable allocation count";
+  EXPECT_EQ(scratch.tables.slab_allocations(), slab_allocs)
+      << "same-shape slab resets must be epoch bumps, not reallocations";
 }
 
 // Same property through the public driver (arena installed by
