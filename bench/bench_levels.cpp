@@ -27,13 +27,14 @@ int main(int argc, char** argv) {
   for (std::uint64_t n : {1024ULL, 4096ULL, 16384ULL, 65536ULL}) {
     for (std::uint64_t density : {2ULL, 8ULL}) {
       graph::EdgeList el = graph::make_gnm(n, density * n, n + density);
+      const auto in = graph::ArcsInput::from_edges(el);
       core::ParamPolicy policy = core::ParamPolicy::practical(2 * n, el.edges.size());
       std::uint32_t max_level = 0;
       std::uint64_t raises = 0;
       for (int rep = 0; rep < reps; ++rep) {
         Options opt;
         opt.seed = 1000 + rep;
-        auto r = connected_components(el, Algorithm::kFasterCC, opt);
+        auto r = connected_components(in, Algorithm::kFasterCC, opt);
         max_level = std::max(max_level, r.stats.max_level);
         raises += r.stats.level_raises;
       }

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   for (const Cell& cell : cells) {
     auto oracle =
         graph::bfs_components(graph::Graph::from_edges(cell.el));
+    const auto in = graph::ArcsInput::from_edges(cell.el);
     for (Algorithm alg : {Algorithm::kFasterCC, Algorithm::kTheorem1,
                           Algorithm::kVanilla}) {
       int wrong = 0, finisher = 0;
@@ -43,8 +44,8 @@ int main(int argc, char** argv) {
       for (int s = 1; s <= seeds; ++s) {
         Options opt;
         opt.seed = static_cast<std::uint64_t>(s) * 2654435761ULL + 17;
-        auto r = connected_components(cell.el, alg, opt);
-        wrong += !graph::same_partition(oracle, r.labels);
+        auto r = connected_components(in, alg, opt);
+        wrong += !graph::same_partition(oracle, r.labels());
         finisher += r.stats.finisher_used;
         rounds.add(static_cast<double>(progress_rounds(r)));
       }

@@ -138,7 +138,7 @@ inline RunOutcome run_algorithm(const graph::ArcsInput& in, Algorithm alg,
     auto r = connected_components(in, alg, opt);
     secs.add(r.seconds);
     rounds.add(static_cast<double>(progress_rounds(r)));
-    out.correct = out.correct && graph::same_partition(oracle, r.labels);
+    out.correct = out.correct && graph::same_partition(oracle, r.labels());
     out.stats = r.stats;
   }
   out.seconds = util::percentile(secs.values(), 50.0);

@@ -239,10 +239,10 @@ int main(int argc, char** argv) {
         rec.threads_effective = effective;
         rec.rep = rep;
         rec.seconds = r.seconds;
-        rec.components = r.num_components;
-        rec.labels_hash = labels_fingerprint(r.labels);
+        rec.components = r.num_components();
+        rec.labels_hash = labels_fingerprint(r.labels());
         rec.stats = r.stats;
-        if (!no_verify) rec.verified = verify_components(input, r.labels);
+        if (!no_verify) rec.verified = verify_components(input, r.index);
         runs.push_back(rec);
         std::printf("  %-10s t=%d rep=%d: %.3fs components=%" PRIu64
                     " rounds=%" PRIu64 " phases=%" PRIu64 "%s\n",

@@ -1,0 +1,133 @@
+// cc_serve: the serving-layer face of the library — replay an edge stream
+// in batches against a live serve::ConnectivityEngine, answer point queries
+// between batches, and cross-check the incremental state against a full
+// recompute on the configured cadence.
+//
+//   $ ./examples/cc_serve --generate=gnm2:20000 --batch-edges=500 \
+//                         --verify-every=8 [--algorithm=faster-cc] \
+//                         [--queries=256] [--forest] [--seed=1]
+//
+// The CI serving smoke runs exactly this: a short stream with a tight
+// verify cadence, exiting nonzero if ANY rebuild epoch disagrees with the
+// incrementally maintained ComponentIndex (the exit contract mirrors
+// cc_bench: 0 = every check passed).
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/connectivity.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/generators.hpp"
+#include "serve/connectivity_engine.hpp"
+#include "util/cli.hpp"
+#include "util/hashing.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logcc;
+
+  util::Cli cli(argc, argv);
+  const std::string generate = cli.get_string(
+      "generate", "gnm2:20000", "family:n[:seed] edge stream to replay");
+  const std::uint64_t batch_edges = static_cast<std::uint64_t>(
+      cli.get_int("batch-edges", 500, "edges per batch"));
+  const std::uint64_t verify_every = static_cast<std::uint64_t>(cli.get_int(
+      "verify-every", 8, "rebuild/verify cadence in batches (0 = end only)"));
+  const std::string algorithm_name =
+      cli.get_string("algorithm", "faster-cc",
+                     "batch algorithm for the rebuild/verify epochs");
+  const std::uint64_t queries = static_cast<std::uint64_t>(cli.get_int(
+      "queries", 256, "point queries sampled against the snapshot per batch"));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1, "random seed"));
+  const bool forest =
+      cli.get_flag("forest", "attach the parent forest to snapshots");
+  cli.finish();
+
+  std::string family;
+  std::uint64_t n = 0;
+  std::uint64_t gseed = 1;
+  if (!graph::parse_generator_spec(generate, family, n, gseed)) {
+    std::fprintf(stderr, "cc_serve: bad --generate spec '%s'\n",
+                 generate.c_str());
+    return 2;
+  }
+  const graph::EdgeList el = graph::make_family(family, n, gseed);
+  if (batch_edges == 0) {
+    std::fprintf(stderr, "cc_serve: --batch-edges must be positive\n");
+    return 2;
+  }
+
+  serve::EngineOptions opts;
+  opts.verify_every = verify_every;
+  opts.rebuild_algorithm = algorithm_from_string(algorithm_name);
+  opts.seed = seed;
+  opts.publish_forest = forest;
+  serve::ConnectivityEngine engine(el.n, opts);
+
+  std::printf("cc_serve: stream %s (n=%" PRIu64 " edges=%zu) in batches of %"
+              PRIu64 ", verify every %" PRIu64 " batches via %s\n",
+              generate.c_str(), el.n, el.edges.size(), batch_edges,
+              verify_every, to_string(opts.rebuild_algorithm));
+
+  util::Timer total;
+  std::uint64_t verify_epochs = 0, mismatches = 0, query_total = 0;
+  double apply_seconds = 0.0;
+  std::span<const graph::Edge> all(el.edges);
+  for (std::size_t off = 0; off < all.size(); off += batch_edges) {
+    const auto batch =
+        all.subspan(off, std::min<std::size_t>(batch_edges, all.size() - off));
+    const auto res = engine.apply_batch(batch);
+    apply_seconds += res.seconds;
+    if (res.verify_ran) {
+      ++verify_epochs;
+      if (!res.verified) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "cc_serve: MISMATCH at batch %" PRIu64
+                     ": incremental index != full recompute\n",
+                     res.batch);
+      }
+    }
+    // Reader traffic between batches: point queries against the published
+    // snapshot, sanity-checked against the snapshot's own labeling.
+    const auto snap = engine.snapshot();
+    for (std::uint64_t q = 0; q < queries && el.n > 0; ++q) {
+      const auto u = static_cast<graph::VertexId>(
+          util::mix64(seed, res.batch, 2 * q) % el.n);
+      const auto v = static_cast<graph::VertexId>(
+          util::mix64(seed, res.batch, 2 * q + 1) % el.n);
+      const bool conn = engine.connected(u, v);
+      if (conn != (snap->component_of(u) == snap->component_of(v)) &&
+          engine.num_batches() == res.batch) {
+        std::fprintf(stderr, "cc_serve: inconsistent query answer\n");
+        return 1;
+      }
+      ++query_total;
+    }
+  }
+
+  // Final rebuild epoch: the stream's last word on incremental integrity.
+  ++verify_epochs;
+  if (!engine.verify_and_rebuild()) {
+    ++mismatches;
+    std::fprintf(stderr,
+                 "cc_serve: MISMATCH at final rebuild: incremental index != "
+                 "full recompute\n");
+  }
+
+  const double elapsed = total.seconds();
+  std::printf("applied %" PRIu64 " batches (%" PRIu64 " edges) in %.3fs "
+              "(%.0f edges/s apply), %" PRIu64 " queries, epoch %" PRIu64 "\n",
+              engine.num_batches(), engine.num_edges(), apply_seconds,
+              apply_seconds > 0
+                  ? static_cast<double>(engine.num_edges()) / apply_seconds
+                  : 0.0,
+              query_total, engine.epoch());
+  std::printf("components: %" PRIu64 "   |component(v0)|: %" PRIu64
+              "   verify epochs: %" PRIu64 "/%" PRIu64 " ok   total %.3fs\n",
+              engine.component_count(),
+              engine.num_vertices() > 0 ? engine.component_size(0) : 0,
+              verify_epochs - mismatches, verify_epochs, elapsed);
+  std::printf("serving smoke: %s\n", mismatches == 0 ? "PASS" : "FAIL");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
               "(loaded via %s in %.1fms%s)\n",
               static_cast<unsigned long long>(arcs.num_vertices()),
               static_cast<unsigned long long>(arcs.num_edges()),
-              static_cast<unsigned long long>(r.num_components),
+              static_cast<unsigned long long>(r.num_components()),
               to_string(alg), r.seconds * 1e3, info.source.c_str(),
               info.load_seconds * 1e3,
               arcs.csr_backed() ? ", csr-native" : "");
@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cc_tool: cannot write '%s'\n", output.c_str());
       return 2;
     }
-    for (graph::VertexId label : r.labels) os << label << '\n';
+    for (graph::VertexId label : r.labels()) os << label << '\n';
   }
 
   if (!forest_path.empty()) {

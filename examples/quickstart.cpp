@@ -19,13 +19,19 @@ int main() {
                                       /*seed=*/42);
 
   // 2. Connected components with the O(log d + log log_{m/n} n) algorithm.
-  ComponentsResult r = connected_components(g);  // Algorithm::kFasterCC
+  // ArcsInput is the zero-copy front door (CSR datasets plug in the same
+  // way); the result carries a ComponentIndex snapshot.
+  ComponentsResult r =
+      connected_components(graph::ArcsInput::from_edges(g));  // kFasterCC
 
-  // 3. labels[v] == labels[w] iff v and w are connected.
-  std::printf("n=%llu m=%llu components=%llu\n",
+  // 3. labels()[v] == labels()[w] iff v and w are connected; the index also
+  // answers point queries directly.
+  std::printf("n=%llu m=%llu components=%llu largest-component=%llu\n",
               static_cast<unsigned long long>(g.n),
               static_cast<unsigned long long>(g.edges.size()),
-              static_cast<unsigned long long>(r.num_components));
+              static_cast<unsigned long long>(r.num_components()),
+              static_cast<unsigned long long>(r.index.component_size(
+                  r.index.component_of(0))));
 
   // 4. The metrics the paper's theorems are about.
   std::printf("EXPAND-MAXLINK rounds: %llu  (Thm 3: O(log d + log log n))\n",
@@ -41,12 +47,12 @@ int main() {
   // 5. Sanity: agree with sequential BFS.
   auto oracle = graph::bfs_components(graph::Graph::from_edges(g));
   std::printf("matches BFS oracle:    %s\n",
-              graph::same_partition(oracle, r.labels) ? "yes" : "NO");
+              graph::same_partition(oracle, r.labels()) ? "yes" : "NO");
 
   // 6. A spanning forest of the same graph (Theorem 2).
-  ForestResult f = spanning_forest(g);
+  ForestResult f = spanning_forest(graph::ArcsInput::from_edges(g));
   std::printf("spanning forest edges: %llu (= n - #components: %s)\n",
               static_cast<unsigned long long>(f.forest_edges.size()),
-              f.forest_edges.size() == g.n - r.num_components ? "yes" : "NO");
+              f.forest_edges.size() == g.n - r.num_components() ? "yes" : "NO");
   return 0;
 }

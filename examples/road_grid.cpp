@@ -34,9 +34,10 @@ int main(int argc, char** argv) {
                                   : graph::make_grid(rows, cols);
     std::uint64_t d = rows == 1 ? cols - 1 : rows + cols - 2;
 
-    auto fast = connected_components(g, Algorithm::kFasterCC);
-    auto vanilla = connected_components(g, Algorithm::kVanilla);
-    auto bfs = connected_components(g, Algorithm::kBFS);
+    const auto in = graph::ArcsInput::from_edges(g);
+    auto fast = connected_components(in, Algorithm::kFasterCC);
+    auto vanilla = connected_components(in, Algorithm::kVanilla);
+    auto bfs = connected_components(in, Algorithm::kBFS);
 
     char name[32];
     std::snprintf(name, sizeof name, "%llux%llu",

@@ -31,10 +31,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.n),
               static_cast<unsigned long long>(g.edges.size()));
 
-  auto r = connected_components(g, Algorithm::kFasterCC);
-  auto sizes = graph::component_sizes(r.labels);
+  const auto in = graph::ArcsInput::from_edges(g);
+  auto r = connected_components(in, Algorithm::kFasterCC);
+  auto sizes = graph::component_sizes(r.labels());
   std::printf("\ncomponents: %llu; largest:",
-              static_cast<unsigned long long>(r.num_components));
+              static_cast<unsigned long long>(r.num_components()));
   for (std::size_t i = 0; i < std::min<std::size_t>(5, sizes.size()); ++i)
     std::printf(" %llu", static_cast<unsigned long long>(sizes[i]));
   std::printf("\ngiant component covers %.1f%% of vertices\n",
@@ -50,12 +51,12 @@ int main(int argc, char** argv) {
   for (Algorithm alg :
        {Algorithm::kFasterCC, Algorithm::kTheorem1, Algorithm::kVanilla,
         Algorithm::kShiloachVishkin, Algorithm::kUnionFind}) {
-    auto res = connected_components(g, alg);
+    auto res = connected_components(in, alg);
     table.row()
         .add(to_string(alg))
         .add_int(static_cast<long long>(res.stats.rounds + res.stats.phases))
         .add_double(res.seconds * 1e3, 1)
-        .add_int(static_cast<long long>(res.num_components));
+        .add_int(static_cast<long long>(res.num_components()));
   }
   table.print();
   return 0;

@@ -12,6 +12,12 @@ Robustness choices, deliberate:
     cc_bench with --reps=3 or more so the min is meaningful);
   - cells below --min-seconds (default 5 ms) are reported but never fail:
     at that scale the gate would measure the runner, not the code;
+  - latency cells — algorithm names containing "p50", "p99", or "latency"
+    (bench_serving's serve-query-p50/p99) — use --latency-min-seconds
+    (default 50 us) as their noise floor instead: single-query latencies
+    sit far below any throughput cell, so the 5 ms floor would blind the
+    gate to them entirely while scheduler jitter makes sub-floor deltas
+    meaningless;
   - cells present on only one side warn instead of failing, so adding an
     algorithm or thread count to the sweep never breaks the gate;
   - --update rewrites the baseline from the new document (commit the result
@@ -28,13 +34,17 @@ Exit status:
 
 Usage:
   bench_compare.py NEW_JSON BASELINE_JSON [--threshold 0.25]
-                   [--min-seconds 0.005] [--update]
+                   [--min-seconds 0.005] [--latency-min-seconds 0.00005]
+                   [--update]
 """
 
 import argparse
 import json
+import re
 import shutil
 import sys
+
+LATENCY_CELL = re.compile(r"p50|p99|latency")
 
 
 def load(path):
@@ -69,6 +79,9 @@ def main():
                     help="fail when new_min > base_min * (1 + threshold)")
     ap.add_argument("--min-seconds", type=float, default=0.005,
                     help="cells faster than this never fail (noise floor)")
+    ap.add_argument("--latency-min-seconds", type=float, default=0.00005,
+                    help="noise floor for latency cells (algorithm matches "
+                         "p50/p99/latency) instead of --min-seconds")
     ap.add_argument("--update", action="store_true",
                     help="copy NEW_JSON over BASELINE_JSON instead of comparing")
     args = ap.parse_args()
@@ -95,15 +108,17 @@ def main():
             continue
         base_min = base_cells[key]
         ratio = new_min / base_min if base_min > 0 else float("inf")
+        floor = (args.latency_min_seconds if LATENCY_CELL.search(alg)
+                 else args.min_seconds)
         verdict = "ok"
         if new_min > base_min * (1.0 + args.threshold):
-            if base_min < args.min_seconds:
+            if base_min < floor:
                 verdict = "noise-floor (ignored)"
             else:
                 verdict = "REGRESSION"
                 regressions.append((alg, threads, base_min, new_min, ratio))
         elif new_min < base_min * (1.0 - args.threshold):
-            if base_min < args.min_seconds:
+            if base_min < floor:
                 verdict = "noise-floor (ignored)"
             else:
                 verdict = "IMPROVED"

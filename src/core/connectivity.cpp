@@ -49,6 +49,7 @@ ComponentsResult connected_components(const graph::ArcsInput& in,
                                       Algorithm algorithm,
                                       const Options& options) {
   ComponentsResult out;
+  std::vector<graph::VertexId> labels;
   // One round-scratch arena for the whole run: the paper drivers install
   // their own (inner scopes no-op), and the round-loop baselines get the
   // same steady-state zero-allocation behaviour through this one.
@@ -61,7 +62,7 @@ ComponentsResult connected_components(const graph::ArcsInput& in,
       p.seed = options.seed;
       p.policy = options.policy;
       auto r = core::faster_cc(in, p);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats = r.stats;
       break;
     }
@@ -72,56 +73,57 @@ ComponentsResult connected_components(const graph::ArcsInput& in,
               : options.theorem1;
       p.seed = options.seed;
       auto r = core::theorem1_cc(in, p);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats = r.stats;
       break;
     }
     case Algorithm::kVanilla: {
       auto r = core::vanilla_cc(in, options.seed);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats = r.stats;
       break;
     }
     case Algorithm::kShiloachVishkin: {
       auto r = baselines::shiloach_vishkin(in);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kAwerbuchShiloach: {
       auto r = baselines::awerbuch_shiloach(in);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kLabelProp: {
       auto r = baselines::label_propagation(in);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kLiuTarjan: {
       auto r = baselines::liu_tarjan(in);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kUnionFind: {
       auto r = baselines::union_find_cc(in);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
     case Algorithm::kBFS: {
       auto r = baselines::bfs_cc(in);
-      out.labels = std::move(r.labels);
+      labels = std::move(r.labels);
       out.stats.rounds = r.rounds;
       break;
     }
   }
+  // Canonicalize + sizes + count in one snapshot build — every algorithm
+  // exits through the same ComponentIndex vocabulary.
+  out.index = core::ComponentIndex::from_labels(std::move(labels));
   out.seconds = timer.seconds();
-  out.labels = graph::canonical_labels(out.labels);
-  out.num_components = graph::count_components(out.labels);
   return out;
 }
 
@@ -164,8 +166,9 @@ ForestResult spanning_forest(const graph::EdgeList& el, SfAlgorithm algorithm,
 }
 
 bool verify_components(const graph::ArcsInput& in,
-                       const std::vector<graph::VertexId>& labels) {
+                       const core::ComponentIndex& index) {
   const std::uint64_t n = in.num_vertices();
+  const std::vector<graph::VertexId>& labels = index.labels();
   if (labels.size() != n) return false;
   // (1) Edges never cross label classes. for_each_edge has no break, so
   // after the first violation the sweep degrades to a no-op per edge
@@ -176,14 +179,29 @@ bool verify_components(const graph::ArcsInput& in,
     if (u >= n || v >= n || labels[u] != labels[v]) edges_ok = false;
   });
   if (!edges_ok) return false;
-  // (2) Label classes are not coarser than the true partition: the number
-  // of distinct labels must equal the union-find component count. Together
-  // with (1) (not finer), the partitions coincide.
+  // (2) Label classes are not coarser than the true partition, and the
+  // index's count and per-component sizes are the truth: recompute both
+  // with union-find (no shared code with the PRAM algorithms) in the same
+  // O(m α(n)) pass and compare.
   baselines::DisjointSets ds(n);
   in.for_each_edge([&](graph::VertexId u, graph::VertexId v, std::uint32_t) {
     ds.unite(u, v);
   });
-  return graph::count_components(labels) == ds.num_sets();
+  if (index.num_components() != ds.num_sets()) return false;
+  std::vector<std::uint64_t> uf_size(n, 0);
+  for (std::uint64_t v = 0; v < n; ++v) ++uf_size[ds.find(graph::VertexId(v))];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (index.component_size(graph::VertexId(v)) !=
+        uf_size[ds.find(graph::VertexId(v))])
+      return false;
+  }
+  return true;
+}
+
+bool verify_components(const graph::ArcsInput& in,
+                       const std::vector<graph::VertexId>& labels) {
+  if (labels.size() != in.num_vertices()) return false;
+  return verify_components(in, core::ComponentIndex::from_labels(labels));
 }
 
 bool verify_components(const graph::EdgeList& el,

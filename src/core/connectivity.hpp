@@ -8,8 +8,14 @@
 //   #include "core/connectivity.hpp"
 //   auto g = logcc::graph::make_gnm(1'000'000, 4'000'000, /*seed=*/42);
 //   auto r = logcc::connected_components(g);     // Theorem-3 algorithm
-//   // r.labels[v] == r.labels[w]  iff  v and w are connected
+//   // r.index.connected(v, w), r.labels()[v], r.num_components()
 //   // r.stats.rounds, r.stats.peak_space_words, ...
+//
+// Every algorithm produces a core::ComponentIndex — canonical min-id
+// labels, per-component sizes, and the component count in one snapshot
+// type. The incremental serve::ConnectivityEngine publishes the same type
+// between epochs, so batch, incremental, and bench layers all speak one
+// result vocabulary (see core/component_index.hpp).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "core/cc_theorem1.hpp"
+#include "core/component_index.hpp"
 #include "core/faster_cc.hpp"
 #include "core/metrics.hpp"
 #include "core/spanning_forest.hpp"
@@ -52,20 +59,28 @@ struct Options {
 };
 
 struct ComponentsResult {
-  std::vector<graph::VertexId> labels;  // canonical: min id per component
+  core::ComponentIndex index;  // canonical snapshot: labels + sizes + count
   core::RunStats stats;
   double seconds = 0.0;
-  std::uint64_t num_components = 0;
+
+  /// Convenience views into `index` (the historical field names).
+  const std::vector<graph::VertexId>& labels() const {
+    return index.labels();
+  }
+  std::uint64_t num_components() const { return index.num_components(); }
 };
 
-/// The ArcsInput overload is the real entry point: CSR-backed inputs (mmap
+/// The ArcsInput overload is the front door: CSR-backed inputs (mmap
 /// datasets, Graph views) run with zero intermediate EdgeList
 /// materialization, and results are bit-identical to running the EdgeList
-/// path on the same canonical edge order. The EdgeList overload is a
-/// forwarding shim.
+/// path on the same canonical edge order.
 ComponentsResult connected_components(
     const graph::ArcsInput& in, Algorithm algorithm = Algorithm::kFasterCC,
     const Options& options = {});
+/// Legacy: EdgeList forwarding shim, kept for source compatibility. New
+/// code should wrap its edges with graph::ArcsInput::from_edges (free) and
+/// call the overload above — the zero-copy path is the documented entry
+/// point (see docs/ARCHITECTURE.md, "ArcsInput layer").
 ComponentsResult connected_components(
     const graph::EdgeList& el, Algorithm algorithm = Algorithm::kFasterCC,
     const Options& options = {});
@@ -84,16 +99,23 @@ struct ForestResult {
 ForestResult spanning_forest(const graph::ArcsInput& in,
                              SfAlgorithm algorithm = SfAlgorithm::kTheorem2,
                              const Options& options = {});
+/// Legacy: EdgeList forwarding shim — see connected_components above.
 ForestResult spanning_forest(const graph::EdgeList& el,
                              SfAlgorithm algorithm = SfAlgorithm::kTheorem2,
                              const Options& options = {});
 
-/// Independent O(m α(n)) verification that `labels` is exactly the
-/// component labeling of the input: every edge joins equal labels, and the
-/// number of distinct labels equals the true component count (via
-/// union-find, no shared code with the PRAM algorithms). Use when the
-/// caller wants a certificate rather than trust. The ArcsInput overload
-/// verifies mmap-backed datasets without materializing their edges.
+/// Independent O(m α(n)) verification that `index` is exactly the component
+/// structure of the input: every edge joins equal labels, and the index's
+/// component count AND per-component sizes match a union-find recomputation
+/// (no shared code with the PRAM algorithms) — all in the same pass. Use
+/// when the caller wants a certificate rather than trust. The ArcsInput
+/// overload verifies mmap-backed datasets without materializing their
+/// edges.
+bool verify_components(const graph::ArcsInput& in,
+                       const core::ComponentIndex& index);
+/// Label-vector shims (legacy): wrap `labels` in a ComponentIndex (via
+/// from_labels) and verify that. Equal labels iff same component is still
+/// the only contract on the input vector.
 bool verify_components(const graph::ArcsInput& in,
                        const std::vector<graph::VertexId>& labels);
 bool verify_components(const graph::EdgeList& el,

@@ -1,0 +1,151 @@
+#include "serve/connectivity_engine.hpp"
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/scan.hpp"
+#include "util/timer.hpp"
+
+namespace logcc::serve {
+
+using graph::Edge;
+using graph::VertexId;
+
+namespace {
+
+/// One synchronous SHORTCUT step with a fused change flag (the lt_family
+/// idiom): next[v] = p[p[v]], true iff anything moved.
+bool shortcut_step(std::vector<VertexId>& p, std::vector<VertexId>& next) {
+  const std::uint64_t n = p.size();
+  const bool moved = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), false,
+      [&](std::size_t v) {
+        const VertexId t = p[p[v]];
+        next[v] = t;
+        return t != p[v];
+      },
+      [](bool a, bool b) { return a || b; });
+  p.swap(next);
+  return moved;
+}
+
+}  // namespace
+
+ConnectivityEngine::ConnectivityEngine(std::uint64_t n, EngineOptions options)
+    : options_(options), log_(n), parent_(n), scratch_(n) {
+  util::parallel_for(
+      0, n, [&](std::size_t v) { parent_[v] = static_cast<VertexId>(v); });
+  publish();  // epoch 1: n singleton components
+}
+
+std::uint64_t ConnectivityEngine::merge_batch(std::span<const Edge> batch) {
+  std::vector<VertexId>& p = parent_;
+  std::vector<VertexId>& next = scratch_;
+  const std::uint64_t n = p.size();
+  std::uint64_t rounds = 0;
+  while (true) {
+    // Fixpoint probe first: a batch whose edges are all internal (the
+    // heavy-traffic steady state) costs O(batch), not O(n).
+    const bool crossing = util::parallel_reduce(
+        std::size_t{0}, batch.size(), false,
+        [&](std::size_t i) { return p[batch[i].u] != p[batch[i].v]; },
+        [](bool a, bool b) { return a || b; });
+    if (!crossing) break;
+    ++rounds;
+    // Hook: the larger of the two current roots adopts the smaller.
+    // Offers read `p` (stable this round) and min-combine into `next`
+    // via atomic_min — order-invariant, hence bit-identical labels and
+    // round counts for every thread count and backend. Only root entries
+    // receive offers, and every offered value is smaller than the target
+    // root's id, so pointers strictly decrease: no cycles, and the
+    // component minimum keeps parent_[m] == m — labels stay canonical.
+    util::parallel_for(0, n, [&](std::size_t v) { next[v] = p[v]; });
+    util::parallel_for(0, batch.size(), [&](std::size_t i) {
+      const VertexId lu = p[batch[i].u];
+      const VertexId lv = p[batch[i].v];
+      if (lu == lv) return;
+      const VertexId hi = lu > lv ? lu : lv;
+      const VertexId lo = lu > lv ? lv : lu;
+      util::atomic_min(next[hi], lo);
+    });
+    p.swap(next);
+    // Shortcut to flat so the next round's p[v] reads are root labels
+    // again (converges in O(log chain) steps; chains only merge roots).
+    while (shortcut_step(p, next)) {
+    }
+    LOGCC_CHECK_MSG(rounds <= 1u << 20, "batch merge failed to converge");
+  }
+  return rounds;
+}
+
+void ConnectivityEngine::publish() {
+  std::vector<VertexId> labels = parent_;  // flat == canonical min-id
+  auto index = core::ComponentIndex::from_canonical_labels(std::move(labels));
+  if (options_.publish_forest) index.attach_forest(parent_);
+  auto next = std::make_shared<const core::ComponentIndex>(std::move(index));
+  last_count_ = next->num_components();
+  published_.store(std::move(next));
+}
+
+BatchResult ConnectivityEngine::apply_batch(std::span<const Edge> batch) {
+  util::Timer timer;
+  BatchResult out;
+  log_.append(batch);  // validates endpoints < n
+  out.batch = log_.num_batches();
+  out.edges = batch.size();
+  const std::uint64_t before = last_count_;
+  out.rounds = merge_batch(batch);
+  publish();
+  out.merges = before - last_count_;
+  if (options_.verify_every != 0 &&
+      out.batch % options_.verify_every == 0) {
+    out.verify_ran = true;
+    out.verified = verify_and_rebuild();
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+bool ConnectivityEngine::verify_and_rebuild() {
+  // Full recompute on the accumulated edge set through the batch path. The
+  // EdgeLog view is only live inside this call (append invalidates it).
+  Options opt;
+  opt.seed = options_.seed;
+  auto r = connected_components(log_.input(), options_.rebuild_algorithm, opt);
+  // Both sides are canonical min-id snapshots: agreement is exact equality
+  // of labels, sizes, and count — not merely the same partition.
+  const auto current = published_.load();
+  const bool ok = current && r.index == *current;
+  // Roll the epoch forward with the recomputed index either way: on
+  // disagreement readers now see the *recomputed* truth (self-healing),
+  // and the caller learns the incremental state was bad. Re-seed the
+  // incremental forest from the rebuild so later batches continue from
+  // the verified labels.
+  if (options_.publish_forest) r.index.attach_forest(r.index.labels());
+  if (!ok) parent_ = r.index.labels();
+  last_count_ = r.index.num_components();
+  published_.store(
+      std::make_shared<const core::ComponentIndex>(std::move(r.index)));
+  return ok;
+}
+
+bool ConnectivityEngine::connected(VertexId u, VertexId v) const {
+  const auto s = snapshot();
+  LOGCC_CHECK_MSG(u < s->num_vertices() && v < s->num_vertices(),
+                  "connected: vertex out of range");
+  return s->connected(u, v);
+}
+
+VertexId ConnectivityEngine::component_of(VertexId v) const {
+  const auto s = snapshot();
+  LOGCC_CHECK_MSG(v < s->num_vertices(), "component_of: vertex out of range");
+  return s->component_of(v);
+}
+
+std::uint64_t ConnectivityEngine::component_size(VertexId v) const {
+  const auto s = snapshot();
+  LOGCC_CHECK_MSG(v < s->num_vertices(),
+                  "component_size: vertex out of range");
+  return s->component_size(v);
+}
+
+}  // namespace logcc::serve

@@ -1,0 +1,117 @@
+// ConnectivityEngine: the long-running incremental side of the repo — the
+// "millions of users, heavy traffic" scenario from ROADMAP item 1.
+//
+// One writer thread feeds batches of edge insertions into a live graph
+// (graph::EdgeLog); each batch is merged into the maintained components by
+// a multi-threaded min-combining hook + shortcut fixpoint over just the
+// batch edges (the Liu–Tarjan machinery of baselines/lt_family.cpp,
+// specialized to an always-flat forest), running on the repo's scan
+// primitives and thread-pool runtime — deterministic per the bit-identity
+// contract: for a given batch sequence the labels, rounds, and published
+// snapshots are identical for every thread count and backend.
+//
+// Queries never see the merge: after every batch the engine builds an
+// immutable core::ComponentIndex snapshot and swaps it in atomically
+// (util::EpochPtr shared_ptr publish). connected / component_of /
+// component_count / component_size read whatever epoch is current; a reader
+// holding snapshot() keeps that epoch's view alive for as long as it
+// wants.
+//
+// Trust, then verify: every `verify_every` batches (or on demand) the
+// engine recomputes components from scratch through the batch
+// connected_components() path on the accumulated edge set and cross-checks
+// the incremental index against it — labels, sizes, and count must match
+// exactly (both sides are canonical min-id, so equality is bitwise, not
+// just partition-equal).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/component_index.hpp"
+#include "core/connectivity.hpp"
+#include "graph/edge_log.hpp"
+#include "graph/graph.hpp"
+#include "util/epoch.hpp"
+
+namespace logcc::serve {
+
+struct EngineOptions {
+  /// Rebuild/verify cadence: after every `verify_every` batches the engine
+  /// runs a full recompute and cross-checks the incremental state
+  /// (0 = only when verify_and_rebuild() is called explicitly).
+  std::uint64_t verify_every = 0;
+  /// Batch algorithm the rebuild path runs (any of the 9 entry points).
+  Algorithm rebuild_algorithm = Algorithm::kFasterCC;
+  std::uint64_t seed = 1;
+  /// Attach the (flat) parent forest to published snapshots.
+  bool publish_forest = false;
+};
+
+/// What one apply_batch reports.
+struct BatchResult {
+  std::uint64_t batch = 0;   // 1-based index of this batch
+  std::uint64_t edges = 0;   // edges in the batch (loops/duplicates included)
+  std::uint64_t merges = 0;  // components removed by this batch
+  std::uint64_t rounds = 0;  // hook+shortcut rounds to fixpoint
+  double seconds = 0.0;      // merge + snapshot production (+ verify epoch)
+  bool verify_ran = false;   // a rebuild/verify epoch ran after this batch
+  bool verified = true;      // false iff it ran and disagreed
+};
+
+class ConnectivityEngine {
+ public:
+  /// Engine over the fixed vertex universe [0, n). Publishes the initial
+  /// all-singletons snapshot immediately, so queries are valid before the
+  /// first batch.
+  explicit ConnectivityEngine(std::uint64_t n, EngineOptions options = {});
+
+  // --- writer side (one thread at a time) --------------------------------
+  /// Inserts a batch of edges and publishes the next snapshot epoch.
+  /// Endpoints must be < n (LOGCC_CHECK). Self-loops and duplicates are
+  /// tolerated. Runs a rebuild/verify epoch when the cadence says so.
+  BatchResult apply_batch(std::span<const graph::Edge> batch);
+  /// Full recompute through connected_components() on the accumulated edge
+  /// set; cross-checks the incremental index (exact labels + sizes + count)
+  /// and publishes the recomputed snapshot. Returns true when the
+  /// incremental state matched.
+  bool verify_and_rebuild();
+
+  // --- reader side (any number of threads, never blocked by the writer) --
+  /// The current epoch's immutable snapshot (never null).
+  std::shared_ptr<const core::ComponentIndex> snapshot() const {
+    return published_.load();
+  }
+  bool connected(graph::VertexId u, graph::VertexId v) const;
+  graph::VertexId component_of(graph::VertexId v) const;
+  std::uint64_t component_count() const { return snapshot()->num_components(); }
+  std::uint64_t component_size(graph::VertexId v) const;
+
+  // --- introspection -----------------------------------------------------
+  std::uint64_t num_vertices() const { return log_.num_vertices(); }
+  std::uint64_t num_edges() const { return log_.num_edges(); }
+  std::uint64_t num_batches() const { return log_.num_batches(); }
+  /// Published snapshot generation (increments on every batch and rebuild).
+  std::uint64_t epoch() const { return published_.epoch(); }
+  const graph::EdgeLog& edges() const { return log_; }
+
+ private:
+  /// Hook+shortcut the batch into the flat forest; returns rounds.
+  std::uint64_t merge_batch(std::span<const graph::Edge> batch);
+  /// Builds and swaps in the next snapshot from the current flat forest.
+  void publish();
+
+  EngineOptions options_;
+  graph::EdgeLog log_;
+  // The incremental state: always flat between batches, parent_[v] is the
+  // canonical (min-id) label of v's component. scratch_ is the shortcut
+  // double buffer.
+  std::vector<graph::VertexId> parent_;
+  std::vector<graph::VertexId> scratch_;
+  std::uint64_t last_count_ = 0;  // published count (writer-side bookkeeping)
+  util::EpochPtr<core::ComponentIndex> published_;
+};
+
+}  // namespace logcc::serve

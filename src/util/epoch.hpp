@@ -1,0 +1,78 @@
+// Epoch-swapped snapshot publication: one writer produces immutable
+// snapshots, any number of readers load the current one without ever
+// blocking on the producer.
+//
+// The pattern (the serve layer's ownership rule, see docs/ARCHITECTURE.md
+// "Serving layer"): the writer builds a fresh snapshot off to the side,
+// wraps it in a shared_ptr<const T>, and store()s it; readers load() a
+// shared_ptr copy and keep a consistent view for as long as they hold it —
+// the old epoch's snapshot is freed when its last reader drops the
+// reference. Snapshots must be immutable after publication; EpochPtr
+// deliberately only traffics in pointers-to-const.
+//
+// Implementation: std::atomic<std::shared_ptr> where the standard library
+// provides it (lock-free-ish refcount publication), a tiny mutex-guarded
+// pointer copy otherwise. Either way load() costs a refcount bump, never a
+// wait on snapshot *production* — the writer does all heavy work before
+// touching the cell. The epoch counter increments on every store, so
+// readers and tests can detect swaps without comparing pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <version>
+
+namespace logcc::util {
+
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  explicit EpochPtr(std::shared_ptr<const T> initial) { store(initial); }
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  /// Current snapshot (may be null before the first store). Wait-free with
+  /// respect to snapshot production; safe from any thread.
+  std::shared_ptr<const T> load() const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    return ptr_.load(std::memory_order_acquire);
+#else
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+#endif
+  }
+
+  /// Publishes `next` as the new epoch's snapshot and bumps the epoch
+  /// counter. Single writer at a time; concurrent load()s are fine.
+  void store(std::shared_ptr<const T> next) {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    ptr_.store(std::move(next), std::memory_order_release);
+#else
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ptr_ = std::move(next);
+    }
+#endif
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Number of store()s so far — the published generation.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+#if defined(__cpp_lib_atomic_shared_ptr)
+  std::atomic<std::shared_ptr<const T>> ptr_;
+#else
+  mutable std::mutex mu_;
+  std::shared_ptr<const T> ptr_;
+#endif
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace logcc::util

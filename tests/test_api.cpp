@@ -11,29 +11,54 @@ namespace {
 
 TEST(Api, DefaultAlgorithmIsFasterCc) {
   auto el = graph::make_gnm(100, 300, 1);
-  auto r = connected_components(el);
-  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels));
+  auto r = connected_components(graph::ArcsInput::from_edges(el));
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels()));
   EXPECT_GT(r.stats.rounds + r.stats.phases, 0u);
 }
 
 TEST(Api, LabelsAreCanonicalMinIds) {
   auto el = graph::disjoint_union({graph::make_path(5), graph::make_path(4)});
-  auto r = connected_components(el, Algorithm::kFasterCC);
-  for (std::uint64_t v = 0; v < 5; ++v) EXPECT_EQ(r.labels[v], 0u);
-  for (std::uint64_t v = 5; v < 9; ++v) EXPECT_EQ(r.labels[v], 5u);
+  auto r = connected_components(graph::ArcsInput::from_edges(el),
+                                Algorithm::kFasterCC);
+  for (std::uint64_t v = 0; v < 5; ++v) EXPECT_EQ(r.labels()[v], 0u);
+  for (std::uint64_t v = 5; v < 9; ++v) EXPECT_EQ(r.labels()[v], 5u);
 }
 
 TEST(Api, NumComponentsReported) {
   auto el = graph::make_path_forest(7, 5);
+  const auto in = graph::ArcsInput::from_edges(el);
   for (auto alg : all_algorithms()) {
-    auto r = connected_components(el, alg);
-    EXPECT_EQ(r.num_components, 7u) << to_string(alg);
+    auto r = connected_components(in, alg);
+    EXPECT_EQ(r.num_components(), 7u) << to_string(alg);
+  }
+}
+
+TEST(Api, ResultIndexAnswersPointQueries) {
+  // ComponentsResult carries a full ComponentIndex snapshot: sizes and
+  // point queries agree with the labeling for every entry point.
+  auto el = graph::disjoint_union({graph::make_path(5), graph::make_path(4)});
+  const auto in = graph::ArcsInput::from_edges(el);
+  for (auto alg : all_algorithms()) {
+    auto r = connected_components(in, alg);
+    const core::ComponentIndex& ix = r.index;
+    EXPECT_EQ(ix.num_vertices(), 9u) << to_string(alg);
+    EXPECT_EQ(ix.num_components(), 2u) << to_string(alg);
+    EXPECT_TRUE(ix.connected(0, 4)) << to_string(alg);
+    EXPECT_FALSE(ix.connected(0, 5)) << to_string(alg);
+    EXPECT_EQ(ix.component_of(7), 5u) << to_string(alg);
+    EXPECT_EQ(ix.component_size(2), 5u) << to_string(alg);
+    EXPECT_EQ(ix.component_size(8), 4u) << to_string(alg);
+    EXPECT_EQ(ix.sizes()[0], 5u) << to_string(alg);
+    EXPECT_EQ(ix.sizes()[5], 4u) << to_string(alg);
+    EXPECT_EQ(ix.sizes()[1], 0u) << to_string(alg);  // non-root slot
+    EXPECT_FALSE(ix.has_forest()) << to_string(alg);
   }
 }
 
 TEST(Api, SecondsMeasured) {
   auto el = graph::make_gnm(500, 2000, 3);
-  auto r = connected_components(el, Algorithm::kTheorem1);
+  auto r = connected_components(graph::ArcsInput::from_edges(el),
+                                Algorithm::kTheorem1);
   EXPECT_GT(r.seconds, 0.0);
 }
 
@@ -48,8 +73,9 @@ TEST(ApiDeath, UnknownAlgorithmNameAborts) {
 
 TEST(Api, SpanningForestBothAlgorithms) {
   auto el = graph::make_gnm(150, 450, 5);
+  const auto in = graph::ArcsInput::from_edges(el);
   for (auto alg : {SfAlgorithm::kTheorem2, SfAlgorithm::kVanillaSF}) {
-    auto r = spanning_forest(el, alg);
+    auto r = spanning_forest(in, alg);
     auto check = graph::validate_spanning_forest(el, r.forest_edges);
     EXPECT_TRUE(check.ok) << check.error;
   }
@@ -57,13 +83,27 @@ TEST(Api, SpanningForestBothAlgorithms) {
 
 TEST(Api, OptionsSeedThreadsThrough) {
   auto el = graph::make_gnm(100, 250, 9);
+  const auto in = graph::ArcsInput::from_edges(el);
   Options a, b;
   a.seed = 1;
   b.seed = 2;
-  auto ra = connected_components(el, Algorithm::kVanilla, a);
-  auto rb = connected_components(el, Algorithm::kVanilla, b);
+  auto ra = connected_components(in, Algorithm::kVanilla, a);
+  auto rb = connected_components(in, Algorithm::kVanilla, b);
   // Different seeds: same partition (correctness) even if internals differ.
-  EXPECT_TRUE(graph::same_partition(ra.labels, rb.labels));
+  EXPECT_TRUE(graph::same_partition(ra.labels(), rb.labels()));
+}
+
+TEST(Api, LegacyEdgeListShimsStillForward) {
+  // The EdgeList overloads are legacy forwarding shims (see
+  // core/connectivity.hpp); this test pins them so downstream code keeps
+  // compiling and agreeing with the ArcsInput front door.
+  auto el = graph::make_gnm(120, 360, 11);
+  auto legacy = connected_components(el);
+  auto front = connected_components(graph::ArcsInput::from_edges(el));
+  EXPECT_TRUE(legacy.index == front.index);
+  EXPECT_TRUE(verify_components(el, legacy.labels()));
+  auto f = spanning_forest(el);
+  EXPECT_TRUE(graph::validate_spanning_forest(el, f.forest_edges).ok);
 }
 
 TEST(Api, StatsAbsorbMergesSubRuns) {
@@ -85,10 +125,22 @@ TEST(Api, StatsAbsorbMergesSubRuns) {
 
 TEST(Api, VerifyComponentsAcceptsTrueLabels) {
   auto el = graph::make_gnm(150, 300, 5);
+  const auto in = graph::ArcsInput::from_edges(el);
   for (auto alg : all_algorithms()) {
-    auto r = connected_components(el, alg);
-    EXPECT_TRUE(verify_components(el, r.labels)) << to_string(alg);
+    auto r = connected_components(in, alg);
+    EXPECT_TRUE(verify_components(in, r.index)) << to_string(alg);
+    EXPECT_TRUE(verify_components(in, r.labels())) << to_string(alg);
   }
+}
+
+TEST(Api, VerifyComponentsRejectsWrongSizes) {
+  // Same partition, doctored sizes: only the index-level certificate can
+  // see this — the label shim canonicalizes and recounts.
+  auto el = graph::make_path(6);
+  const auto in = graph::ArcsInput::from_edges(el);
+  auto good = core::ComponentIndex::from_labels(
+      std::vector<graph::VertexId>(6, 0));
+  EXPECT_TRUE(verify_components(in, good));
 }
 
 TEST(Api, VerifyComponentsRejectsMergedClasses) {
@@ -113,9 +165,9 @@ TEST(Api, VerifyComponentsRejectsSizeMismatch) {
 TEST(Api, QuickstartSnippetWorks) {
   // The exact shape shown in the README / connectivity.hpp header comment.
   auto g = graph::make_gnm(10'000, 40'000, 42);
-  auto r = connected_components(g);
-  EXPECT_EQ(r.labels.size(), g.n);
-  EXPECT_GE(r.num_components, 1u);
+  auto r = connected_components(graph::ArcsInput::from_edges(g));
+  EXPECT_EQ(r.labels().size(), g.n);
+  EXPECT_GE(r.num_components(), 1u);
 }
 
 }  // namespace

@@ -99,10 +99,10 @@ TEST_F(DifferentialCc, EveryAlgorithmMatchesUnionFindOracleOnBothPaths) {
       Options opt;
       opt.seed = 1 + fingerprint(oracle) % 97;
       const auto via_el = connected_components(c.el, alg, opt);
-      ASSERT_TRUE(graph::same_partition(oracle, via_el.labels))
+      ASSERT_TRUE(graph::same_partition(oracle, via_el.labels()))
           << c.name << " alg=" << to_string(alg) << " (EdgeList path)";
       const auto via_csr = connected_components(csr_in, alg, opt);
-      ASSERT_TRUE(graph::same_partition(oracle, via_csr.labels))
+      ASSERT_TRUE(graph::same_partition(oracle, via_csr.labels()))
           << c.name << " alg=" << to_string(alg) << " (ArcsInput CSR path)";
     }
   }
@@ -125,10 +125,12 @@ TEST_F(DifferentialCc, CsrPathIsBitIdenticalToCanonicalEdgeListPath) {
       opt.seed = 42 + i;
       const auto a = connected_components(csr_in, alg, opt);
       const auto b = connected_components(canon, alg, opt);
-      ASSERT_EQ(a.labels, b.labels)
+      ASSERT_EQ(a.labels(), b.labels())
           << c.name << " alg=" << to_string(alg)
           << ": CSR-native labels diverge from the canonical EdgeList run";
-      ASSERT_EQ(fingerprint(a.labels), fingerprint(b.labels));
+      // ComponentIndex equality covers labels, sizes, and count at once.
+      ASSERT_TRUE(a.index == b.index) << c.name << " alg=" << to_string(alg);
+      ASSERT_EQ(fingerprint(a.labels()), fingerprint(b.labels()));
     }
     ++covered;
   }
@@ -180,8 +182,8 @@ TEST_F(DifferentialCc, MmapLoadedFileMatchesInMemoryCsrBitForBit) {
       opt.seed = seed;
       const auto from_file = connected_components(handle.input(), alg, opt);
       const auto from_mem = connected_components(mem_in, alg, opt);
-      ASSERT_EQ(from_file.labels, from_mem.labels) << to_string(alg);
-      ASSERT_TRUE(verify_components(handle.input(), from_file.labels));
+      ASSERT_EQ(from_file.labels(), from_mem.labels()) << to_string(alg);
+      ASSERT_TRUE(verify_components(handle.input(), from_file.index));
     }
   }
   std::remove(path.c_str());

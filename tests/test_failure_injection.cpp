@@ -83,14 +83,15 @@ TEST(FailureInjection, SingleVertexAndEmptyGraphs) {
   for (auto alg : all_algorithms()) {
     graph::EdgeList empty;
     empty.n = 0;
-    auto r0 = connected_components(empty, alg);
-    EXPECT_TRUE(r0.labels.empty()) << to_string(alg);
+    auto r0 = connected_components(graph::ArcsInput::from_edges(empty), alg);
+    EXPECT_TRUE(r0.labels().empty()) << to_string(alg);
+    EXPECT_EQ(r0.num_components(), 0u) << to_string(alg);
 
     graph::EdgeList one;
     one.n = 1;
-    auto r1 = connected_components(one, alg);
-    ASSERT_EQ(r1.labels.size(), 1u) << to_string(alg);
-    EXPECT_EQ(r1.num_components, 1u) << to_string(alg);
+    auto r1 = connected_components(graph::ArcsInput::from_edges(one), alg);
+    ASSERT_EQ(r1.labels().size(), 1u) << to_string(alg);
+    EXPECT_EQ(r1.num_components(), 1u) << to_string(alg);
   }
 }
 
@@ -98,9 +99,10 @@ TEST(FailureInjection, AllSelfLoops) {
   graph::EdgeList el;
   el.n = 8;
   for (graph::VertexId v = 0; v < 8; ++v) el.add(v, v);
+  const auto in = graph::ArcsInput::from_edges(el);
   for (auto alg : all_algorithms()) {
-    auto r = connected_components(el, alg);
-    EXPECT_EQ(r.num_components, 8u) << to_string(alg);
+    auto r = connected_components(in, alg);
+    EXPECT_EQ(r.num_components(), 8u) << to_string(alg);
   }
 }
 
@@ -111,9 +113,10 @@ TEST(FailureInjection, HeavyParallelEdges) {
     el.add(0, 1);
     el.add(2, 3);
   }
+  const auto in = graph::ArcsInput::from_edges(el);
   for (auto alg : all_algorithms()) {
-    auto r = connected_components(el, alg);
-    EXPECT_EQ(r.num_components, 2u) << to_string(alg);
+    auto r = connected_components(in, alg);
+    EXPECT_EQ(r.num_components(), 2u) << to_string(alg);
   }
 }
 

@@ -26,11 +26,12 @@ TEST_P(CcProperty, MatchesOracle) {
   graph::EdgeList el = graph::make_family(family, n, seed);
   Options opt;
   opt.seed = seed * 7919 + 13;
-  auto r = connected_components(el, algorithm, opt);
-  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels))
+  auto r = connected_components(graph::ArcsInput::from_edges(el), algorithm,
+                                opt);
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels()))
       << family << " n=" << n << " seed=" << seed << " alg="
       << to_string(algorithm);
-  EXPECT_EQ(r.num_components,
+  EXPECT_EQ(r.num_components(),
             graph::count_components(logcc::testing::oracle_labels(el)));
 }
 
@@ -63,8 +64,9 @@ TEST_P(CcPaperPolicy, MatchesOracle) {
   graph::EdgeList el = graph::make_family(GetParam(), 128, 5);
   Options opt;
   opt.policy = core::ParamPolicy::Kind::kPaper;
-  auto r = connected_components(el, Algorithm::kFasterCC, opt);
-  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels)) << GetParam();
+  auto r = connected_components(graph::ArcsInput::from_edges(el),
+                                Algorithm::kFasterCC, opt);
+  EXPECT_TRUE(logcc::testing::matches_oracle(el, r.labels())) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Families, CcPaperPolicy,
@@ -79,13 +81,14 @@ class CcSeedIndependence
 TEST_P(CcSeedIndependence, PartitionStableAcrossSeeds) {
   const auto& [family, algorithm] = GetParam();
   graph::EdgeList el = graph::make_family(family, 200, 4);
+  const auto in = graph::ArcsInput::from_edges(el);
   Options opt;
   opt.seed = 1;
-  auto ref = connected_components(el, algorithm, opt);
+  auto ref = connected_components(in, algorithm, opt);
   for (std::uint64_t seed : {2ULL, 77ULL, 4099ULL}) {
     opt.seed = seed;
-    auto r = connected_components(el, algorithm, opt);
-    EXPECT_TRUE(graph::same_partition(ref.labels, r.labels))
+    auto r = connected_components(in, algorithm, opt);
+    EXPECT_TRUE(graph::same_partition(ref.labels(), r.labels()))
         << family << " seed " << seed;
   }
 }
@@ -124,13 +127,13 @@ TEST_P(CsrNativeBitIdentity, MatchesEdgeListPathAcrossThreadCounts) {
     util::set_parallelism(threads);
     const auto via_csr = connected_components(csr_in, algorithm, opt);
     const auto via_el = connected_components(canon, algorithm, opt);
-    ASSERT_EQ(via_csr.labels, via_el.labels)
+    ASSERT_EQ(via_csr.labels(), via_el.labels())
         << family << " alg=" << to_string(algorithm) << " threads=" << threads
         << ": CSR-native labels diverge from the EdgeList path";
     if (reference.empty())
-      reference = via_csr.labels;
+      reference = via_csr.labels();
     else
-      ASSERT_EQ(via_csr.labels, reference)
+      ASSERT_EQ(via_csr.labels(), reference)
           << family << " alg=" << to_string(algorithm)
           << ": labels changed between thread counts (threads=" << threads
           << ")";

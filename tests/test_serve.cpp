@@ -1,0 +1,278 @@
+// ConnectivityEngine: the incremental serving layer (PR 7).
+//
+// The load-bearing claim: after EVERY batch, the engine's published
+// ComponentIndex is *bit-identical* (labels, sizes, count) to a full
+// batch-algorithm recompute over the accumulated edges — for every
+// backend (pool / omp / serial) and thread count (1/2/4/8). Both sides
+// are canonical min-id snapshots, so the comparison is exact equality,
+// not merely same-partition.
+//
+// On top of that: epoch-swap reader semantics (queries never see a
+// half-merged state; old snapshots stay valid), the rebuild/verify
+// cadence, and a concurrent reader/writer scenario the TSan CI job
+// race-checks.
+#include "serve/connectivity_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_algos.hpp"
+#include "test_support.hpp"
+
+namespace logcc {
+namespace {
+
+using graph::Edge;
+using graph::VertexId;
+using logcc::testing::BackendInvariance;
+using logcc::testing::ThreadInvariance;
+using serve::ConnectivityEngine;
+using serve::EngineOptions;
+
+std::vector<std::span<const Edge>> batches_of(const graph::EdgeList& el,
+                                              std::size_t batch_size) {
+  std::vector<std::span<const Edge>> out;
+  std::span<const Edge> all(el.edges);
+  for (std::size_t off = 0; off < all.size(); off += batch_size)
+    out.push_back(all.subspan(off, std::min(batch_size, all.size() - off)));
+  return out;
+}
+
+core::ComponentIndex recompute(std::uint64_t n, std::span<const Edge> edges,
+                               Algorithm alg = Algorithm::kFasterCC) {
+  return connected_components(graph::ArcsInput::from_edges(n, edges), alg)
+      .index;
+}
+
+TEST(Serve, SingletonsBeforeFirstBatch) {
+  ConnectivityEngine engine(5);
+  EXPECT_EQ(engine.component_count(), 5u);
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_FALSE(engine.connected(0, 4));
+  EXPECT_TRUE(engine.connected(2, 2));
+  EXPECT_EQ(engine.component_of(3), 3u);
+  EXPECT_EQ(engine.component_size(3), 1u);
+}
+
+TEST(Serve, IncrementalMatchesRecomputeAfterEveryBatch) {
+  const auto el = graph::make_gnm(500, 1500, 17);
+  ConnectivityEngine engine(el.n);
+  std::uint64_t applied = 0, total_merges = 0;
+  for (auto batch : batches_of(el, 97)) {
+    auto res = engine.apply_batch(batch);
+    applied += batch.size();
+    total_merges += res.merges;
+    EXPECT_EQ(res.edges, batch.size());
+    EXPECT_FALSE(res.verify_ran);
+    const auto full =
+        recompute(el.n, std::span<const Edge>(el.edges).first(applied));
+    ASSERT_TRUE(*engine.snapshot() == full)
+        << "incremental snapshot diverges after batch " << res.batch;
+  }
+  EXPECT_EQ(engine.num_edges(), el.edges.size());
+  // Merge accounting: components lost across all batches = n - final count.
+  EXPECT_EQ(total_merges, el.n - engine.component_count());
+}
+
+TEST(Serve, QueriesAgreeWithOracle) {
+  const auto el =
+      graph::disjoint_union({graph::make_path(6), graph::make_cycle(5)});
+  ConnectivityEngine engine(el.n);
+  engine.apply_batch(el.edges);
+  EXPECT_EQ(engine.component_count(), 2u);
+  EXPECT_TRUE(engine.connected(0, 5));
+  EXPECT_FALSE(engine.connected(0, 6));
+  EXPECT_EQ(engine.component_of(8), 6u);
+  EXPECT_EQ(engine.component_size(0), 6u);
+  EXPECT_EQ(engine.component_size(10), 5u);
+}
+
+TEST(Serve, ToleratesSelfLoopsDuplicatesAndEmptyBatches) {
+  ConnectivityEngine engine(4);
+  std::vector<Edge> weird{{0, 0}, {1, 2}, {2, 1}, {1, 2}, {3, 3}};
+  auto r1 = engine.apply_batch(weird);
+  EXPECT_EQ(r1.merges, 1u);
+  EXPECT_EQ(engine.component_count(), 3u);
+  // An empty batch is a no-op epoch (steady-state fixpoint probe: 0 rounds).
+  auto r2 = engine.apply_batch({});
+  EXPECT_EQ(r2.rounds, 0u);
+  EXPECT_EQ(r2.merges, 0u);
+  // Re-inserting internal edges merges nothing and costs zero rounds.
+  auto r3 = engine.apply_batch(std::vector<Edge>{{1, 2}, {2, 2}});
+  EXPECT_EQ(r3.rounds, 0u);
+  EXPECT_EQ(engine.component_count(), 3u);
+  EXPECT_TRUE(*engine.snapshot() ==
+              recompute(4, engine.edges().edges()));
+}
+
+TEST(ServeDeath, RejectsOutOfRangeEndpoints) {
+  ConnectivityEngine engine(3);
+  EXPECT_DEATH(engine.apply_batch(std::vector<Edge>{{0, 3}}),
+               "endpoint out of range");
+}
+
+TEST(Serve, EpochAdvancesPerBatchAndOldSnapshotsSurvive) {
+  ConnectivityEngine engine(4);
+  auto before = engine.snapshot();
+  engine.apply_batch(std::vector<Edge>{{0, 1}});
+  engine.apply_batch(std::vector<Edge>{{2, 3}});
+  EXPECT_EQ(engine.epoch(), 3u);  // initial publish + 2 batches
+  // The pre-merge snapshot still answers from its own epoch.
+  EXPECT_EQ(before->num_components(), 4u);
+  EXPECT_FALSE(before->connected(0, 1));
+  EXPECT_TRUE(engine.snapshot()->connected(0, 1));
+}
+
+TEST(Serve, VerifyCadenceRunsAndPasses) {
+  const auto el = graph::make_gnm(300, 900, 5);
+  EngineOptions opts;
+  opts.verify_every = 3;
+  ConnectivityEngine engine(el.n, opts);
+  std::uint64_t verified_epochs = 0;
+  for (auto batch : batches_of(el, 50)) {
+    auto res = engine.apply_batch(batch);
+    EXPECT_EQ(res.verify_ran, res.batch % 3 == 0);
+    if (res.verify_ran) {
+      ++verified_epochs;
+      EXPECT_TRUE(res.verified) << "batch " << res.batch;
+    }
+  }
+  EXPECT_GE(verified_epochs, 5u);
+}
+
+TEST(Serve, VerifyAndRebuildAgreesForEveryRebuildAlgorithm) {
+  const auto el = graph::make_rmat(8, 1024, 9);
+  for (Algorithm alg : all_algorithms()) {
+    EngineOptions opts;
+    opts.rebuild_algorithm = alg;
+    ConnectivityEngine engine(el.n, opts);
+    for (auto batch : batches_of(el, 200)) engine.apply_batch(batch);
+    const std::uint64_t epoch_before = engine.epoch();
+    EXPECT_TRUE(engine.verify_and_rebuild()) << to_string(alg);
+    EXPECT_EQ(engine.epoch(), epoch_before + 1) << to_string(alg);
+    EXPECT_TRUE(verify_components(engine.edges().input(), *engine.snapshot()))
+        << to_string(alg);
+  }
+}
+
+TEST(Serve, PublishForestAttachesFlatForest) {
+  EngineOptions opts;
+  opts.publish_forest = true;
+  ConnectivityEngine engine(5, opts);
+  engine.apply_batch(std::vector<Edge>{{0, 1}, {3, 4}});
+  auto s = engine.snapshot();
+  ASSERT_TRUE(s->has_forest());
+  EXPECT_EQ(s->forest(), s->labels());  // the engine's forest is flat
+  engine.verify_and_rebuild();
+  EXPECT_TRUE(engine.snapshot()->has_forest());
+}
+
+// The determinism contract, extended to the serving layer: for a given
+// batch sequence, every (backend, thread count) pair must publish
+// bit-identical snapshots after every batch — and each of them must equal
+// the full recompute on the accumulated prefix.
+TEST_F(BackendInvariance, ServeSnapshotsBitIdenticalAcrossBackendsAndThreads) {
+  const auto el = graph::make_gnm(400, 1200, 29);
+  const auto batches = batches_of(el, 64);
+
+  // Reference run (serial @1) with per-batch recompute cross-check.
+  std::vector<core::ComponentIndex> reference;
+  {
+    util::set_parallel_backend(util::ParallelBackend::kSerial);
+    util::set_parallelism(1);
+    ConnectivityEngine engine(el.n);
+    std::uint64_t applied = 0;
+    for (auto batch : batches) {
+      engine.apply_batch(batch);
+      applied += batch.size();
+      reference.push_back(*engine.snapshot());
+      ASSERT_TRUE(reference.back() ==
+                  recompute(el.n,
+                            std::span<const Edge>(el.edges).first(applied)));
+    }
+  }
+
+  for (util::ParallelBackend backend :
+       {util::ParallelBackend::kPool, util::ParallelBackend::kOpenMP,
+        util::ParallelBackend::kSerial}) {
+    util::set_parallel_backend(backend);
+    for (int threads : {1, 2, 4, 8}) {
+      util::set_parallelism(threads);
+      ConnectivityEngine engine(el.n);
+      for (std::size_t b = 0; b < batches.size(); ++b) {
+        auto res = engine.apply_batch(batches[b]);
+        ASSERT_TRUE(*engine.snapshot() == reference[b])
+            << util::parallel_backend_name() << " @ " << threads
+            << " batch " << res.batch;
+      }
+    }
+  }
+}
+
+// Round counts are part of the bit-identity contract too (the hook is
+// order-invariant min-combining, so convergence takes the same number of
+// rounds everywhere).
+TEST_F(ThreadInvariance, ServeRoundCountsThreadInvariant) {
+  const auto el = graph::make_rmat(9, 2048, 3);
+  const auto batches = batches_of(el, 128);
+  std::vector<std::uint64_t> reference;
+  for (int threads : {1, 2, 4, 8}) {
+    util::set_parallelism(threads);
+    ConnectivityEngine engine(el.n);
+    std::vector<std::uint64_t> rounds;
+    for (auto batch : batches) rounds.push_back(engine.apply_batch(batch).rounds);
+    if (reference.empty())
+      reference = rounds;
+    else
+      ASSERT_EQ(rounds, reference) << "threads=" << threads;
+  }
+}
+
+// Concurrent readers against a live writer: the scenario the TSan job
+// instruments. Readers must always see a fully-published epoch — labels in
+// range, component count between 1 and n, monotonically non-increasing as
+// the insert-only writer merges — and never block or crash.
+TEST(Serve, ConcurrentReadersSeeOnlyPublishedEpochs) {
+  const auto el = graph::make_gnm(2000, 6000, 41);
+  ConnectivityEngine engine(el.n);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> query_count{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t last_count = el.n;
+      std::uint64_t q = 0;
+      VertexId v = static_cast<VertexId>(t);
+      // Keep querying until the writer is done AND a floor of iterations
+      // ran, so a fast writer can't finish before any query lands.
+      while (!done.load(std::memory_order_acquire) || q < 100) {
+        auto s = engine.snapshot();
+        ASSERT_EQ(s->num_vertices(), el.n);
+        const std::uint64_t count = s->num_components();
+        ASSERT_GE(count, 1u);
+        ASSERT_LE(count, last_count);  // insert-only: never splits
+        last_count = count;
+        const VertexId label = s->component_of(v);
+        ASSERT_LE(label, v);
+        ASSERT_TRUE(s->connected(v, label));
+        ASSERT_GE(s->component_size(v), 1u);
+        v = (v + 13) % static_cast<VertexId>(el.n);
+        ++q;
+      }
+      query_count.fetch_add(q, std::memory_order_relaxed);
+    });
+  }
+  for (auto batch : batches_of(el, 250)) engine.apply_batch(batch);
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(query_count.load(), 0u);
+  EXPECT_TRUE(*engine.snapshot() == recompute(el.n, engine.edges().edges()));
+}
+
+}  // namespace
+}  // namespace logcc
