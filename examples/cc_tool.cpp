@@ -6,6 +6,7 @@
 //                        [--seed=1] [--stats]
 //   $ ./examples/cc_tool --input=graph.txt --convert=graph.bin
 //   $ ./examples/cc_tool --generate=grid:1000000 --convert=grid.bin
+//   $ ./examples/cc_tool --generate=rmat:4000000 --sketch
 //
 // --input accepts a text edge list (optional "n m" header, one "u v" pair
 // per line, '#'/'%' comments) or a LOGCCSR1 binary CSR file — the format is
@@ -17,19 +18,128 @@
 // families stream to disk without materializing the edge list, so this is
 // the way to build paper-scale (10^7+ edge) datasets for cc_bench.
 //
+// --sketch switches to the one-pass approximate tier (src/sketch/): the
+// generator edge stream is consumed by sketch::StreamStats — O(n) label
+// state plus a few KB of fixed-seed sketches, never the O(m) edge list —
+// and the report gives estimated distinct edges, touched vertices,
+// component count, and heavy-hitter components, each with its a-priori
+// error bar, next to the exact values the label array still provides.
+// Generator streams only (a file input would already be materialized).
+//
 // Output: one label per vertex (min vertex id of its component). With
 // --forest, also writes the spanning-forest edges.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "core/connectivity.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
 #include "graph/io.hpp"
+#include "sketch/stream_stats.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/// Peak resident set in bytes (VmHWM), 0 where /proc is unavailable — the
+/// measured side of the sketch tier's memory claim.
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+  }
+#endif
+  return 0;
+}
+
+int run_sketch_mode(const std::string& generate, std::uint64_t seed,
+                    int precision, int depth, int width, int heavy) {
+  using namespace logcc;
+
+  std::string family;
+  std::uint64_t n = 0;
+  std::uint64_t gseed = 1;
+  if (!graph::parse_generator_spec(generate, family, n, gseed)) {
+    std::fprintf(stderr, "cc_tool: bad --generate spec '%s'\n",
+                 generate.c_str());
+    return 2;
+  }
+  const graph::FamilyStream fs = graph::make_family_stream(family, n, gseed);
+  if (!fs.streams)
+    std::fprintf(stderr,
+                 "cc_tool: note: family '%s' cannot stream in O(1) state; "
+                 "it materializes internally (memory savings void)\n",
+                 family.c_str());
+
+  sketch::StreamStatsOptions opt;
+  opt.hll_precision = precision;
+  opt.cms_depth = static_cast<std::uint32_t>(depth);
+  opt.cms_width = static_cast<std::uint32_t>(width);
+  opt.heavy_hitters = static_cast<std::uint32_t>(heavy);
+  opt.seed = seed;
+
+  util::Timer timer;
+  sketch::StreamStats stats(fs.num_vertices, opt);
+  fs.enumerate([&](graph::VertexId u, graph::VertexId v) {
+    stats.add_edge(u, v);
+  });
+  const sketch::StreamSummary s = stats.finish();
+  const double seconds = timer.seconds();
+
+  const double sigma = s.hll_standard_error;
+  const double count_err =
+      s.exact_components > 0
+          ? (s.approx_components - static_cast<double>(s.exact_components)) /
+                static_cast<double>(s.exact_components)
+          : 0.0;
+  std::printf("sketch mode: %s  n=%llu edges=%llu (loops %llu) in %.2fs\n",
+              generate.c_str(),
+              static_cast<unsigned long long>(s.num_vertices),
+              static_cast<unsigned long long>(s.edges),
+              static_cast<unsigned long long>(s.self_loops), seconds);
+  std::printf("distinct edges   ~ %.0f  (±%.1f%% expected)\n",
+              s.distinct_edges, 100.0 * sigma);
+  std::printf("touched vertices ~ %.0f  (±%.1f%% expected)\n",
+              s.touched_vertices, 100.0 * sigma);
+  std::printf("components: exact=%llu  estimate=%.0f  "
+              "(observed %+.2f%%, ±%.1f%% expected)\n",
+              static_cast<unsigned long long>(s.exact_components),
+              s.approx_components, 100.0 * count_err, 100.0 * sigma);
+  std::printf("heavy components (top %zu by endpoint mass):\n",
+              s.heavy.size());
+  for (const auto& h : s.heavy)
+    std::printf("  root=%u hot-vertex=%u mass~%llu size=%llu size~%llu\n",
+                h.root, h.hot_vertex,
+                static_cast<unsigned long long>(h.endpoint_mass),
+                static_cast<unsigned long long>(h.exact_size),
+                static_cast<unsigned long long>(h.approx_size));
+
+  // The memory story, measured: what this process actually touched vs the
+  // edge storage the exact path would have to materialize for this stream.
+  const std::uint64_t exact_bytes = s.edges * sizeof(graph::Edge);
+  const std::uint64_t rss = peak_rss_bytes();
+  std::printf("memory: sketches %llu B + labels %llu B",
+              static_cast<unsigned long long>(s.sketch_bytes),
+              static_cast<unsigned long long>(s.state_bytes));
+  if (rss > 0)
+    std::printf(" (peak RSS %.1f MiB)",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+  std::printf("; exact edge storage would be %llu B (%.1fx the label "
+              "array)\n",
+              static_cast<unsigned long long>(exact_bytes),
+              s.state_bytes > 0 ? static_cast<double>(exact_bytes) /
+                                      static_cast<double>(s.state_bytes)
+                                : 0.0);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace logcc;
@@ -52,11 +162,33 @@ int main(int argc, char** argv) {
   std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1, "random seed"));
   bool show_stats = cli.get_flag("stats", "print RunStats metrics");
+  bool sketch_mode = cli.get_flag(
+      "sketch",
+      "one-pass approximate tier over a generator stream (needs --generate)");
+  int sketch_precision = static_cast<int>(cli.get_int(
+      "sketch-precision", 12, "HyperLogLog precision p (m=2^p registers)"));
+  int sketch_depth = static_cast<int>(
+      cli.get_int("sketch-depth", 4, "count-min rows (delta = e^-depth)"));
+  int sketch_width = static_cast<int>(cli.get_int(
+      "sketch-width", 1 << 14, "count-min columns (epsilon = e/width)"));
+  int sketch_heavy = static_cast<int>(
+      cli.get_int("sketch-heavy", 8, "heavy components to report"));
   cli.finish();
 
   if (input.empty() && generate.empty()) {
     std::fprintf(stderr, "cc_tool: need --input or --generate (see --help)\n");
     return 2;
+  }
+
+  if (sketch_mode) {
+    if (generate.empty()) {
+      std::fprintf(stderr,
+                   "cc_tool: --sketch consumes a generator stream; give "
+                   "--generate=family:n[:seed]\n");
+      return 2;
+    }
+    return run_sketch_mode(generate, seed, sketch_precision, sketch_depth,
+                           sketch_width, sketch_heavy);
   }
 
   if (!convert.empty()) {

@@ -20,6 +20,17 @@ Robustness choices, deliberate:
     meaningless;
   - cells present on only one side warn instead of failing, so adding an
     algorithm or thread count to the sweep never breaks the gate;
+  - error cells — runs carrying a "rel_error" field (bench_sketch's
+    error-vs-space curves) — are gated on MEAN rel_error across reps at
+    fixed space, not on seconds: sketch build time is noise, the
+    accuracy-per-byte contract is what must not regress. Their noise floor
+    is --error-floor (default 0.5% absolute relative error: below that,
+    which hash landed where dominates). Reps re-seed the sketch, so the
+    mean is the estimator's actual expected error, and it is bit-stable
+    for a fixed seed set — a genuine change in the curve is a code change;
+  - a cell that is an error cell on one side and a seconds cell on the
+    other warns and is skipped (the bench changed meaning; refresh the
+    baseline);
   - --update rewrites the baseline from the new document (commit the result
     to move the trajectory).
 
@@ -35,7 +46,7 @@ Exit status:
 Usage:
   bench_compare.py NEW_JSON BASELINE_JSON [--threshold 0.25]
                    [--min-seconds 0.005] [--latency-min-seconds 0.00005]
-                   [--update]
+                   [--error-floor 0.005] [--update]
 """
 
 import argparse
@@ -59,15 +70,37 @@ def load(path):
     return doc
 
 
-def min_seconds_by_cell(doc):
-    """{(algorithm, threads): min seconds across reps}."""
-    cells = {}
+def metric_by_cell(doc):
+    """{(algorithm, threads): ("seconds", min across reps) or
+    ("error", mean rel_error across reps)}.
+
+    A cell is an error cell iff any of its runs carries "rel_error"; a cell
+    mixing both kinds of run within one document is a malformed bench and
+    exits 2.
+    """
+    samples = {}
     for run in doc.get("runs", []):
         key = (run["algorithm"], run["threads"])
-        s = float(run["seconds"])
-        if key not in cells or s < cells[key]:
-            cells[key] = s
+        kind = "error" if "rel_error" in run else "seconds"
+        value = float(run["rel_error" if kind == "error" else "seconds"])
+        prev_kind, values = samples.setdefault(key, (kind, []))
+        if prev_kind != kind:
+            sys.exit(f"bench_compare: cell {key} mixes rel_error and "
+                     f"seconds runs within one document")
+        values.append(value)
+    cells = {}
+    for key, (kind, values) in samples.items():
+        if kind == "error":
+            cells[key] = (kind, sum(values) / len(values))
+        else:
+            cells[key] = (kind, min(values))
     return cells
+
+
+def fmt(kind, value):
+    if value is None:
+        return "-"
+    return f"{value:.3%}" if kind == "error" else f"{value:.4f}s"
 
 
 def main():
@@ -82,6 +115,9 @@ def main():
     ap.add_argument("--latency-min-seconds", type=float, default=0.00005,
                     help="noise floor for latency cells (algorithm matches "
                          "p50/p99/latency) instead of --min-seconds")
+    ap.add_argument("--error-floor", type=float, default=0.005,
+                    help="noise floor for error cells (runs carrying "
+                         "rel_error): mean errors below this never fail")
     ap.add_argument("--update", action="store_true",
                     help="copy NEW_JSON over BASELINE_JSON instead of comparing")
     args = ap.parse_args()
@@ -94,64 +130,78 @@ def main():
 
     new_doc = load(args.new_json)
     base_doc = load(args.baseline_json)
-    new_cells = min_seconds_by_cell(new_doc)
-    base_cells = min_seconds_by_cell(base_doc)
+    new_cells = metric_by_cell(new_doc)
+    base_cells = metric_by_cell(base_doc)
 
     regressions = []
     improvements = []
     rows = []
     for key in sorted(new_cells):
         alg, threads = key
-        new_min = new_cells[key]
+        kind, new_val = new_cells[key]
         if key not in base_cells:
-            rows.append((alg, threads, None, new_min, "new cell (no baseline)"))
+            rows.append((alg, threads, kind, None, new_val,
+                         "new cell (no baseline)"))
             continue
-        base_min = base_cells[key]
-        ratio = new_min / base_min if base_min > 0 else float("inf")
-        floor = (args.latency_min_seconds if LATENCY_CELL.search(alg)
-                 else args.min_seconds)
+        base_kind, base_val = base_cells[key]
+        if base_kind != kind:
+            print(f"bench_compare: warning: cell {key} is a {kind} cell in "
+                  f"the new run but a {base_kind} cell in the baseline; "
+                  f"skipped (refresh the baseline)", file=sys.stderr)
+            rows.append((alg, threads, kind, base_val, new_val,
+                         "kind mismatch (skipped)"))
+            continue
+        ratio = new_val / base_val if base_val > 0 else float("inf")
+        if kind == "error":
+            floor = args.error_floor
+        elif LATENCY_CELL.search(alg):
+            floor = args.latency_min_seconds
+        else:
+            floor = args.min_seconds
         verdict = "ok"
-        if new_min > base_min * (1.0 + args.threshold):
-            if base_min < floor:
+        if new_val > base_val * (1.0 + args.threshold):
+            if base_val < floor:
                 verdict = "noise-floor (ignored)"
             else:
                 verdict = "REGRESSION"
-                regressions.append((alg, threads, base_min, new_min, ratio))
-        elif new_min < base_min * (1.0 - args.threshold):
-            if base_min < floor:
+                regressions.append((alg, threads, kind, base_val, new_val,
+                                    ratio))
+        elif new_val < base_val * (1.0 - args.threshold):
+            if base_val < floor:
                 verdict = "noise-floor (ignored)"
             else:
                 verdict = "IMPROVED"
-                improvements.append((alg, threads, base_min, new_min, ratio))
-        rows.append((alg, threads, base_min, new_min, verdict))
+                improvements.append((alg, threads, kind, base_val, new_val,
+                                     ratio))
+        rows.append((alg, threads, kind, base_val, new_val, verdict))
     for key in sorted(set(base_cells) - set(new_cells)):
         print(f"bench_compare: warning: baseline cell {key} missing from "
               f"new run", file=sys.stderr)
 
-    # Per-cell summary; speedup = baseline/new, so >1.00x is faster.
-    print(f"{'algorithm':<12} {'threads':>7} {'baseline':>10} {'new':>10} "
-          f"{'speedup':>8}  verdict")
-    for alg, threads, base_min, new_min, verdict in rows:
-        base_s = f"{base_min:.4f}s" if base_min is not None else "-"
-        speedup = (f"{base_min / new_min:7.2f}x"
-                   if base_min and new_min > 0 else "       -")
-        print(f"{alg:<12} {threads:>7} {base_s:>10} {new_min:>9.4f}s "
-              f"{speedup:>8}  {verdict}")
+    # Per-cell summary; ratio = baseline/new, so >1.00x is faster (seconds
+    # cells) or more accurate (error cells).
+    print(f"{'algorithm':<20} {'threads':>7} {'baseline':>10} {'new':>10} "
+          f"{'ratio':>8}  verdict")
+    for alg, threads, kind, base_val, new_val, verdict in rows:
+        ratio = (f"{base_val / new_val:7.2f}x"
+                 if base_val and new_val > 0 else "       -")
+        print(f"{alg:<20} {threads:>7} {fmt(kind, base_val):>10} "
+              f"{fmt(kind, new_val):>10} {ratio:>8}  {verdict}")
 
     if regressions:
         print(f"\nbench_compare: {len(regressions)} regression(s) over "
               f"{args.threshold:.0%} threshold:", file=sys.stderr)
-        for alg, threads, base_min, new_min, ratio in regressions:
-            print(f"  {alg} @ {threads}t: {base_min:.4f}s -> {new_min:.4f}s "
-                  f"({ratio:.2f}x)", file=sys.stderr)
+        for alg, threads, kind, base_val, new_val, ratio in regressions:
+            print(f"  {alg} @ {threads}t: {fmt(kind, base_val)} -> "
+                  f"{fmt(kind, new_val)} ({ratio:.2f}x)", file=sys.stderr)
         return 1
     if improvements:
         print(f"\nbench_compare: no regressions; {len(improvements)} cell(s) "
               f"improved by more than {args.threshold:.0%} — refresh the "
               f"baseline with --update")
-        for alg, threads, base_min, new_min, ratio in improvements:
-            print(f"  {alg} @ {threads}t: {base_min:.4f}s -> {new_min:.4f}s "
-                  f"({base_min / new_min:.2f}x faster)")
+        for alg, threads, kind, base_val, new_val, ratio in improvements:
+            print(f"  {alg} @ {threads}t: {fmt(kind, base_val)} -> "
+                  f"{fmt(kind, new_val)} ({base_val / new_val:.2f}x better)")
         return 3
     print("\nbench_compare: no regressions")
     return 0

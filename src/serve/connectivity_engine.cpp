@@ -81,8 +81,21 @@ void ConnectivityEngine::publish() {
   std::vector<VertexId> labels = parent_;  // flat == canonical min-id
   auto index = core::ComponentIndex::from_canonical_labels(std::move(labels));
   if (options_.publish_forest) index.attach_forest(parent_);
-  auto next = std::make_shared<const core::ComponentIndex>(std::move(index));
+  publish_index(
+      std::make_shared<const core::ComponentIndex>(std::move(index)));
+}
+
+void ConnectivityEngine::publish_index(
+    std::shared_ptr<const core::ComponentIndex> next) {
   last_count_ = next->num_components();
+  // The sketch tier is built BEFORE the exact snapshot swaps in, and the
+  // view pins the index it summarizes — a reader combining sketched()
+  // estimates with that view's index() is always epoch-consistent, even
+  // though the two EpochPtr stores are not one atomic step.
+  if (options_.sketched_view) {
+    sketched_.store(std::make_shared<const SketchedView>(
+        SketchedView::build(next, options_.sketch_options)));
+  }
   published_.store(std::move(next));
 }
 
@@ -122,10 +135,25 @@ bool ConnectivityEngine::verify_and_rebuild() {
   // the verified labels.
   if (options_.publish_forest) r.index.attach_forest(r.index.labels());
   if (!ok) parent_ = r.index.labels();
-  last_count_ = r.index.num_components();
-  published_.store(
+  publish_index(
       std::make_shared<const core::ComponentIndex>(std::move(r.index)));
   return ok;
+}
+
+double ConnectivityEngine::approx_component_count() const {
+  const auto view = sketched();
+  LOGCC_CHECK_MSG(view != nullptr,
+                  "approx_component_count: sketched_view not enabled");
+  return view->approx_component_count();
+}
+
+std::uint64_t ConnectivityEngine::approx_component_size(VertexId v) const {
+  const auto view = sketched();
+  LOGCC_CHECK_MSG(view != nullptr,
+                  "approx_component_size: sketched_view not enabled");
+  LOGCC_CHECK_MSG(v < view->index()->num_vertices(),
+                  "approx_component_size: vertex out of range");
+  return view->approx_component_size(v);
 }
 
 bool ConnectivityEngine::connected(VertexId u, VertexId v) const {

@@ -34,6 +34,7 @@
 #include "core/connectivity.hpp"
 #include "graph/edge_log.hpp"
 #include "graph/graph.hpp"
+#include "serve/sketched_view.hpp"
 #include "util/epoch.hpp"
 
 namespace logcc::serve {
@@ -48,6 +49,12 @@ struct EngineOptions {
   std::uint64_t seed = 1;
   /// Attach the (flat) parent forest to published snapshots.
   bool publish_forest = false;
+  /// Build a SketchedView next to every published snapshot: queries can
+  /// opt into the approximate tier (approx component count / sizes from KBs
+  /// of sketch state) via sketched(). Costs one extra O(n) parallel pass
+  /// per publish.
+  bool sketched_view = false;
+  SketchedViewOptions sketch_options;
 };
 
 /// What one apply_batch reports.
@@ -89,6 +96,18 @@ class ConnectivityEngine {
   std::uint64_t component_count() const { return snapshot()->num_components(); }
   std::uint64_t component_size(graph::VertexId v) const;
 
+  // --- approximate tier (EngineOptions::sketched_view) -------------------
+  /// The current epoch's sketch view (null unless sketched_view is on).
+  /// The view pins the exact snapshot it was built from, so its estimates
+  /// are epoch-consistent even while the writer publishes.
+  std::shared_ptr<const SketchedView> sketched() const {
+    return sketched_.load();
+  }
+  /// Convenience forms of the two approximate queries; LOGCC_CHECK that
+  /// the sketched view is enabled.
+  double approx_component_count() const;
+  std::uint64_t approx_component_size(graph::VertexId v) const;
+
   // --- introspection -----------------------------------------------------
   std::uint64_t num_vertices() const { return log_.num_vertices(); }
   std::uint64_t num_edges() const { return log_.num_edges(); }
@@ -102,6 +121,9 @@ class ConnectivityEngine {
   std::uint64_t merge_batch(std::span<const graph::Edge> batch);
   /// Builds and swaps in the next snapshot from the current flat forest.
   void publish();
+  /// Shared publish tail: stores the index (and, when enabled, the
+  /// SketchedView built from it) as the next epoch.
+  void publish_index(std::shared_ptr<const core::ComponentIndex> next);
 
   EngineOptions options_;
   graph::EdgeLog log_;
@@ -112,6 +134,7 @@ class ConnectivityEngine {
   std::vector<graph::VertexId> scratch_;
   std::uint64_t last_count_ = 0;  // published count (writer-side bookkeeping)
   util::EpochPtr<core::ComponentIndex> published_;
+  util::EpochPtr<SketchedView> sketched_;  // empty unless options say so
 };
 
 }  // namespace logcc::serve

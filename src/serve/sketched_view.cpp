@@ -1,0 +1,29 @@
+#include "serve/sketched_view.hpp"
+
+#include <span>
+
+#include "sketch/stream_stats.hpp"
+#include "util/check.hpp"
+
+namespace logcc::serve {
+
+SketchedView SketchedView::build(
+    std::shared_ptr<const core::ComponentIndex> index,
+    SketchedViewOptions options) {
+  LOGCC_CHECK_MSG(index != nullptr, "SketchedView::build: null index");
+  SketchedView view;
+  view.count_hll_ = sketch::HyperLogLog(
+      options.hll_precision,
+      util::mix64(options.seed, sketch::kComponentHllStream));
+  view.size_cms_ = sketch::CountMinSketch(
+      options.cms_depth, options.cms_width,
+      util::mix64(options.seed, sketch::kSizeCmsStream),
+      sketch::CmsUpdate::kStandard);
+  const std::span<const graph::VertexId> labels(index->labels());
+  view.count_hll_.add_parallel(labels);
+  view.size_cms_.add_parallel(labels);
+  view.index_ = std::move(index);
+  return view;
+}
+
+}  // namespace logcc::serve

@@ -1,0 +1,123 @@
+#include "sketch/count_min.hpp"
+
+#include <cmath>
+
+namespace logcc::sketch {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::uint32_t depth, std::uint32_t width,
+                               std::uint64_t seed, CmsUpdate update)
+    : depth_(depth),
+      width_(width),
+      seed_(seed),
+      update_(update),
+      counters_(static_cast<std::uint64_t>(depth) * width) {
+  LOGCC_CHECK_MSG(depth >= 1 && width >= 2, "CountMinSketch shape too small");
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t count) {
+  LOGCC_CHECK_MSG(depth_ != 0, "add on an empty CountMinSketch");
+  total_ += count;
+  if (update_ == CmsUpdate::kStandard) {
+    for (std::uint32_t r = 0; r < depth_; ++r)
+      counters_[static_cast<std::uint64_t>(r) * width_ + cell_index(r, key)] +=
+          count;
+    return;
+  }
+  // Conservative update: raise each row cell only to (current estimate +
+  // count) — cells already above carry mass from colliding keys and need
+  // no more. Keeps estimate(key) >= true count (every increment of key
+  // raises its row minimum by at least... exactly `count`).
+  std::uint64_t est = ~std::uint64_t{0};
+  for (std::uint32_t r = 0; r < depth_; ++r) {
+    const std::uint64_t c =
+        counters_[static_cast<std::uint64_t>(r) * width_ + cell_index(r, key)];
+    if (c < est) est = c;
+  }
+  const std::uint64_t target = est + count;
+  for (std::uint32_t r = 0; r < depth_; ++r) {
+    std::uint64_t& c =
+        counters_[static_cast<std::uint64_t>(r) * width_ + cell_index(r, key)];
+    if (c < target) c = target;
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  if (depth_ == 0) return 0;
+  std::uint64_t est = ~std::uint64_t{0};
+  for (std::uint32_t r = 0; r < depth_; ++r) {
+    const std::uint64_t c =
+        counters_[static_cast<std::uint64_t>(r) * width_ + cell_index(r, key)];
+    if (c < est) est = c;
+  }
+  return est;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  LOGCC_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
+                      seed_ == other.seed_ && update_ == other.update_,
+                  "CountMinSketch merge: incompatible shape, seed, or mode");
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    counters_[i] += other.counters_[i];
+  total_ += other.total_;
+}
+
+double CountMinSketch::epsilon() const {
+  if (width_ == 0) return 0.0;
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+double CountMinSketch::delta() const {
+  if (depth_ == 0) return 1.0;
+  return std::exp(-static_cast<double>(depth_));
+}
+
+std::vector<std::uint8_t> CountMinSketch::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(40 + counters_.size() * 8);
+  put_u64(out, depth_);
+  put_u64(out, width_);
+  put_u64(out, seed_);
+  put_u64(out, static_cast<std::uint64_t>(update_));
+  put_u64(out, total_);
+  for (std::uint64_t c : counters_) put_u64(out, c);
+  return out;
+}
+
+bool CountMinSketch::deserialize(std::span<const std::uint8_t> bytes,
+                                 CountMinSketch* out) {
+  if (bytes.size() < 40) return false;
+  const std::uint64_t depth = get_u64(bytes.data());
+  const std::uint64_t width = get_u64(bytes.data() + 8);
+  const std::uint64_t seed = get_u64(bytes.data() + 16);
+  const std::uint64_t mode = get_u64(bytes.data() + 24);
+  const std::uint64_t total = get_u64(bytes.data() + 32);
+  if (depth < 1 || depth > 64 || width < 2 || width > (1u << 30) || mode > 1)
+    return false;
+  const std::uint64_t cells = depth * width;
+  if (bytes.size() != 40 + cells * 8) return false;
+  CountMinSketch s(static_cast<std::uint32_t>(depth),
+                   static_cast<std::uint32_t>(width), seed,
+                   static_cast<CmsUpdate>(mode));
+  s.total_ = total;
+  for (std::uint64_t i = 0; i < cells; ++i)
+    s.counters_[i] = get_u64(bytes.data() + 40 + i * 8);
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace logcc::sketch
