@@ -9,14 +9,17 @@
 //   $ ./examples/cc_tool --generate=rmat:4000000 --sketch
 //
 // --input accepts a text edge list (optional "n m" header, one "u v" pair
-// per line, '#'/'%' comments) or a LOGCCSR1 binary CSR file — the format is
-// sniffed from the magic bytes, and binary files are mmap-loaded (see
-// docs/FILE_FORMATS.md). With --generate=family:n[:seed] a built-in
-// workload is used instead of a file.
+// per line, '#'/'%' comments) or a LOGCCSR1/LOGCCSR2 binary CSR file — the
+// format is sniffed from the magic bytes, and binary files are mmap-loaded
+// (see docs/FILE_FORMATS.md). With --generate=family:n[:seed] a built-in
+// workload is used instead of a file. LOGCCSR2 datasets run on the wide
+// (64-bit) execution path: faster-cc, vanilla, and union-find.
 //
 // --convert writes the input graph as a binary CSR file and exits; generator
 // families stream to disk without materializing the edge list, so this is
-// the way to build paper-scale (10^7+ edge) datasets for cc_bench.
+// the way to build paper-scale (10^7+ edge) datasets for cc_bench. Add
+// --wide to emit LOGCCSR2 (required once n or the edge count exceeds
+// uint32 — the LOGCCSR1 writer refuses such streams with a pointer here).
 //
 // --sketch switches to the one-pass approximate tier (src/sketch/): the
 // generator edge stream is consumed by sketch::StreamStats — O(n) label
@@ -32,8 +35,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <unordered_set>
 
 #include "core/connectivity.hpp"
+#include "core/wide_cc.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_algos.hpp"
@@ -86,8 +91,11 @@ int run_sketch_mode(const std::string& generate, std::uint64_t seed,
 
   util::Timer timer;
   sketch::StreamStats stats(fs.num_vertices, opt);
-  fs.enumerate([&](graph::VertexId u, graph::VertexId v) {
-    stats.add_edge(u, v);
+  // The stream sink is uint64 end-to-end; the sketch tier is 32-bit, and
+  // every sketchable family fits (make_family_stream caps enforce it).
+  fs.enumerate([&](std::uint64_t u, std::uint64_t v) {
+    stats.add_edge(static_cast<graph::VertexId>(u),
+                   static_cast<graph::VertexId>(v));
   });
   const sketch::StreamSummary s = stats.finish();
   const double seconds = timer.seconds();
@@ -162,6 +170,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 1, "random seed"));
   bool show_stats = cli.get_flag("stats", "print RunStats metrics");
+  bool wide = cli.get_flag(
+      "wide",
+      "--convert writes LOGCCSR2 (64-bit ids/offsets) instead of LOGCCSR1");
   bool sketch_mode = cli.get_flag(
       "sketch",
       "one-pass approximate tier over a generator stream (needs --generate)");
@@ -208,10 +219,27 @@ int main(int argc, char** argv) {
                      generate.c_str());
         return 2;
       }
-      ok = graph::stream_family_to_binary(family, n, gseed, convert, &error);
+      ok = graph::stream_family_to_binary(
+          family, n, gseed, convert, &error,
+          wide ? graph::BinaryCsrFormat::kWide
+               : graph::BinaryCsrFormat::kNarrow);
     } else if (graph::sniff_binary_csr(input)) {
       std::fprintf(stderr, "cc_tool: '%s' is already binary\n", input.c_str());
       return 2;
+    } else if (wide) {
+      // Text ids always fit LOGCCSR1, but the wide container is still a
+      // valid target (e.g. to exercise downstream LOGCCSR2 consumers).
+      graph::EdgeList el;
+      if (!graph::read_edge_list_file(input, el)) {
+        std::fprintf(stderr, "cc_tool: cannot parse '%s'\n", input.c_str());
+        return 2;
+      }
+      ok = graph::write_binary_csr_streaming(
+          convert, el.n,
+          [&](const graph::EdgeSink& sink) {
+            for (const graph::Edge& e : el.edges) sink(e.u, e.v);
+          },
+          &error, graph::BinaryCsrFormat::kWide);
     } else {
       ok = graph::convert_text_to_binary(input, convert, &error);
     }
@@ -221,17 +249,25 @@ int main(int argc, char** argv) {
     }
     // Re-open and deep-validate what was written before reporting success.
     graph::BinaryGraph bg;
-    if (!bg.open(convert, &error) || !graph::validate_csr(bg.view(), &error)) {
+    if (!bg.open(convert, &error) ||
+        !(bg.wide() ? graph::validate_csr(bg.view64(), &error)
+                    : graph::validate_csr(bg.view(), &error))) {
       std::fprintf(stderr, "cc_tool: converted file fails validation: %s\n",
                    error.c_str());
       return 1;
     }
-    std::printf("wrote %s: n=%llu edges=%llu arcs=%llu (%zu bytes, %s) "
+    const std::uint64_t out_n =
+        bg.wide() ? bg.view64().num_vertices() : bg.view().num_vertices();
+    const std::uint64_t out_edges =
+        bg.wide() ? bg.view64().num_edges() : bg.view().num_edges();
+    const std::uint64_t out_arcs =
+        bg.wide() ? bg.view64().num_arcs() : bg.view().num_arcs();
+    std::printf("wrote %s: %s n=%llu edges=%llu arcs=%llu (%zu bytes, %s) "
                 "in %.2fs\n",
-                convert.c_str(),
-                static_cast<unsigned long long>(bg.view().num_vertices()),
-                static_cast<unsigned long long>(bg.view().num_edges()),
-                static_cast<unsigned long long>(bg.view().num_arcs()),
+                convert.c_str(), bg.wide() ? "LOGCCSR2" : "LOGCCSR1",
+                static_cast<unsigned long long>(out_n),
+                static_cast<unsigned long long>(out_edges),
+                static_cast<unsigned long long>(out_arcs),
                 bg.file_bytes(),
                 bg.zero_copy() ? "validated via mmap" : "validated via copy",
                 timer.seconds());
@@ -248,8 +284,65 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cc_tool: %s\n", error.c_str());
     return 2;
   }
-  const graph::ArcsInput& arcs = handle.input();
   const graph::DatasetInfo& info = handle.info();
+
+  if (handle.wide()) {
+    // LOGCCSR2 datasets run on the 64-bit execution path. The wide entry
+    // points cover the three retargeted algorithms; everything else needs
+    // the narrow path (and a narrow dataset).
+    const graph::ArcsInput64& warcs = handle.input64();
+    if (!forest_path.empty()) {
+      std::fprintf(stderr,
+                   "cc_tool: --forest is not available on the wide path\n");
+      return 2;
+    }
+    util::Timer timer;
+    core::WideCcResult wr;
+    if (algorithm_name == "faster-cc") {
+      core::WideFasterOptions wopt;
+      wopt.seed = seed;
+      wr = core::wide_faster_cc(warcs, wopt);
+    } else if (algorithm_name == "vanilla") {
+      wr = core::wide_vanilla_cc(warcs, seed);
+    } else if (algorithm_name == "union-find") {
+      wr = core::wide_union_find_cc(warcs);
+    } else {
+      std::fprintf(stderr,
+                   "cc_tool: algorithm '%s' is not available on the wide "
+                   "(LOGCCSR2) path; use faster-cc, vanilla, or union-find\n",
+                   algorithm_name.c_str());
+      return 2;
+    }
+    const double seconds = timer.seconds();
+    // Same published form as the narrow path's ComponentIndex.
+    core::wide_canonicalize_labels(wr.labels);
+    std::unordered_set<graph::VertexId64> roots(wr.labels.begin(),
+                                                wr.labels.end());
+    const std::uint64_t components = roots.size();
+    std::printf("n=%llu m=%llu components=%llu algorithm=%s time=%.1fms "
+                "(loaded via %s in %.1fms, csr-native, wide)\n",
+                static_cast<unsigned long long>(warcs.num_vertices()),
+                static_cast<unsigned long long>(warcs.num_edges()),
+                static_cast<unsigned long long>(components),
+                algorithm_name.c_str(), seconds * 1e3, info.source.c_str(),
+                info.load_seconds * 1e3);
+    if (show_stats) {
+      std::printf("phases=%llu pram-steps=%llu\n",
+                  static_cast<unsigned long long>(wr.stats.phases),
+                  static_cast<unsigned long long>(wr.stats.pram_steps));
+    }
+    if (!output.empty()) {
+      std::ofstream os(output);
+      if (!os) {
+        std::fprintf(stderr, "cc_tool: cannot write '%s'\n", output.c_str());
+        return 2;
+      }
+      for (graph::VertexId64 label : wr.labels) os << label << '\n';
+    }
+    return 0;
+  }
+
+  const graph::ArcsInput& arcs = handle.input();
 
   Options opt;
   opt.seed = seed;

@@ -1,0 +1,445 @@
+#include "core/wide_cc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <unordered_map>
+
+#include "core/faster_cc.hpp"
+#include "core/round_arena.hpp"
+#include "util/arena.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+#include "util/scan.hpp"
+
+namespace logcc::core {
+
+// ---------------------------------------------------------------- forest ---
+
+bool WideForest::shortcut() {
+  const std::uint64_t n = parent_.size();
+  scratch_.resize(n);
+  const bool changed = util::parallel_reduce(
+      std::size_t{0}, static_cast<std::size_t>(n), false,
+      [&](std::size_t v) {
+        const VertexId64 next = parent_[parent_[v]];
+        scratch_[v] = next;
+        return next != parent_[v];
+      },
+      [](bool x, bool y) { return x || y; });
+  parent_.swap(scratch_);
+  return changed;
+}
+
+std::uint64_t WideForest::flatten() {
+  std::uint64_t steps = 0;
+  while (shortcut()) ++steps;
+  return steps + 1;
+}
+
+VertexId64 WideForest::find_root(VertexId64 v) const {
+  std::uint64_t steps = 0;
+  while (parent_[v] != v) {
+    v = parent_[v];
+    LOGCC_CHECK_MSG(++steps <= parent_.size(), "cycle in parent forest");
+  }
+  return v;
+}
+
+std::vector<VertexId64> WideForest::root_labels() const {
+  std::vector<VertexId64> out(parent_.size());
+  util::parallel_for(0, parent_.size(),
+                     [&](std::size_t v) { out[v] = find_root(v); });
+  return out;
+}
+
+// ------------------------------------------------------------- ingestion ---
+
+std::vector<WideArc> wide_arcs_from_input(const graph::ArcsInput64& in) {
+  if (!in.csr_backed()) {
+    const auto edges = in.edge_span();
+    const std::uint64_t n = in.num_vertices();
+    std::vector<WideArc> arcs(edges.size());
+    util::parallel_for(0, edges.size(), [&](std::size_t i) {
+      const auto& e = edges[i];
+      LOGCC_CHECK(e.u < n && e.v < n);
+      arcs[i] = {e.u, e.v, static_cast<std::uint64_t>(i)};
+    });
+    return arcs;
+  }
+  // Canonical smaller-endpoint scatter — same sequence as the narrow
+  // core::arcs_from_input (graph::csr_suffix is the one order definition).
+  const graph::CsrView64& v = in.csr();
+  std::vector<WideArc> arcs;
+  util::parallel_emit<WideArc>(
+      static_cast<std::size_t>(v.n), arcs,
+      [&](std::size_t u) {
+        return graph::csr_suffix(v, static_cast<VertexId64>(u)).size();
+      },
+      [&](std::size_t u, WideArc* dst) {
+        std::uint64_t orig = static_cast<std::uint64_t>(dst - arcs.data());
+        for (VertexId64 w : graph::csr_suffix(v, static_cast<VertexId64>(u)))
+          *dst++ = {static_cast<VertexId64>(u), w, orig++};
+      });
+  return arcs;
+}
+
+// ------------------------------------------------------- building blocks ---
+
+void wide_alter(std::vector<WideArc>& arcs, const WideForest& forest) {
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+    WideArc& a = arcs[i];
+    a.u = forest.parent(a.u);
+    a.v = forest.parent(a.v);
+  });
+}
+
+std::uint64_t wide_drop_loops(std::vector<WideArc>& arcs) {
+  return util::parallel_pack(arcs,
+                             [](const WideArc& a) { return a.u != a.v; });
+}
+
+bool wide_has_nonloop(const std::vector<WideArc>& arcs) {
+  const std::size_t n = arcs.size();
+  if (n < util::kSerialGrain) {
+    for (const WideArc& a : arcs)
+      if (a.u != a.v) return true;
+    return false;
+  }
+  const std::size_t blocks = util::scan_block_count(n);
+  std::atomic<bool> found{false};
+  util::parallel_for_blocks(blocks, [&](std::size_t b) {
+    if (found.load(std::memory_order_relaxed)) return;
+    const std::size_t hi = util::detail::block_begin(n, blocks, b + 1);
+    for (std::size_t i = util::detail::block_begin(n, blocks, b); i < hi;
+         ++i) {
+      if (arcs[i].u != arcs[i].v) {
+        found.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  return found.load();
+}
+
+namespace {
+
+/// (u, v, orig) order — groups undirected duplicates, min orig first. Same
+/// comparator as the narrow dedup, one width up.
+bool wide_arc_less(const WideArc& a, const WideArc& b) {
+  if (a.u != b.u) return a.u < b.u;
+  if (a.v != b.v) return a.v < b.v;
+  return a.orig < b.orig;
+}
+
+bool wide_arc_same_pair(const WideArc& a, const WideArc& b) {
+  return a.u == b.u && a.v == b.v;
+}
+
+// The narrow dedup's size constants, verbatim: the path choice must depend
+// on the input alone so wide and narrow runs of the same graph take the
+// same route (and produce the same arc order — MARK-EDGE breaks ties on
+// arc index).
+constexpr std::size_t kDedupBucketCutoff = 4 * util::kSerialGrain;
+
+std::size_t dedup_bucket_count(std::size_t n) {
+  std::size_t buckets = 1;
+  while (buckets < 256 && buckets * util::kSerialGrain < n) buckets <<= 1;
+  return buckets;
+}
+
+/// In-bucket sort + keep-min-orig. The narrow path switches to a radix sort
+/// on the packed 64-bit (u, v) key for large buckets; wide ids do not pack,
+/// so every bucket takes the comparison sort — which produces the identical
+/// (u, v)-sorted, min-orig-survivor output the radix path is specified
+/// against, so the results still match the narrow run element for element.
+std::size_t wide_dedup_bucket(WideArc* a, std::size_t n) {
+  std::sort(a, a + n, wide_arc_less);
+  return static_cast<std::size_t>(
+      std::unique(a, a + n, wide_arc_same_pair) - a);
+}
+
+void wide_dedup_bucketed(std::vector<WideArc>& arcs) {
+  const std::size_t n = arcs.size();
+  const std::size_t buckets = dedup_bucket_count(n);
+  const int shift = 64 - std::countr_zero(buckets);
+  util::ScratchBuffer<WideArc> scattered(n);
+  util::ScratchBuffer<std::size_t> bucket_begin(buckets + 1);
+  util::parallel_bucket_partition_into(
+      arcs.data(), n, scattered.data(), bucket_begin.span(), buckets,
+      [shift](const WideArc& a) {
+        return static_cast<std::size_t>(util::mix64(a.u) >> shift);
+      });
+
+  util::ScratchBuffer<std::size_t> kept(buckets);
+  util::parallel_for_blocks(buckets, [&](std::size_t k) {
+    WideArc* lo = scattered.data() + bucket_begin[k];
+    kept[k] = wide_dedup_bucket(lo, bucket_begin[k + 1] - bucket_begin[k]);
+  });
+
+  const std::size_t total = util::parallel_prefix_sum(kept.data(), buckets);
+  arcs.resize(total);
+  util::parallel_for_blocks(buckets, [&](std::size_t k) {
+    const WideArc* src = scattered.data() + bucket_begin[k];
+    WideArc* dst = arcs.data() + kept[k];
+    const std::size_t len = (k + 1 < buckets ? kept[k + 1] : total) - kept[k];
+    std::copy(src, src + len, dst);
+  });
+}
+
+}  // namespace
+
+void wide_dedup_arcs(std::vector<WideArc>& arcs) {
+  util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+    WideArc& a = arcs[i];
+    if (a.u > a.v) std::swap(a.u, a.v);
+  });
+  if (arcs.size() < kDedupBucketCutoff) {
+    std::sort(arcs.begin(), arcs.end(), wide_arc_less);
+    arcs.erase(
+        std::unique(arcs.begin(), arcs.end(), wide_arc_same_pair),
+        arcs.end());
+  } else {
+    wide_dedup_bucketed(arcs);
+  }
+}
+
+// ----------------------------------------------------------- vanilla CC ---
+
+namespace {
+
+/// The narrow run_phases (core/vanilla.cpp) one width up: identical coins
+/// (mix64(seed, phase, v) — the vertex's numeric value, so narrow and wide
+/// flips agree), identical lowest-arc-index MARK-EDGE, identical phase
+/// structure. `max_phases` = 0 runs to convergence.
+std::uint64_t wide_run_phases(WideForest& forest, std::vector<WideArc>& arcs,
+                              std::uint64_t seed, std::uint64_t max_phases,
+                              RunStats& stats) {
+  const std::uint64_t n = forest.size();
+  constexpr std::uint64_t kNoArc = static_cast<std::uint64_t>(-1);
+  std::vector<std::uint8_t> leader(n, 0);
+  std::vector<std::uint64_t> chosen(n, kNoArc);
+
+  std::uint64_t phases = 0;
+  while (wide_has_nonloop(arcs)) {
+    if (max_phases && phases >= max_phases) break;
+    util::scratch_arena_round_reset();
+    ++phases;
+    ++stats.phases;
+    stats.pram_steps += 5;  // vote, mark, link, shortcut, alter
+
+    util::parallel_for(0, n, [&](std::size_t v) {
+      leader[v] = util::mix64(seed, stats.phases, v) & 1;
+    });
+    util::parallel_for(0, arcs.size(), [&](std::size_t i) {
+      const WideArc& a = arcs[i];
+      if (a.u == a.v) return;
+      const std::uint64_t idx = static_cast<std::uint64_t>(i);
+      if (forest.is_root(a.u) && !leader[a.u] && leader[a.v])
+        util::atomic_min(chosen[a.u], idx);
+      if (forest.is_root(a.v) && !leader[a.v] && leader[a.u])
+        util::atomic_min(chosen[a.v], idx);
+    });
+    util::parallel_for(0, n, [&](std::size_t v) {
+      std::uint64_t i = chosen[v];
+      if (i == kNoArc) return;
+      chosen[v] = kNoArc;
+      const WideArc& a = arcs[i];
+      VertexId64 w = (a.u == static_cast<VertexId64>(v)) ? a.v : a.u;
+      forest.set_parent(static_cast<VertexId64>(v), w);
+    });
+    forest.shortcut();
+    wide_alter(arcs, forest);
+    wide_drop_loops(arcs);
+    wide_dedup_arcs(arcs);
+
+    LOGCC_CHECK_MSG(stats.phases <= 100000, "wide Vanilla failed to converge");
+  }
+  return phases;
+}
+
+}  // namespace
+
+WideCcResult wide_vanilla_cc(const graph::ArcsInput64& in,
+                             std::uint64_t seed) {
+  WideCcResult out;
+  RoundArena round_arena;
+  RoundArena::Scope arena_scope(round_arena);
+  WideForest forest(in.num_vertices());
+  std::vector<WideArc> arcs = wide_arcs_from_input(in);
+  wide_drop_loops(arcs);
+  wide_run_phases(forest, arcs, seed, /*max_phases=*/0, out.stats);
+  forest.flatten();
+  out.labels = forest.root_labels();
+  return out;
+}
+
+// ------------------------------------------------------------ union-find ---
+
+WideCcResult wide_union_find_cc(const graph::ArcsInput64& in) {
+  const std::uint64_t n = in.num_vertices();
+  std::vector<VertexId64> parent(n);
+  std::vector<std::uint8_t> rank(n, 0);
+  for (std::uint64_t v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](VertexId64 v) {
+    while (parent[v] != v) {
+      VertexId64 next = parent[v];
+      parent[v] = parent[next];
+      v = next;
+    }
+    return v;
+  };
+  in.for_each_edge([&](VertexId64 u, VertexId64 v, std::uint64_t) {
+    VertexId64 ru = find(u), rv = find(v);
+    if (ru == rv) return;
+    if (rank[ru] < rank[rv]) std::swap(ru, rv);
+    parent[rv] = ru;
+    if (rank[ru] == rank[rv]) ++rank[ru];
+  });
+
+  WideCcResult out;
+  out.stats.phases = 1;
+  // Canonicalise to min-id labels — execution-independent, so these values
+  // equal the narrow union_find_cc labels for any graph that fits both.
+  std::vector<VertexId64> min_of(n);
+  for (std::uint64_t v = 0; v < n; ++v) min_of[v] = v;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    VertexId64 r = find(v);
+    min_of[r] = std::min(min_of[r], v);
+  }
+  out.labels.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) out.labels[v] = min_of[find(v)];
+  return out;
+}
+
+void wide_canonicalize_labels(std::vector<VertexId64>& labels) {
+  std::unordered_map<VertexId64, VertexId64> min_of;
+  min_of.reserve(64);
+  for (std::uint64_t v = 0; v < labels.size(); ++v) {
+    auto [it, inserted] = min_of.try_emplace(labels[v], v);
+    if (!inserted && v < it->second) it->second = v;
+  }
+  util::parallel_for(0, labels.size(),
+                     [&](std::size_t v) { labels[v] = min_of.at(labels[v]); });
+}
+
+// -------------------------------------------------------------- faster-cc ---
+
+namespace {
+
+constexpr std::uint64_t kNarrowCap =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Delegate path: the whole input fits the 32-bit space, so run the real
+/// narrow core::faster_cc on it (bit-identical to a native narrow run) and
+/// widen the labels.
+WideCcResult faster_delegate(const graph::ArcsInput64& in,
+                             const WideFasterOptions& opt) {
+  FasterCcParams params;
+  params.seed = opt.seed;
+  CcResult narrow;
+  if (in.csr_backed()) {
+    const graph::CsrView64& wv = in.csr();
+    std::vector<graph::VertexId> adj(wv.num_arcs());
+    util::parallel_for(0, adj.size(), [&](std::size_t i) {
+      adj[i] = static_cast<graph::VertexId>(wv.adj[i]);
+    });
+    graph::CsrView nv;
+    nv.n = wv.n;
+    nv.edges = wv.edges;
+    nv.offsets = wv.offsets;  // offsets are uint64 at both widths
+    nv.adj = adj.data();
+    narrow = faster_cc(graph::ArcsInput::from_csr(nv), params);
+  } else {
+    std::vector<graph::Edge> edges(in.edge_span().size());
+    util::parallel_for(0, edges.size(), [&](std::size_t i) {
+      const auto& e = in.edge_span()[i];
+      edges[i] = {static_cast<graph::VertexId>(e.u),
+                  static_cast<graph::VertexId>(e.v)};
+    });
+    narrow = faster_cc(
+        graph::ArcsInput::from_edges(in.num_vertices(), edges), params);
+  }
+  WideCcResult out;
+  out.stats = narrow.stats;
+  out.labels.assign(narrow.labels.begin(), narrow.labels.end());
+  return out;
+}
+
+}  // namespace
+
+WideCcResult wide_faster_cc(const graph::ArcsInput64& in,
+                            const WideFasterOptions& opt) {
+  const std::uint64_t cap = std::min(opt.narrow_threshold, kNarrowCap);
+  if (in.num_vertices() <= cap && in.num_edges() <= cap)
+    return faster_delegate(in, opt);
+
+  // Contract-then-delegate: wide Vanilla phases shrink the live arc list;
+  // once it fits the 32-bit space the survivors are renamed dense and the
+  // narrow faster-cc finishes the job.
+  WideCcResult out;
+  {
+    RoundArena round_arena;
+    RoundArena::Scope arena_scope(round_arena);
+    WideForest forest(in.num_vertices());
+    std::vector<WideArc> arcs = wide_arcs_from_input(in);
+    wide_drop_loops(arcs);
+    wide_dedup_arcs(arcs);
+    // Each Vanilla phase removes (in expectation) a constant fraction of
+    // live vertices, so this terminates in O(log n) phases; the cap/2 slack
+    // keeps the renamed vertex count (<= 2 * arcs) within the 32-bit space.
+    const std::uint64_t arc_target = std::max<std::uint64_t>(cap / 2, 1);
+    while (wide_has_nonloop(arcs) && arcs.size() > arc_target) {
+      wide_run_phases(forest, arcs, opt.seed, /*max_phases=*/1, out.stats);
+    }
+    forest.flatten();
+
+    // Rename surviving endpoints in first-appearance order (deterministic:
+    // the arc list order is execution-independent).
+    std::unordered_map<VertexId64, graph::VertexId> rename;
+    std::vector<VertexId64> orig_of;
+    rename.reserve(arcs.size() * 2);
+    graph::EdgeList contracted;
+    contracted.edges.reserve(arcs.size());
+    auto id_of = [&](VertexId64 v) {
+      auto [it, inserted] =
+          rename.try_emplace(v, static_cast<graph::VertexId>(orig_of.size()));
+      if (inserted) orig_of.push_back(v);
+      return it->second;
+    };
+    for (const WideArc& a : arcs) {
+      if (a.u == a.v) continue;
+      const graph::VertexId u = id_of(a.u);
+      const graph::VertexId v = id_of(a.v);
+      contracted.add(u, v);
+    }
+    contracted.n = orig_of.size();
+
+    std::vector<graph::VertexId> narrow_labels;
+    if (!contracted.edges.empty()) {
+      FasterCcParams params;
+      params.seed = opt.seed;
+      CcResult fin = faster_cc(graph::ArcsInput::from_edges(contracted),
+                               params);
+      out.stats.phases += fin.stats.phases;
+      out.stats.pram_steps += fin.stats.pram_steps;
+      narrow_labels = std::move(fin.labels);
+    }
+
+    // Map back: a vertex whose root survived into the contracted graph
+    // takes its component's faster-cc representative (translated to the
+    // wide id space); a fully contracted component keeps its root.
+    out.labels.resize(in.num_vertices());
+    util::parallel_for(0, in.num_vertices(), [&](std::size_t v) {
+      const VertexId64 r = forest.find_root(static_cast<VertexId64>(v));
+      auto it = rename.find(r);
+      out.labels[v] =
+          it == rename.end() ? r : orig_of[narrow_labels[it->second]];
+    });
+  }
+  return out;
+}
+
+}  // namespace logcc::core

@@ -1,0 +1,117 @@
+// Wide (64-bit index) execution path: Vanilla, union-find, and faster-cc
+// entry points over graph::ArcsInput64 — what LOGCCSR2 datasets run on.
+//
+// Design: the narrow (uint32) core in building_blocks/vanilla stays the hot
+// default; this module is a *faithful port* one width up, not a rewrite.
+// Faithful means bit-compatible where the two paths overlap: the Vanilla
+// port keeps the identical counter-based coins (mix64(seed, phase, v)), the
+// identical lowest-arc-index MARK-EDGE tie-break, and a dedup whose
+// survivor set AND order equal the narrow dedup for the same id values
+// (same size cutoffs, same mix64 bucket map, (u,v)-sorted buckets) — so on
+// any graph that fits both widths, wide labels equal narrow labels value
+// for value (tests/test_differential_cc.cpp pins this across the corpus).
+//
+// faster-cc is not ported wholesale (its EXPAND/MAXLINK table machinery is
+// deeply 32-bit); instead wide_faster_cc runs a narrowing bridge: inputs
+// within the 32-bit caps delegate to core::faster_cc directly (bit-identical
+// by construction), and genuinely wide inputs first contract with wide
+// Vanilla phases until at most `narrow_threshold` vertices remain ongoing,
+// rename the survivors into a dense 32-bit space, finish with
+// core::faster_cc there, and map labels back through the wide forest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "graph/arcs_input.hpp"
+#include "graph/graph.hpp"
+
+namespace logcc::core {
+
+using graph::VertexId64;
+
+struct WideArc {
+  VertexId64 u = 0;
+  VertexId64 v = 0;
+  std::uint64_t orig = 0;  // index into the canonical edge order
+  friend bool operator==(const WideArc&, const WideArc&) = default;
+};
+
+/// ParentForest one width up (see core/labels.hpp for the operations'
+/// semantics; this port keeps the same synchronous double-buffered
+/// shortcut).
+class WideForest {
+ public:
+  WideForest() = default;
+  explicit WideForest(std::uint64_t n) { reset(n); }
+
+  void reset(std::uint64_t n) {
+    parent_.resize(n);
+    for (std::uint64_t v = 0; v < n; ++v) parent_[v] = v;
+  }
+
+  std::uint64_t size() const { return parent_.size(); }
+  VertexId64 parent(VertexId64 v) const { return parent_[v]; }
+  void set_parent(VertexId64 v, VertexId64 p) { parent_[v] = p; }
+  bool is_root(VertexId64 v) const { return parent_[v] == v; }
+
+  bool shortcut();
+  std::uint64_t flatten();
+  VertexId64 find_root(VertexId64 v) const;
+  std::vector<VertexId64> root_labels() const;
+  const std::vector<VertexId64>& raw() const { return parent_; }
+
+ private:
+  std::vector<VertexId64> parent_;
+  std::vector<VertexId64> scratch_;
+};
+
+/// Canonical ingestion, one width up: one WideArc per undirected edge in
+/// the canonical smaller-endpoint order (same sequence as the narrow
+/// core::arcs_from_input for the same graph).
+std::vector<WideArc> wide_arcs_from_input(const graph::ArcsInput64& in);
+
+/// ALTER / loop-drop / dedup, ported with the narrow semantics (dedup keeps
+/// the minimum-orig arc per undirected pair; same size cutoffs and bucket
+/// map as the narrow path, so arc order — and every index-tie-break
+/// downstream — matches).
+void wide_alter(std::vector<WideArc>& arcs, const WideForest& forest);
+std::uint64_t wide_drop_loops(std::vector<WideArc>& arcs);
+void wide_dedup_arcs(std::vector<WideArc>& arcs);
+bool wide_has_nonloop(const std::vector<WideArc>& arcs);
+
+struct WideCcResult {
+  std::vector<VertexId64> labels;
+  RunStats stats;
+};
+
+/// Vanilla CC on the wide path. Identical phase structure, coins, and
+/// tie-breaks as core::vanilla_cc — labels match the narrow run value for
+/// value whenever the graph fits both widths.
+WideCcResult wide_vanilla_cc(const graph::ArcsInput64& in,
+                             std::uint64_t seed = 1);
+
+/// Sequential union-find (path splitting + union by rank) on the wide
+/// path, canonicalized to min-id labels — execution-independent, the
+/// differential oracle for everything else here.
+WideCcResult wide_union_find_cc(const graph::ArcsInput64& in);
+
+struct WideFasterOptions {
+  std::uint64_t seed = 1;
+  /// Inputs whose n and edge count both fit this bound delegate straight
+  /// to the narrow core::faster_cc. Lowering it (tests) forces the
+  /// contract-then-delegate branch at small scale.
+  std::uint64_t narrow_threshold = 0xFFFFFFFFull;
+};
+
+/// faster-cc on the wide path via the narrowing bridge (see file comment).
+WideCcResult wide_faster_cc(const graph::ArcsInput64& in,
+                            const WideFasterOptions& opt = {});
+
+/// Rewrites labels in place to canonical min-id form (labels[v] = minimum
+/// vertex id in v's component) — the form ComponentIndex publishes on the
+/// narrow path, execution- and algorithm-independent.
+void wide_canonicalize_labels(std::vector<VertexId64>& labels);
+
+}  // namespace logcc::core

@@ -29,7 +29,8 @@ std::uint32_t byteswap32(std::uint32_t x) {
 
 // A header's offsets array starts right after the fixed header; the arc
 // array right after the offsets. Both are naturally aligned: the mapping is
-// page-aligned, the header is 64 bytes, and (n+1)*8 keeps 4-byte alignment.
+// page-aligned, the header is 64 bytes, and (n+1)*8 keeps 4-byte (v1) /
+// 8-byte (v2) alignment.
 constexpr std::size_t kHeaderBytes = sizeof(BinaryCsrHeader);
 
 std::string basename_of(const std::string& path) {
@@ -37,49 +38,32 @@ std::string basename_of(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-}  // namespace
+constexpr std::uint64_t kNarrowCap = std::numeric_limits<std::uint32_t>::max();
 
-bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
-                                const EdgeEnumerator& enumerate,
-                                std::string* error) {
-  // Strict bound: ids are < n, and id 0xFFFFFFFF is kInvalidVertex — a
-  // sentinel the algorithms compare against — so it must never be a real
-  // vertex.
-  if (n > std::numeric_limits<VertexId>::max()) {
-    set_error(error, "vertex count exceeds the 32-bit id space");
-    return false;
-  }
-  // Pass 1: degree count. O(n) memory — this is the whole point of the
-  // streaming writer; the edge list itself never exists in memory.
-  std::vector<std::uint64_t> cursor(n, 0);
-  std::uint64_t edges = 0;
-  bool out_of_range = false;
-  enumerate([&](VertexId u, VertexId v) {
-    if (u >= n || v >= n) {
-      out_of_range = true;
-      return;
-    }
-    ++edges;
-    ++cursor[u];
-    if (u != v) ++cursor[v];
-  });
-  if (out_of_range) {
-    set_error(error, "edge endpoint out of range for n");
-    return false;
-  }
-  std::uint64_t arcs = 0;
-  for (std::uint64_t v = 0; v < n; ++v) arcs += cursor[v];
-
+// Shared two-pass writer core: A is the on-disk arc width (uint32 for
+// LOGCCSR1, uint64 for LOGCCSR2). The count caps for the chosen format have
+// already been checked by the entry point.
+template <typename A>
+bool write_csr_streaming_impl(const std::string& path, std::uint64_t n,
+                              std::uint64_t edges, std::uint64_t arcs,
+                              std::vector<std::uint64_t>& cursor,
+                              const EdgeEnumerator& enumerate,
+                              std::string* error) {
   const std::uint64_t file_size =
-      kHeaderBytes + (n + 1) * 8 + arcs * sizeof(VertexId);
+      kHeaderBytes + (n + 1) * 8 + arcs * sizeof(A);
   util::MmapFile map = util::MmapFile::create_rw(
       path, static_cast<std::size_t>(file_size), error);
   if (!map.valid()) return false;
 
   std::uint8_t* base = map.mutable_data();
   BinaryCsrHeader h{};
-  std::memcpy(h.magic, kBinaryCsrMagic, sizeof(h.magic));
-  h.version = kBinaryCsrVersion;
+  if constexpr (sizeof(A) == 4) {
+    std::memcpy(h.magic, kBinaryCsrMagic, sizeof(h.magic));
+    h.version = kBinaryCsrVersion;
+  } else {
+    std::memcpy(h.magic, kBinaryCsrMagicV2, sizeof(h.magic));
+    h.version = kBinaryCsrVersionV2;
+  }
   h.endian = kEndianTag;
   h.n = n;
   h.num_arcs = arcs;
@@ -87,7 +71,7 @@ bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
   std::memcpy(base, &h, kHeaderBytes);
 
   auto* offsets = reinterpret_cast<std::uint64_t*>(base + kHeaderBytes);
-  auto* adj = reinterpret_cast<VertexId*>(base + kHeaderBytes + (n + 1) * 8);
+  auto* adj = reinterpret_cast<A*>(base + kHeaderBytes + (n + 1) * 8);
   std::uint64_t run = 0;
   for (std::uint64_t v = 0; v < n; ++v) {
     const std::uint64_t deg = cursor[v];
@@ -102,7 +86,7 @@ bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
   // sequence — fail instead of corrupting the file.
   bool replay_mismatch = false;
   std::uint64_t edges2 = 0;
-  enumerate([&](VertexId u, VertexId v) {
+  enumerate([&](std::uint64_t u, std::uint64_t v) {
     if (u >= n || v >= n) {
       replay_mismatch = true;
       return;
@@ -113,8 +97,8 @@ bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
       replay_mismatch = true;
       return;
     }
-    adj[cursor[u]++] = v;
-    if (u != v) adj[cursor[v]++] = u;
+    adj[cursor[u]++] = static_cast<A>(v);
+    if (u != v) adj[cursor[v]++] = static_cast<A>(u);
   });
   // On any failure past create_rw, remove the half-written file: it already
   // carries a valid magic + header, so leaving it behind would let a later
@@ -142,6 +126,68 @@ bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
   return true;
 }
 
+}  // namespace
+
+bool write_binary_csr_streaming(const std::string& path, std::uint64_t n,
+                                const EdgeEnumerator& enumerate,
+                                std::string* error, BinaryCsrFormat format) {
+  // Strict bounds, checked on the full 64-bit values before any output file
+  // exists. Narrow: ids are < n, and id 0xFFFFFFFF is kInvalidVertex — a
+  // sentinel the algorithms compare against — so it must never be a real
+  // vertex. Wide: same rule one width up.
+  if (format == BinaryCsrFormat::kNarrow && n > kNarrowCap) {
+    set_error(error,
+              "vertex count " + std::to_string(n) +
+                  " exceeds the 32-bit id space of LOGCCSR1; use the "
+                  "LOGCCSR2 (wide) format");
+    return false;
+  }
+  if (n == std::numeric_limits<std::uint64_t>::max()) {
+    set_error(error, "vertex count exceeds the 64-bit id space");
+    return false;
+  }
+  // Pass 1: degree count. O(n) memory — this is the whole point of the
+  // streaming writer; the edge list itself never exists in memory. Degrees
+  // and the arc total stay uint64 throughout: one vertex's degree (and
+  // certainly the 2*edges arc total) can exceed uint32 even for files that
+  // satisfy the v1 edge cap.
+  std::vector<std::uint64_t> cursor(n, 0);
+  std::uint64_t edges = 0;
+  bool out_of_range = false;
+  enumerate([&](std::uint64_t u, std::uint64_t v) {
+    if (u >= n || v >= n) {
+      out_of_range = true;
+      return;
+    }
+    ++edges;
+    ++cursor[u];
+    if (u != v) ++cursor[v];
+  });
+  if (out_of_range) {
+    set_error(error, "edge endpoint out of range for n");
+    return false;
+  }
+  // The narrow format's other 64-bit cap: `orig` edge indices are dense
+  // uint32 on the 32-bit execution path. Rejecting here (before the file is
+  // created) is what makes the failure actionable — the old behavior wrote
+  // a well-formed v1 file that every later load refused.
+  if (format == BinaryCsrFormat::kNarrow && edges > kNarrowCap) {
+    set_error(error,
+              "edge count " + std::to_string(edges) +
+                  " exceeds the 32-bit edge-index space of LOGCCSR1; use "
+                  "the LOGCCSR2 (wide) format");
+    return false;
+  }
+  std::uint64_t arcs = 0;
+  for (std::uint64_t v = 0; v < n; ++v) arcs += cursor[v];
+
+  if (format == BinaryCsrFormat::kNarrow)
+    return write_csr_streaming_impl<std::uint32_t>(path, n, edges, arcs,
+                                                   cursor, enumerate, error);
+  return write_csr_streaming_impl<std::uint64_t>(path, n, edges, arcs,
+                                                 cursor, enumerate, error);
+}
+
 bool write_binary_csr(const std::string& path, const EdgeList& el,
                       std::string* error) {
   return write_binary_csr_streaming(
@@ -149,15 +195,25 @@ bool write_binary_csr(const std::string& path, const EdgeList& el,
       [&el](const EdgeSink& sink) {
         for (const Edge& e : el.edges) sink(e.u, e.v);
       },
-      error);
+      error, BinaryCsrFormat::kNarrow);
+}
+
+bool write_binary_csr(const std::string& path, const EdgeList64& el,
+                      std::string* error) {
+  return write_binary_csr_streaming(
+      path, el.n,
+      [&el](const EdgeSink& sink) {
+        for (const Edge64& e : el.edges) sink(e.u, e.v);
+      },
+      error, BinaryCsrFormat::kWide);
 }
 
 bool stream_family_to_binary(const std::string& family, std::uint64_t n,
                              std::uint64_t seed, const std::string& path,
-                             std::string* error) {
+                             std::string* error, BinaryCsrFormat format) {
   FamilyStream fs = make_family_stream(family, n, seed);
   return write_binary_csr_streaming(path, fs.num_vertices, fs.enumerate,
-                                    error);
+                                    error, format);
 }
 
 bool convert_text_to_binary(const std::string& text_path,
@@ -176,13 +232,17 @@ bool sniff_binary_csr(const std::string& path) {
   char magic[8];
   const bool got = std::fread(magic, 1, sizeof(magic), fp) == sizeof(magic);
   std::fclose(fp);
-  return got && std::memcmp(magic, kBinaryCsrMagic, sizeof(magic)) == 0;
+  return got &&
+         (std::memcmp(magic, kBinaryCsrMagic, sizeof(magic)) == 0 ||
+          std::memcmp(magic, kBinaryCsrMagicV2, sizeof(magic)) == 0);
 }
 
 bool BinaryGraph::open(const std::string& path, std::string* error,
                        util::MmapPopulate populate) {
   map_ = util::MmapFile::open_read(path, error, populate);
   view_ = CsrView{};
+  view64_ = CsrView64{};
+  wide_ = false;
   if (!map_.valid()) return false;
   if (map_.size() < kHeaderBytes) {
     set_error(error, "truncated file: smaller than the 64-byte header");
@@ -190,8 +250,11 @@ bool BinaryGraph::open(const std::string& path, std::string* error,
   }
   BinaryCsrHeader h;
   std::memcpy(&h, map_.data(), kHeaderBytes);
-  if (std::memcmp(h.magic, kBinaryCsrMagic, sizeof(h.magic)) != 0) {
-    set_error(error, "bad magic: not a LOGCCSR1 file");
+  const bool v1 = std::memcmp(h.magic, kBinaryCsrMagic, sizeof(h.magic)) == 0;
+  const bool v2 =
+      std::memcmp(h.magic, kBinaryCsrMagicV2, sizeof(h.magic)) == 0;
+  if (!v1 && !v2) {
+    set_error(error, "bad magic: not a LOGCCSR1/LOGCCSR2 file");
     return false;
   }
   if (h.endian == byteswap32(kEndianTag)) {
@@ -202,22 +265,47 @@ bool BinaryGraph::open(const std::string& path, std::string* error,
     set_error(error, "corrupt endianness tag");
     return false;
   }
-  if (h.version != kBinaryCsrVersion) {
-    set_error(error, "unsupported format version " + std::to_string(h.version));
+  // The magic IS the format: a v2-magic file whose version field says 1 (or
+  // anything else) is a chimera, not a v1 file that happens to start with
+  // the wrong string.
+  const std::uint32_t want_version = v1 ? kBinaryCsrVersion : kBinaryCsrVersionV2;
+  if (h.version != want_version) {
+    set_error(error, "unsupported format version " + std::to_string(h.version) +
+                         (v1 ? " for LOGCCSR1" : " for LOGCCSR2"));
     return false;
   }
-  // Same strict bound as the writer: id 0xFFFFFFFF is the kInvalidVertex
-  // sentinel and must never be addressable.
-  if (h.n > std::numeric_limits<VertexId>::max()) {
-    set_error(error, "vertex count exceeds the 32-bit id space");
+  // Count caps, straight off the 64-bit header fields — before the size
+  // arithmetic and long before anything narrows. For v1 both n and the
+  // edge count must fit uint32 (id 0xFFFFFFFF is the kInvalidVertex
+  // sentinel and `orig` edge indices are dense uint32); a violating file
+  // gets an error that names the fix. For v2 only the one-below-sentinel
+  // rule applies.
+  if (v1) {
+    if (h.n > kNarrowCap) {
+      set_error(error,
+                "vertex count " + std::to_string(h.n) +
+                    " exceeds the 32-bit id space of LOGCCSR1 (convert to "
+                    "LOGCCSR2 for wide graphs)");
+      return false;
+    }
+    if (h.num_edges > kNarrowCap) {
+      set_error(error,
+                "edge count " + std::to_string(h.num_edges) +
+                    " exceeds the 32-bit edge-index space of LOGCCSR1 "
+                    "(convert to LOGCCSR2 for wide graphs)");
+      return false;
+    }
+  } else if (h.n == std::numeric_limits<std::uint64_t>::max()) {
+    set_error(error, "vertex count exceeds the 64-bit id space");
     return false;
   }
   // 128-bit arithmetic: a corrupt num_arcs must not wrap the expected size
   // back onto the real file size and sneak past this check.
+  const std::size_t arc_width = v1 ? sizeof(std::uint32_t) : sizeof(std::uint64_t);
   const unsigned __int128 expected =
       static_cast<unsigned __int128>(kHeaderBytes) +
       static_cast<unsigned __int128>(h.n + 1) * 8 +
-      static_cast<unsigned __int128>(h.num_arcs) * sizeof(VertexId);
+      static_cast<unsigned __int128>(h.num_arcs) * arc_width;
   if (expected != static_cast<unsigned __int128>(map_.size())) {
     set_error(error, "file size mismatch: header (n=" + std::to_string(h.n) +
                          ", arcs=" + std::to_string(h.num_arcs) +
@@ -231,15 +319,27 @@ bool BinaryGraph::open(const std::string& path, std::string* error,
     set_error(error, "corrupt offsets envelope");
     return false;
   }
-  view_.n = h.n;
-  view_.edges = h.num_edges;
-  view_.offsets = offsets;
-  view_.adj = reinterpret_cast<const VertexId*>(map_.data() + kHeaderBytes +
-                                                (h.n + 1) * 8);
+  const std::uint8_t* adj_base = map_.data() + kHeaderBytes + (h.n + 1) * 8;
+  if (v1) {
+    view_.n = h.n;
+    view_.edges = h.num_edges;
+    view_.offsets = offsets;
+    view_.adj = reinterpret_cast<const VertexId*>(adj_base);
+  } else {
+    wide_ = true;
+    view64_.n = h.n;
+    view64_.edges = h.num_edges;
+    view64_.offsets = offsets;
+    view64_.adj = reinterpret_cast<const VertexId64*>(adj_base);
+  }
   return true;
 }
 
-bool validate_csr_structure(const CsrView& v, std::string* error) {
+namespace {
+
+template <typename V>
+bool validate_csr_structure_impl(const BasicCsrView<V>& v,
+                                 std::string* error) {
   const std::uint64_t n = v.n;
   // Monotonicity first, alone: neighbors(u) computes a span from
   // offsets[u]..offsets[u+1], so the other checks may only run once every
@@ -258,9 +358,9 @@ bool validate_csr_structure(const CsrView& v, std::string* error) {
   const bool shape_ok = util::parallel_reduce(
       std::size_t{0}, static_cast<std::size_t>(n), true,
       [&](std::size_t u) {
-        auto nb = v.neighbors(static_cast<VertexId>(u));
+        auto nb = v.neighbors(static_cast<V>(u));
         if (!std::is_sorted(nb.begin(), nb.end())) return false;
-        for (VertexId w : nb)
+        for (V w : nb)
           if (w >= n) return false;
         return true;
       },
@@ -272,8 +372,9 @@ bool validate_csr_structure(const CsrView& v, std::string* error) {
   return true;
 }
 
-bool validate_csr(const CsrView& v, std::string* error) {
-  if (!validate_csr_structure(v, error)) return false;
+template <typename V>
+bool validate_csr_impl(const BasicCsrView<V>& v, std::string* error) {
+  if (!validate_csr_structure_impl(v, error)) return false;
   const std::uint64_t n = v.n;
   // Arc symmetry with *multiplicity*: for every distinct neighbor w of u,
   // the number of (u, w) arcs must equal the number of (w, u) arcs — a
@@ -284,15 +385,15 @@ bool validate_csr(const CsrView& v, std::string* error) {
   const bool symmetric = util::parallel_reduce(
       std::size_t{0}, static_cast<std::size_t>(n), true,
       [&](std::size_t u) {
-        auto nb = v.neighbors(static_cast<VertexId>(u));
+        auto nb = v.neighbors(static_cast<V>(u));
         for (std::size_t i = 0; i < nb.size();) {
-          const VertexId w = nb[i];
+          const V w = nb[i];
           std::size_t j = i;
           while (j < nb.size() && nb[j] == w) ++j;  // multiplicity at u
-          if (w != static_cast<VertexId>(u)) {
+          if (w != static_cast<V>(u)) {
             auto back = v.neighbors(w);
-            auto range = std::equal_range(back.begin(), back.end(),
-                                          static_cast<VertexId>(u));
+            auto range =
+                std::equal_range(back.begin(), back.end(), static_cast<V>(u));
             if (static_cast<std::size_t>(range.second - range.first) != j - i)
               return false;
           }
@@ -311,9 +412,9 @@ bool validate_csr(const CsrView& v, std::string* error) {
   const std::uint64_t self_loops = util::parallel_reduce(
       std::size_t{0}, static_cast<std::size_t>(n), std::uint64_t{0},
       [&](std::size_t u) {
-        auto nb = v.neighbors(static_cast<VertexId>(u));
-        auto range = std::equal_range(nb.begin(), nb.end(),
-                                      static_cast<VertexId>(u));
+        auto nb = v.neighbors(static_cast<V>(u));
+        auto range =
+            std::equal_range(nb.begin(), nb.end(), static_cast<V>(u));
         return static_cast<std::uint64_t>(range.second - range.first);
       },
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
@@ -329,33 +430,62 @@ bool validate_csr(const CsrView& v, std::string* error) {
     set_error(error, "edge count in header disagrees with arc count");
     return false;
   }
-  // The algorithms index edges with dense uint32 `orig` ids; reject the
-  // ceiling here so an oversized (but well-formed) file is a clean load
-  // error instead of a LOGCC_CHECK abort at first use.
-  if (v.edges > std::numeric_limits<std::uint32_t>::max()) {
-    set_error(error, "edge count exceeds the 32-bit edge-index space");
-    return false;
+  // The narrow algorithms index edges with dense uint32 `orig` ids; reject
+  // the ceiling here so an oversized (but well-formed) view is a clean
+  // validation error instead of a LOGCC_CHECK abort at first use. Wide
+  // views carry uint64 orig ids — no cap.
+  if constexpr (sizeof(V) == 4) {
+    if (v.edges > kNarrowCap) {
+      set_error(error, "edge count exceeds the 32-bit edge-index space");
+      return false;
+    }
   }
   return true;
 }
 
-EdgeList edge_list_from_csr(const CsrView& v) {
-  EdgeList out;
+}  // namespace
+
+bool validate_csr_structure(const CsrView& v, std::string* error) {
+  return validate_csr_structure_impl(v, error);
+}
+bool validate_csr_structure(const CsrView64& v, std::string* error) {
+  return validate_csr_structure_impl(v, error);
+}
+
+bool validate_csr(const CsrView& v, std::string* error) {
+  return validate_csr_impl(v, error);
+}
+bool validate_csr(const CsrView64& v, std::string* error) {
+  return validate_csr_impl(v, error);
+}
+
+namespace {
+
+template <typename V>
+BasicEdgeList<V> edge_list_from_csr_impl(const BasicCsrView<V>& v) {
+  BasicEdgeList<V> out;
   out.n = v.n;
   // Canonical smaller-endpoint order via the shared csr_suffix_begin
   // (arcs_input.hpp) — the same sequence the CSR-native ingestion
   // (core::arcs_from_input) and ArcsInput::for_each_edge emit, which is
   // what makes the materializing and zero-copy paths bit-identical.
-  util::parallel_emit<Edge>(
+  util::parallel_emit<BasicEdge<V>>(
       static_cast<std::size_t>(v.n), out.edges,
-      [&](std::size_t u) {
-        return csr_suffix(v, static_cast<VertexId>(u)).size();
-      },
-      [&](std::size_t u, Edge* dst) {
-        for (VertexId w : csr_suffix(v, static_cast<VertexId>(u)))
-          *dst++ = Edge{static_cast<VertexId>(u), w};
+      [&](std::size_t u) { return csr_suffix(v, static_cast<V>(u)).size(); },
+      [&](std::size_t u, BasicEdge<V>* dst) {
+        for (V w : csr_suffix(v, static_cast<V>(u)))
+          *dst++ = BasicEdge<V>{static_cast<V>(u), w};
       });
   return out;
+}
+
+}  // namespace
+
+EdgeList edge_list_from_csr(const CsrView& v) {
+  return edge_list_from_csr_impl(v);
+}
+EdgeList64 edge_list_from_csr(const CsrView64& v) {
+  return edge_list_from_csr_impl(v);
 }
 
 namespace {
@@ -390,6 +520,7 @@ bool parse_generator_spec(const std::string& spec, std::string& family,
 }
 
 const EdgeList& DatasetHandle::edges() {
+  LOGCC_CHECK_MSG(!wide_, "edges(): wide datasets have no narrow EdgeList");
   if (input_.csr_backed() && !materialized_) {
     util::Timer timer;
     el_ = edge_list_from_csr(bg_.view());
@@ -426,18 +557,26 @@ bool load_dataset_zero_copy(const std::string& spec, DatasetHandle& out,
     // because the CSR-native ingestion (core::arcs_from_input) and
     // edge_list_from_csr both emit from smaller-endpoint arc suffixes, so
     // an asymmetric file would silently drop edges rather than crash.
-    if (!validate_csr(out.bg_.view(), error)) {
+    const bool valid = out.bg_.wide() ? validate_csr(out.bg_.view64(), error)
+                                      : validate_csr(out.bg_.view(), error);
+    if (!valid) {
       if (error) *error = "corrupt binary CSR '" + spec + "': " + *error;
       return false;
     }
-    out.input_ = ArcsInput::from_csr(out.bg_.view());
+    if (out.bg_.wide()) {
+      out.wide_ = true;
+      out.input64_ = ArcsInput64::from_csr(out.bg_.view64());
+    } else {
+      out.input_ = ArcsInput::from_csr(out.bg_.view());
+    }
     info.name = basename_of(spec);
     info.source = out.bg_.zero_copy() ? "binary-mmap" : "binary-copy";
     info.file_bytes = out.bg_.file_bytes();
   } else {
     if (!read_edge_list_file(spec, out.el_)) {
-      set_error(error, "cannot read '" + spec +
-                           "' as a text edge list (and it is not LOGCCSR1)");
+      set_error(error,
+                "cannot read '" + spec +
+                    "' as a text edge list (and it is not LOGCCSR1/LOGCCSR2)");
       return false;
     }
     out.input_ = ArcsInput::from_edges(out.el_);
@@ -452,6 +591,29 @@ bool load_dataset(const std::string& spec, EdgeList& out, DatasetInfo* info,
                   std::string* error) {
   DatasetHandle h;
   if (!load_dataset_zero_copy(spec, h, error)) return false;
+  if (h.wide()) {
+    // A wide file whose counts fit the narrow caps can still serve a
+    // narrow-EdgeList consumer; a genuinely wide one cannot — be explicit
+    // about which.
+    const CsrView64& v = h.bg_.view64();
+    if (v.n > kNarrowCap || v.edges > kNarrowCap) {
+      set_error(error, "'" + spec +
+                           "' is a wide LOGCCSR2 dataset; it exceeds the "
+                           "32-bit EdgeList path (use the wide input)");
+      return false;
+    }
+    util::Timer timer;
+    out = EdgeList{};
+    out.n = v.n;
+    out.edges.reserve(v.edges);
+    for (std::uint64_t u = 0; u < v.n; ++u) {
+      for (VertexId64 w : csr_suffix(v, u))
+        out.add(static_cast<VertexId>(u), static_cast<VertexId>(w));
+    }
+    h.info_.materialize_seconds += timer.seconds();
+    if (info) *info = h.info();
+    return true;
+  }
   h.edges();  // materialize CSR-backed inputs (timed into the info record)
   out = std::move(h.el_);
   if (info) *info = h.info();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <unordered_set>
 
@@ -19,37 +20,37 @@ using util::Xoshiro256;
 // construction. Every core is deterministic in its arguments: re-running it
 // replays the identical sequence, which the two-pass streaming writer
 // requires.
+//
+// Cores emit uint64 endpoints with no narrowing anywhere — the wide
+// (LOGCCSR2) streaming path counts on it. The materializing entry points
+// narrow at their EdgeList boundary, after checking n fits the 32-bit space.
 namespace {
 
 template <typename Sink>
 void path_edges(std::uint64_t n, Sink&& sink) {
-  for (std::uint64_t i = 0; i + 1 < n; ++i)
-    sink(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  for (std::uint64_t i = 0; i + 1 < n; ++i) sink(i, i + 1);
 }
 
 template <typename Sink>
 void cycle_edges(std::uint64_t n, Sink&& sink) {
   path_edges(n, sink);
-  if (n >= 3) sink(static_cast<VertexId>(n - 1), 0);
+  if (n >= 3) sink(n - 1, std::uint64_t{0});
 }
 
 template <typename Sink>
 void star_edges(std::uint64_t n, Sink&& sink) {
-  for (std::uint64_t i = 1; i < n; ++i) sink(0, static_cast<VertexId>(i));
+  for (std::uint64_t i = 1; i < n; ++i) sink(std::uint64_t{0}, i);
 }
 
 template <typename Sink>
 void complete_edges(std::uint64_t n, Sink&& sink) {
   for (std::uint64_t i = 0; i < n; ++i)
-    for (std::uint64_t j = i + 1; j < n; ++j)
-      sink(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    for (std::uint64_t j = i + 1; j < n; ++j) sink(i, j);
 }
 
 template <typename Sink>
 void grid_edges(std::uint64_t rows, std::uint64_t cols, Sink&& sink) {
-  auto id = [cols](std::uint64_t r, std::uint64_t c) {
-    return static_cast<VertexId>(r * cols + c);
-  };
+  auto id = [cols](std::uint64_t r, std::uint64_t c) { return r * cols + c; };
   for (std::uint64_t r = 0; r < rows; ++r) {
     for (std::uint64_t c = 0; c < cols; ++c) {
       if (c + 1 < cols) sink(id(r, c), id(r, c + 1));
@@ -60,8 +61,7 @@ void grid_edges(std::uint64_t rows, std::uint64_t cols, Sink&& sink) {
 
 template <typename Sink>
 void binary_tree_edges(std::uint64_t n, Sink&& sink) {
-  for (std::uint64_t i = 1; i < n; ++i)
-    sink(static_cast<VertexId>((i - 1) / 2), static_cast<VertexId>(i));
+  for (std::uint64_t i = 1; i < n; ++i) sink((i - 1) / 2, i);
 }
 
 template <typename Sink>
@@ -69,14 +69,15 @@ void hypercube_edges(std::uint32_t dim, Sink&& sink) {
   const std::uint64_t n = 1ULL << dim;
   for (std::uint64_t v = 0; v < n; ++v)
     for (std::uint32_t b = 0; b < dim; ++b)
-      if ((v & (1ULL << b)) == 0)
-        sink(static_cast<VertexId>(v),
-             static_cast<VertexId>(v | (1ULL << b)));
+      if ((v & (1ULL << b)) == 0) sink(v, v | (1ULL << b));
 }
 
 // Streams by re-running the seeded RNG — O(1) state, so a 10^8-edge rmat
 // never exists as an in-memory list. Self-loop draws are skipped (the draw
-// still advances the RNG, keeping replays aligned).
+// still advances the RNG, keeping replays aligned). Vertex ids stay uint64
+// from the bit rolls to the sink: past scale 32 the old VertexId narrowing
+// silently folded the id space back onto 2^32 (tests/test_wide_index.cpp
+// pins the fix).
 template <typename Sink>
 void rmat_edges(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
                 double a, double b, double c, Sink&& sink) {
@@ -98,26 +99,24 @@ void rmat_edges(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
       u = (u << 1) | du;
       v = (v << 1) | dv;
     }
-    if (u != v) sink(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    if (u != v) sink(u, v);
   }
 }
 
 template <typename Sink>
 void caterpillar_edges(std::uint64_t spine, std::uint32_t legs, Sink&& sink) {
-  for (std::uint64_t i = 0; i + 1 < spine; ++i)
-    sink(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  for (std::uint64_t i = 0; i + 1 < spine; ++i) sink(i, i + 1);
   std::uint64_t next = spine;
   for (std::uint64_t i = 0; i < spine; ++i)
-    for (std::uint32_t l = 0; l < legs; ++l)
-      sink(static_cast<VertexId>(i), static_cast<VertexId>(next++));
+    for (std::uint32_t l = 0; l < legs; ++l) sink(i, next++);
 }
 
 template <typename Sink>
 void lollipop_edges(std::uint64_t k, std::uint64_t tail, Sink&& sink) {
   complete_edges(k, sink);
-  VertexId prev = static_cast<VertexId>(k - 1);
+  std::uint64_t prev = k - 1;
   for (std::uint64_t i = 0; i < tail; ++i) {
-    VertexId next = static_cast<VertexId>(k + i);
+    std::uint64_t next = k + i;
     sink(prev, next);
     prev = next;
   }
@@ -142,26 +141,46 @@ std::uint64_t lollipop_clique(std::uint64_t n) {
   return std::min<std::uint64_t>(256, std::max<std::uint64_t>(4, n / 8));
 }
 
+// Materializing boundary: ids must fit the narrow EdgeList (kInvalidVertex
+// = 2^32-1 is a sentinel, so n itself may be at most 2^32-1).
+void check_narrow(std::uint64_t n) {
+  LOGCC_CHECK_MSG(n <= std::numeric_limits<VertexId>::max(),
+                  "materialized generator exceeds the 32-bit id space; "
+                  "stream to LOGCCSR2 instead");
+}
+
+// Sink adapter for the materializers: cores emit uint64, the EdgeList
+// stores uint32 — safe because check_narrow bounded n and cores only emit
+// ids < n.
+auto narrow_into(EdgeList& el) {
+  return [&el](std::uint64_t u, std::uint64_t v) {
+    el.add(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  };
+}
+
 }  // namespace
 
 EdgeList make_path(std::uint64_t n) {
+  check_narrow(n);
   EdgeList el;
   el.n = n;
-  path_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
+  path_edges(n, narrow_into(el));
   return el;
 }
 
 EdgeList make_cycle(std::uint64_t n) {
+  check_narrow(n);
   EdgeList el;
   el.n = n;
-  cycle_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
+  cycle_edges(n, narrow_into(el));
   return el;
 }
 
 EdgeList make_star(std::uint64_t n) {
+  check_narrow(n);
   EdgeList el;
   el.n = n;
-  star_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
+  star_edges(n, narrow_into(el));
   return el;
 }
 
@@ -169,21 +188,23 @@ EdgeList make_complete(std::uint64_t n) {
   LOGCC_CHECK_MSG(n <= 4096, "complete graph too large");
   EdgeList el;
   el.n = n;
-  complete_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
+  complete_edges(n, narrow_into(el));
   return el;
 }
 
 EdgeList make_grid(std::uint64_t rows, std::uint64_t cols) {
+  check_narrow(rows * cols);
   EdgeList el;
   el.n = rows * cols;
-  grid_edges(rows, cols, [&](VertexId u, VertexId v) { el.add(u, v); });
+  grid_edges(rows, cols, narrow_into(el));
   return el;
 }
 
 EdgeList make_binary_tree(std::uint64_t n) {
+  check_narrow(n);
   EdgeList el;
   el.n = n;
-  binary_tree_edges(n, [&](VertexId u, VertexId v) { el.add(u, v); });
+  binary_tree_edges(n, narrow_into(el));
   return el;
 }
 
@@ -191,7 +212,7 @@ EdgeList make_hypercube(std::uint32_t dim) {
   LOGCC_CHECK(dim <= 24);
   EdgeList el;
   el.n = 1ULL << dim;
-  hypercube_edges(dim, [&](VertexId u, VertexId v) { el.add(u, v); });
+  hypercube_edges(dim, narrow_into(el));
   return el;
 }
 
@@ -204,6 +225,7 @@ std::uint64_t edge_key(VertexId u, VertexId v) {
 
 EdgeList make_gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
   LOGCC_CHECK(n >= 2);
+  check_narrow(n);
   const std::uint64_t max_edges = n * (n - 1) / 2;
   LOGCC_CHECK_MSG(m <= max_edges / 2 || n <= 4096,
                   "G(n,m) rejection sampling needs m well below n^2/2");
@@ -214,6 +236,9 @@ EdgeList make_gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(m * 2);
   while (el.edges.size() < std::min(m, max_edges)) {
+    // below(n) is a uint64 draw; narrowing is safe only because
+    // check_narrow bounded n — the draw itself must never be truncated
+    // before the bound is applied.
     VertexId u = static_cast<VertexId>(rng.below(n));
     VertexId v = static_cast<VertexId>(rng.below(n));
     if (u == v) continue;
@@ -224,6 +249,7 @@ EdgeList make_gnm(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
 
 EdgeList make_random_regular(std::uint64_t n, std::uint32_t k,
                              std::uint64_t seed, bool connected) {
+  check_narrow(n);
   EdgeList el;
   el.n = n;
   Xoshiro256 rng(seed);
@@ -252,14 +278,14 @@ EdgeList make_rmat(std::uint32_t scale, std::uint64_t m, std::uint64_t seed,
   EdgeList el;
   el.n = 1ULL << scale;
   el.edges.reserve(m);
-  rmat_edges(scale, m, seed, a, b, c,
-             [&](VertexId u, VertexId v) { el.add(u, v); });
+  rmat_edges(scale, m, seed, a, b, c, narrow_into(el));
   return el;
 }
 
 EdgeList make_preferential(std::uint64_t n, std::uint32_t k,
                            std::uint64_t seed) {
   LOGCC_CHECK(n >= 2 && k >= 1);
+  check_narrow(n);
   EdgeList el;
   el.n = n;
   Xoshiro256 rng(seed);
@@ -288,18 +314,19 @@ EdgeList make_preferential(std::uint64_t n, std::uint32_t k,
 }
 
 EdgeList make_caterpillar(std::uint64_t spine, std::uint32_t legs) {
+  check_narrow(spine * (1 + legs));
   EdgeList el;
   el.n = spine * (1 + legs);
-  caterpillar_edges(spine, legs,
-                    [&](VertexId u, VertexId v) { el.add(u, v); });
+  caterpillar_edges(spine, legs, narrow_into(el));
   return el;
 }
 
 EdgeList make_lollipop(std::uint64_t k, std::uint64_t tail) {
   LOGCC_CHECK_MSG(k >= 1 && k <= 4096, "lollipop clique too large");
+  check_narrow(k + tail);
   EdgeList el;
   el.n = k + tail;
-  lollipop_edges(k, tail, [&](VertexId u, VertexId v) { el.add(u, v); });
+  lollipop_edges(k, tail, narrow_into(el));
   return el;
 }
 
@@ -312,6 +339,7 @@ EdgeList disjoint_union(const std::vector<EdgeList>& parts) {
               static_cast<VertexId>(base + e.v));
     base += p.n;
   }
+  check_narrow(base);
   out.n = base;
   return out;
 }
@@ -354,7 +382,7 @@ std::vector<std::string> family_names() {
 FamilyStream make_family_stream(const std::string& family, std::uint64_t n,
                                 std::uint64_t seed) {
   FamilyStream fs;
-  using SinkF = std::function<void(VertexId, VertexId)>;
+  using SinkF = std::function<void(std::uint64_t, std::uint64_t)>;
   auto streaming = [&fs](std::uint64_t nv, auto&& core) {
     fs.num_vertices = nv;
     fs.streams = true;
@@ -374,11 +402,15 @@ FamilyStream make_family_stream(const std::string& family, std::uint64_t n,
     streaming(n, [n](const SinkF& s) { binary_tree_edges(n, s); });
   } else if (family == "hypercube") {
     const std::uint32_t dim = hypercube_dim(n);
-    LOGCC_CHECK(dim <= 24);
+    LOGCC_CHECK(dim <= 40);
     streaming(1ULL << dim, [dim](const SinkF& s) { hypercube_edges(dim, s); });
   } else if (family == "rmat") {
+    // Streaming rmat runs past the materializer's scale-28 cap: ids are
+    // uint64 end-to-end, so wide (LOGCCSR2) targets can stream >2^32-vertex
+    // families. The narrow writer still rejects n > 2^32 with its own
+    // actionable error.
     const std::uint32_t scale = rmat_scale(n);
-    LOGCC_CHECK(scale <= 28);
+    LOGCC_CHECK(scale <= 48);
     const std::uint64_t m = 8 * n;
     streaming(1ULL << scale, [scale, m, seed](const SinkF& s) {
       rmat_edges(scale, m, seed, 0.57, 0.19, 0.19, s);

@@ -91,7 +91,14 @@ std::vector<std::string> family_names();
 /// Contract: `enumerate` is RE-RUNNABLE — every invocation emits the
 /// identical edge sequence (the two-pass binary CSR writer depends on this)
 /// — and all endpoints are < num_vertices. The edge *multiset* equals
-/// make_family(family, n, seed) for the same arguments.
+/// make_family(family, n, seed) for the same arguments (where the
+/// materializer's 32-bit caps allow it to run at all).
+///
+/// The sink takes uint64 endpoints end-to-end: streamed families whose ids
+/// exceed the 32-bit space (rmat past scale 32, >2^32-arc runs) enumerate
+/// without wrapping, and the LOGCCSR2 writer consumes them directly. The
+/// LOGCCSR1 writer range-checks against its 32-bit caps, so a too-wide
+/// stream is a clean error there, never a silently wrapped id.
 ///
 /// `streams` is true for the structured families and rmat, whose enumeration
 /// uses O(1) extra memory (counter-based RNG replay for rmat). The families
@@ -102,7 +109,7 @@ std::vector<std::string> family_names();
 struct FamilyStream {
   std::uint64_t num_vertices = 0;
   bool streams = false;
-  std::function<void(const std::function<void(VertexId, VertexId)>&)>
+  std::function<void(const std::function<void(std::uint64_t, std::uint64_t)>&)>
       enumerate;
 };
 FamilyStream make_family_stream(const std::string& family, std::uint64_t n,

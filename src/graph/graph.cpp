@@ -1,72 +1,13 @@
 #include "graph/graph.hpp"
 
-#include <algorithm>
-
-#include "util/check.hpp"
-
+// Explicit instantiations of both index widths, so every translation unit
+// that only consumes Graph/Graph64 links against these instead of
+// re-instantiating the CSR builder.
 namespace logcc::graph {
 
-void EdgeList::canonicalize() {
-  for (auto& e : edges)
-    if (e.u > e.v) std::swap(e.u, e.v);
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
-}
-
-Graph Graph::from_edges(std::uint64_t n, std::span<const Edge> edges,
-                        bool dedup) {
-  if (dedup) {
-    EdgeList copy;
-    copy.n = n;
-    copy.edges.assign(edges.begin(), edges.end());
-    copy.canonicalize();
-    return from_edges(copy.n, copy.edges, /*dedup=*/false);
-  }
-  for (const Edge& e : edges) {
-    LOGCC_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
-  }
-
-  Graph g;
-  g.offsets_.assign(n + 1, 0);
-  for (const Edge& e : edges) {
-    ++g.offsets_[e.u + 1];
-    if (e.u != e.v)
-      ++g.offsets_[e.v + 1];
-    else
-      ++g.self_loops_;
-  }
-  for (std::uint64_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
-  g.adj_.resize(g.offsets_[n]);
-  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const Edge& e : edges) {
-    g.adj_[cursor[e.u]++] = e.v;
-    if (e.u != e.v) g.adj_[cursor[e.v]++] = e.u;
-  }
-  for (std::uint64_t v = 0; v < n; ++v) {
-    auto* begin = g.adj_.data() + g.offsets_[v];
-    auto* end = g.adj_.data() + g.offsets_[v + 1];
-    std::sort(begin, end);
-  }
-  return g;
-}
-
-Graph Graph::from_edges(const EdgeList& el, bool dedup) {
-  return from_edges(el.n, el.edges, dedup);
-}
-
-EdgeList Graph::to_edges() const {
-  EdgeList el;
-  el.n = num_vertices();
-  el.edges.reserve(num_edges());
-  for (VertexId v = 0; v < el.n; ++v) {
-    for (VertexId w : neighbors(v)) {
-      if (v <= w) el.add(v, w);
-    }
-  }
-  return el;
-}
+template struct BasicEdgeList<VertexId>;
+template struct BasicEdgeList<VertexId64>;
+template class BasicGraph<VertexId>;
+template class BasicGraph<VertexId64>;
 
 }  // namespace logcc::graph

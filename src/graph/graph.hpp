@@ -4,22 +4,39 @@
 // Vertices are dense ids in [0, n). Graphs are undirected and may contain
 // isolated vertices; self-loops and parallel edges are allowed in EdgeList
 // (the paper's ALTER creates both) but the CSR builder can deduplicate.
+//
+// Index-type contract: every type here is a template over the vertex-id
+// width V (std::uint32_t or std::uint64_t). The unsuffixed aliases (Edge,
+// EdgeList, Graph) are the narrow 32-bit instantiation — the default the
+// whole execution stack runs on — and the `64`-suffixed aliases are the wide
+// path LOGCCSR2 datasets load into (see docs/ARCHITECTURE.md, "Index-type
+// contract"). Offsets and counts are uint64 at *both* widths; only the
+// per-arc adjacency entries and edge endpoints narrow.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace logcc::graph {
 
 using VertexId = std::uint32_t;
+using VertexId64 = std::uint64_t;
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr VertexId64 kInvalidVertex64 = static_cast<VertexId64>(-1);
 
-struct Edge {
-  VertexId u = 0;
-  VertexId v = 0;
-  friend bool operator==(const Edge&, const Edge&) = default;
+template <typename V>
+struct BasicEdge {
+  V u = 0;
+  V v = 0;
+  friend bool operator==(const BasicEdge&, const BasicEdge&) = default;
 };
+
+using Edge = BasicEdge<VertexId>;
+using Edge64 = BasicEdge<VertexId64>;
 
 /// Flat list of undirected edges over n vertices.
 ///
@@ -27,14 +44,15 @@ struct Edge {
 /// algorithms and Graph::from_edges enforce it with LOGCC_CHECK; the file
 /// loaders (graph/io.hpp, graph/binary_io.hpp) reject violating input
 /// instead of constructing an invalid list.
-struct EdgeList {
+template <typename V>
+struct BasicEdgeList {
   std::uint64_t n = 0;
-  std::vector<Edge> edges;
+  std::vector<BasicEdge<V>> edges;
 
   std::uint64_t num_vertices() const { return n; }
   std::uint64_t num_edges() const { return edges.size(); }
 
-  void add(VertexId u, VertexId v) { edges.push_back({u, v}); }
+  void add(V u, V v) { edges.push_back({u, v}); }
 
   /// Removes self-loops and duplicate {u,v}/{v,u} pairs (keeps the graph's
   /// connectivity structure; used before handing workloads to algorithms that
@@ -44,40 +62,47 @@ struct EdgeList {
   void canonicalize();
 };
 
+using EdgeList = BasicEdgeList<VertexId>;
+using EdgeList64 = BasicEdgeList<VertexId64>;
+
 /// Compressed sparse row adjacency. Each undirected edge appears as two arcs
 /// (a self-loop as one); neighbor lists are sorted ascending. The same
-/// conventions as the on-disk binary CSR format (graph/binary_io.hpp), whose
+/// conventions as the on-disk binary CSR formats (graph/binary_io.hpp), whose
 /// CsrView is the non-owning counterpart of this class.
-class Graph {
+template <typename V>
+class BasicGraph {
  public:
-  Graph() = default;
+  BasicGraph() = default;
 
   /// Builds from an edge list; if `dedup` removes self-loops and parallel
   /// edges first. Precondition: all endpoints < n (LOGCC_CHECK).
   /// Deterministic: the result depends only on the edge multiset. The span
   /// overload builds straight from borrowed edges (no EdgeList copy when
   /// `dedup` is false) — what ArcsInput-driven callers use.
-  static Graph from_edges(const EdgeList& el, bool dedup = true);
-  static Graph from_edges(std::uint64_t n, std::span<const Edge> edges,
-                          bool dedup = true);
+  static BasicGraph from_edges(const BasicEdgeList<V>& el, bool dedup = true);
+  static BasicGraph from_edges(std::uint64_t n,
+                               std::span<const BasicEdge<V>> edges,
+                               bool dedup = true);
 
-  std::uint64_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::uint64_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
   /// Number of undirected edges (arcs / 2).
   std::uint64_t num_edges() const { return adj_.size() / 2; }
   std::uint64_t num_arcs() const { return adj_.size(); }
 
-  std::uint32_t degree(VertexId v) const {
-    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
-  }
+  /// uint64 on both widths: v1 files legally hold up to ~2^33 arcs, so a
+  /// uint32 return could silently wrap even on the narrow path.
+  std::uint64_t degree(V v) const { return offsets_[v + 1] - offsets_[v]; }
 
   /// Sorted ascending. Valid while the Graph is alive; v must be < n.
-  std::span<const VertexId> neighbors(VertexId v) const {
+  std::span<const V> neighbors(V v) const {
     return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
   }
 
   /// Re-exports as an edge list (one entry per undirected edge, u <= v,
   /// sorted — the inverse of from_edges up to canonical order).
-  EdgeList to_edges() const;
+  BasicEdgeList<V> to_edges() const;
 
   /// Self-loop arcs in the adjacency (each loop is a single arc). Together
   /// with num_arcs this recovers the canonical undirected edge count
@@ -87,12 +112,93 @@ class Graph {
   /// Raw CSR arrays, for zero-copy views (graph::csr_view). Valid while
   /// the Graph is alive.
   std::span<const std::uint64_t> raw_offsets() const { return offsets_; }
-  std::span<const VertexId> raw_adj() const { return adj_; }
+  std::span<const V> raw_adj() const { return adj_; }
 
  private:
   std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<VertexId> adj_;           // size 2m
+  std::vector<V> adj_;                  // size 2m
   std::uint64_t self_loops_ = 0;
 };
+
+using Graph = BasicGraph<VertexId>;
+using Graph64 = BasicGraph<VertexId64>;
+
+// --------------------------------------------------------------------------
+// Template definitions (both instantiations are explicit, in graph.cpp).
+
+template <typename V>
+void BasicEdgeList<V>::canonicalize() {
+  for (auto& e : edges)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(edges.begin(), edges.end(),
+            [](const BasicEdge<V>& a, const BasicEdge<V>& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  std::erase_if(edges, [](const BasicEdge<V>& e) { return e.u == e.v; });
+}
+
+template <typename V>
+BasicGraph<V> BasicGraph<V>::from_edges(std::uint64_t n,
+                                        std::span<const BasicEdge<V>> edges,
+                                        bool dedup) {
+  if (dedup) {
+    BasicEdgeList<V> copy;
+    copy.n = n;
+    copy.edges.assign(edges.begin(), edges.end());
+    copy.canonicalize();
+    return from_edges(copy.n, copy.edges, /*dedup=*/false);
+  }
+  for (const BasicEdge<V>& e : edges) {
+    LOGCC_CHECK_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+  }
+
+  BasicGraph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const BasicEdge<V>& e : edges) {
+    ++g.offsets_[e.u + 1];
+    if (e.u != e.v)
+      ++g.offsets_[e.v + 1];
+    else
+      ++g.self_loops_;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adj_.resize(g.offsets_[n]);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const BasicEdge<V>& e : edges) {
+    g.adj_[cursor[e.u]++] = e.v;
+    if (e.u != e.v) g.adj_[cursor[e.v]++] = e.u;
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    auto* begin = g.adj_.data() + g.offsets_[v];
+    auto* end = g.adj_.data() + g.offsets_[v + 1];
+    std::sort(begin, end);
+  }
+  return g;
+}
+
+template <typename V>
+BasicGraph<V> BasicGraph<V>::from_edges(const BasicEdgeList<V>& el,
+                                        bool dedup) {
+  return from_edges(el.n, el.edges, dedup);
+}
+
+template <typename V>
+BasicEdgeList<V> BasicGraph<V>::to_edges() const {
+  BasicEdgeList<V> el;
+  el.n = num_vertices();
+  el.edges.reserve(num_edges());
+  for (V v = 0; v < el.n; ++v) {
+    for (V w : neighbors(v)) {
+      if (v <= w) el.add(v, w);
+    }
+  }
+  return el;
+}
+
+extern template struct BasicEdgeList<VertexId>;
+extern template struct BasicEdgeList<VertexId64>;
+extern template class BasicGraph<VertexId>;
+extern template class BasicGraph<VertexId64>;
 
 }  // namespace logcc::graph

@@ -25,11 +25,17 @@ bool read_edge_list(std::istream& is, EdgeList& out) {
   bool saw_first = false;
   std::uint64_t first_a = 0, first_b = 0;
   std::uint64_t max_vertex = 0;
+  // Ids are parsed as uint64 and must fit the narrow EdgeList: anything at
+  // or above the kInvalidVertex sentinel is a parse failure, not a silent
+  // wrap onto a small id (wide datasets go through LOGCCSR2, not text).
+  constexpr std::uint64_t kMaxId =
+      static_cast<std::uint64_t>(kInvalidVertex) - 1;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     std::uint64_t a = 0, b = 0;
     if (!(ls >> a >> b)) return false;
+    if (saw_first && (a > kMaxId || b > kMaxId)) return false;
     if (!saw_first) {
       // Tentatively treat the first data line as the `n m` header; if a
       // later endpoint is >= n the file had no header and this line was an
@@ -46,8 +52,12 @@ bool read_edge_list(std::istream& is, EdgeList& out) {
   const bool header_plausible =
       first_a > max_vertex && first_b == out.edges.size();
   if (header_plausible) {
+    // The declared n is a count, so it may reach one past the max id — but
+    // no further, or VertexId loops over [0, n) would wrap.
+    if (first_a > static_cast<std::uint64_t>(kInvalidVertex)) return false;
     out.n = first_a;
   } else {
+    if (first_a > kMaxId || first_b > kMaxId) return false;
     out.edges.insert(out.edges.begin(),
                      Edge{static_cast<VertexId>(first_a),
                           static_cast<VertexId>(first_b)});

@@ -1,0 +1,213 @@
+#include "mpc/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace logcc::mpc {
+
+using graph::Edge64;
+using graph::VertexId64;
+
+namespace {
+
+/// A label update travelling to the owner of `v`. Owners min-combine their
+/// inbox, so delivery order never matters.
+struct MinMsg {
+  VertexId64 v;
+  VertexId64 label;
+};
+
+/// One vertex-range shard. `lo`/`hi` delimit the owned range; the arc slice
+/// is either rows [lo, hi) of the shared CSR (`csr` non-null — zero-copy
+/// into the mapped file) or the owned `arcs` vector (edge-backed inputs,
+/// partitioned once at setup). Outboxes are per-destination message
+/// batches, rebuilt every superstep.
+struct Shard {
+  VertexId64 lo = 0;
+  VertexId64 hi = 0;
+  const graph::CsrView64* csr = nullptr;
+  std::vector<Edge64> arcs;
+
+  std::vector<std::vector<MinMsg>> outbox;   // [dst shard] label updates
+  std::vector<std::vector<MinMsg>> reqbox;   // [dst shard] jump requests
+  std::uint64_t changed = 0;                 // owned labels changed this round
+  std::uint64_t sent_cross = 0;              // cross-shard messages sent
+
+  template <typename Fn>
+  void for_each_arc(Fn&& fn) const {
+    if (csr != nullptr) {
+      for (VertexId64 u = lo; u < hi; ++u)
+        for (VertexId64 w : graph::csr_suffix(*csr, u)) fn(u, w);
+      return;
+    }
+    for (const Edge64& e : arcs) fn(e.u, e.v);
+  }
+};
+
+}  // namespace
+
+ShardedMpcResult sharded_mpc_cc(const graph::ArcsInput64& in,
+                                const ShardedMpcOptions& opt) {
+  const std::uint64_t n = in.num_vertices();
+  const std::uint64_t m = in.num_edges();
+  const std::uint32_t shards = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      opt.shards, 1, std::min<std::uint64_t>(1024, std::max<std::uint64_t>(n, 1))));
+
+  MpcConfig config = opt.config;
+  config.n = std::max<std::uint64_t>(n, 2);
+  MpcEngine engine(config);
+
+  // Contiguous ranges: shard s owns [s*n/shards, (s+1)*n/shards).
+  auto range_begin = [&](std::uint32_t s) -> VertexId64 {
+    return static_cast<VertexId64>(
+        (static_cast<unsigned __int128>(n) * s) / shards);
+  };
+  auto owner = [&](VertexId64 v) -> std::uint32_t {
+    // Inverse of range_begin: candidate from the uniform split, then nudge
+    // across the (at most one-off) floor boundaries.
+    std::uint32_t s = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        shards - 1, (static_cast<unsigned __int128>(v) * shards) / std::max<std::uint64_t>(n, 1)));
+    while (s + 1 < shards && v >= range_begin(s + 1)) ++s;
+    while (s > 0 && v < range_begin(s)) --s;
+    return s;
+  };
+
+  std::vector<Shard> shard(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shard[s].lo = range_begin(s);
+    shard[s].hi = range_begin(s + 1);
+    shard[s].outbox.resize(shards);
+    shard[s].reqbox.resize(shards);
+  }
+
+  // --- Setup: distribute the graph. One map round (the initial shuffle
+  // that routes every arc to the owner of its smaller endpoint).
+  engine.map_round(2 * m);
+  if (in.csr_backed()) {
+    // The CSR rows [lo, hi) ARE the shard's slice; nothing to copy.
+    for (std::uint32_t s = 0; s < shards; ++s) shard[s].csr = &in.csr();
+  } else {
+    in.for_each_edge([&](VertexId64 u, VertexId64 v, std::uint64_t) {
+      if (u > v) std::swap(u, v);
+      shard[owner(u)].arcs.push_back({u, v});
+    });
+  }
+
+  std::vector<VertexId64> labels(n);
+  util::parallel_for(0, n, [&](std::size_t v) {
+    labels[v] = static_cast<VertexId64>(v);
+  });
+
+  ShardedMpcResult out;
+  out.shards_used = shards;
+
+  auto clear_outboxes = [&] {
+    for (Shard& s : shard)
+      for (auto& box : s.outbox) box.clear();
+  };
+  auto route = [&](Shard& src, std::uint32_t self, VertexId64 v,
+                   VertexId64 label) {
+    const std::uint32_t dst = owner(v);
+    src.outbox[dst].push_back({v, label});
+    if (dst != self) ++src.sent_cross;
+  };
+  // Owner applies every batch addressed to it, min-combining. Inboxes are
+  // drained in source order, but min makes the result order-independent.
+  auto apply_inboxes = [&] {
+    util::parallel_for(0, shards, [&](std::size_t d) {
+      Shard& dst = shard[d];
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        for (const MinMsg& msg : shard[s].outbox[d]) {
+          LOGCC_CHECK(msg.v >= dst.lo && msg.v < dst.hi);
+          if (msg.label < labels[msg.v]) {
+            labels[msg.v] = msg.label;
+            ++dst.changed;
+          }
+        }
+      }
+    });
+  };
+
+  // --- Supersteps. Each round charges the identical primitive set with
+  // global volumes — rounds in the ledger depend on the graph, never on the
+  // shard count.
+  std::uint64_t changed = 1;
+  while (changed != 0) {
+    ++out.rounds;
+    for (Shard& s : shard) s.changed = 0;
+
+    // HOOK: every shard scans its arc slice against the (stable) label
+    // snapshot and sends the pair's min to both owners.
+    engine.map_round(2 * m);
+    clear_outboxes();
+    util::parallel_for(0, shards, [&](std::size_t si) {
+      Shard& s = shard[si];
+      const std::uint32_t self = static_cast<std::uint32_t>(si);
+      s.for_each_arc([&](VertexId64 u, VertexId64 v) {
+        const VertexId64 lu = labels[u];
+        const VertexId64 lv = labels[v];
+        if (lu == lv) return;
+        const VertexId64 mn = std::min(lu, lv);
+        if (mn < lu) route(s, self, u, mn);
+        if (mn < lv) route(s, self, v, mn);
+      });
+    });
+    apply_inboxes();
+
+    // JUMP: one pointer-jump as a two-wave round trip. Wave 1 — owner(v)
+    // sends the request (v, t = labels[v]) to owner(t). Wave 2 — owner(t)
+    // reads its own (stable) labels[t] and sends the response back to
+    // owner(v) on the update fabric; the shared apply then min-combines.
+    engine.map_round(n);  // requests
+    util::parallel_for(0, shards, [&](std::size_t si) {
+      Shard& s = shard[si];
+      for (auto& box : s.reqbox) box.clear();
+      const std::uint32_t self = static_cast<std::uint32_t>(si);
+      for (VertexId64 v = s.lo; v < s.hi; ++v) {
+        const VertexId64 t = labels[v];
+        if (t == v) continue;
+        const std::uint32_t dst = owner(t);
+        s.reqbox[dst].push_back({v, t});
+        if (dst != self) ++s.sent_cross;
+      }
+    });
+    engine.map_round(n);  // responses
+    clear_outboxes();
+    util::parallel_for(0, shards, [&](std::size_t d) {
+      Shard& responder = shard[d];
+      const std::uint32_t self = static_cast<std::uint32_t>(d);
+      for (std::uint32_t src = 0; src < shards; ++src) {
+        for (const MinMsg& req : shard[src].reqbox[d]) {
+          LOGCC_CHECK(req.label >= responder.lo && req.label < responder.hi);
+          route(responder, self, req.v, labels[req.label]);
+        }
+      }
+    });
+    apply_inboxes();
+
+    // CONVERGENCE: global changed count (one count primitive).
+    std::uint64_t total = 0;
+    for (const Shard& s : shard) total += s.changed;
+    changed = engine.count(total);
+
+    LOGCC_CHECK_MSG(out.rounds <= n + 64, "sharded MPC failed to converge");
+  }
+
+  for (const Shard& s : shard) out.cross_shard_messages += s.sent_cross;
+  out.labels = std::move(labels);
+  out.ledger = engine.ledger();
+  return out;
+}
+
+ShardedMpcResult sharded_mpc_cc(const graph::EdgeList& el,
+                                const ShardedMpcOptions& opt) {
+  std::vector<Edge64> wide(el.edges.size());
+  for (std::size_t i = 0; i < wide.size(); ++i)
+    wide[i] = {el.edges[i].u, el.edges[i].v};
+  return sharded_mpc_cc(graph::ArcsInput64::from_edges(el.n, wide), opt);
+}
+
+}  // namespace logcc::mpc

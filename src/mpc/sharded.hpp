@@ -1,0 +1,67 @@
+// Sharded MPC executor: the first execution backend for the MPC layer that
+// actually distributes the graph instead of simulating rounds over one flat
+// edge vector.
+//
+// The vertex space [0, n) is cut into `shards` contiguous ranges; each shard
+// owns its range's labels and the canonical smaller-endpoint arc slice for
+// its vertices (for LOGCCSR1/LOGCCSR2 CSR-backed inputs that slice is a
+// zero-copy window into the mapped adjacency — rows [lo, hi) of the CSR;
+// edge-backed inputs are partitioned once at setup). Rounds execute on the
+// existing thread-pool runtime (util::parallel_for over shards) as
+// bulk-synchronous supersteps: shards write message batches into per-
+// (source, destination) outboxes, a barrier flips outboxes to inboxes, and
+// owners apply them. A shard never writes another shard's state — all
+// cross-shard effects travel as messages, which is what makes the execution
+// deterministic for every shard count and thread interleaving.
+//
+// The algorithm is synchronous min-label propagation with one pointer-jump
+// per round (hook + jump): converges to the per-component minimum vertex id,
+// the same canonical labels union_find_cc produces. Every round charges the
+// SAME fixed primitive set to the MpcEngine ledger (scatter map, jump map,
+// convergence count) with volumes in global n and m — so the charged round
+// count is a property of the graph, invariant across 1/2/4/8 shards
+// (tests/test_mpc_sharded.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/arcs_input.hpp"
+#include "graph/graph.hpp"
+#include "mpc/engine.hpp"
+
+namespace logcc::mpc {
+
+struct ShardedMpcOptions {
+  /// Number of vertex-range shards (clamped to [1, 1024] and to n).
+  std::uint32_t shards = 4;
+  /// Round-accounting configuration (config.n is overwritten with the
+  /// input's vertex count).
+  MpcConfig config{};
+};
+
+struct ShardedMpcResult {
+  /// Per-component minimum vertex id — canonical, execution-independent.
+  std::vector<graph::VertexId64> labels;
+  MpcLedger ledger;
+  /// Propagation supersteps executed (== rounds the loop ran; the ledger's
+  /// `rounds` additionally reflects rounds_per_primitive and setup).
+  std::uint64_t rounds = 0;
+  /// Cross-shard messages batched over the whole run (0 when shards == 1;
+  /// grows with shard count while labels and charged rounds stay fixed).
+  std::uint64_t cross_shard_messages = 0;
+  std::uint32_t shards_used = 0;
+};
+
+/// Runs sharded MPC connected components on the wide path. CSR-backed
+/// inputs (load_dataset_zero_copy over LOGCCSR1/LOGCCSR2) shard without
+/// copying the adjacency; edge-backed inputs are partitioned at setup.
+ShardedMpcResult sharded_mpc_cc(const graph::ArcsInput64& in,
+                                const ShardedMpcOptions& opt = {});
+
+/// Narrow-EdgeList convenience shim (benches, family generators): widens
+/// the edges and runs the wide executor.
+ShardedMpcResult sharded_mpc_cc(const graph::EdgeList& el,
+                                const ShardedMpcOptions& opt = {});
+
+}  // namespace logcc::mpc

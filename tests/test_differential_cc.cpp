@@ -26,6 +26,9 @@
 
 #include "baselines/union_find.hpp"
 #include "core/connectivity.hpp"
+#include "core/faster_cc.hpp"
+#include "core/vanilla.hpp"
+#include "core/wide_cc.hpp"
 #include "graph/arcs_input.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
@@ -187,6 +190,92 @@ TEST_F(DifferentialCc, MmapLoadedFileMatchesInMemoryCsrBitForBit) {
     }
   }
   std::remove(path.c_str());
+}
+
+TEST_F(DifferentialCc, WidePathIsBitIdenticalToNarrowPathAcrossCorpus) {
+  // The 64-bit execution path (core/wide_cc) promises more than partition
+  // agreement: on every graph that fits both widths, wide labels equal the
+  // narrow labels VALUE FOR VALUE — same coins, same tie-breaks, same dedup
+  // survivor order. A thinned corpus keeps every family and the random
+  // sweep's tail covered.
+  const auto cases = corpus();
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < cases.size(); i += 3) {
+    const Case& c = cases[i];
+    graph::EdgeList64 wide_el;
+    wide_el.n = c.el.n;
+    for (const graph::Edge& e : c.el.edges) wide_el.add(e.u, e.v);
+    const graph::ArcsInput64 wide_in =
+        graph::ArcsInput64::from_edges(wide_el);
+    const graph::ArcsInput narrow_in = graph::ArcsInput::from_edges(c.el);
+    const std::uint64_t seed = 1 + util::mix64(0x51DE, i, 0) % 97;
+
+    // Vanilla: the port keeps identical coins and MARK-EDGE tie-breaks.
+    const auto wv = core::wide_vanilla_cc(wide_in, seed);
+    const auto nv = core::vanilla_cc(narrow_in, seed);
+    ASSERT_EQ(wv.labels.size(), nv.labels.size()) << c.name;
+    for (std::size_t v = 0; v < nv.labels.size(); ++v)
+      ASSERT_EQ(wv.labels[v], static_cast<graph::VertexId64>(nv.labels[v]))
+          << c.name << " vanilla label diverges at v=" << v;
+    ASSERT_EQ(wv.stats.phases, nv.stats.phases) << c.name;
+
+    // Union-find: canonical min-id labels on both widths.
+    const auto wu = core::wide_union_find_cc(wide_in);
+    const auto nu = baselines::union_find_cc(c.el);
+    for (std::size_t v = 0; v < nu.labels.size(); ++v)
+      ASSERT_EQ(wu.labels[v], static_cast<graph::VertexId64>(nu.labels[v]))
+          << c.name << " union-find label diverges at v=" << v;
+
+    // faster-cc: the bridge's delegate branch runs the narrow core, so
+    // labels are bit-identical by construction — pin it anyway.
+    core::WideFasterOptions wopt;
+    wopt.seed = seed;
+    const auto wf = core::wide_faster_cc(wide_in, wopt);
+    core::FasterCcParams params;
+    params.seed = seed;
+    const auto nf = core::faster_cc(narrow_in, params);
+    for (std::size_t v = 0; v < nf.labels.size(); ++v)
+      ASSERT_EQ(wf.labels[v], static_cast<graph::VertexId64>(nf.labels[v]))
+          << c.name << " faster-cc label diverges at v=" << v;
+
+    // Forced contract-then-delegate branch (narrow_threshold below the
+    // input size): exact labels are allowed to differ, the partition and
+    // canonical form are not.
+    core::WideFasterOptions bridge;
+    bridge.seed = seed;
+    bridge.narrow_threshold = 4;
+    auto wb = core::wide_faster_cc(wide_in, bridge);
+    core::wide_canonicalize_labels(wb.labels);
+    auto canon_oracle = wu.labels;  // already canonical min-id
+    ASSERT_EQ(wb.labels, canon_oracle)
+        << c.name << " bridge path broke the partition";
+    ++covered;
+  }
+  EXPECT_GE(covered, 60u);
+}
+
+TEST_F(DifferentialCc, WideCsrPathMatchesWideEdgePathBitForBit) {
+  // Wide CSR ingestion (what LOGCCSR2 mmap loads feed) against the wide
+  // edge path — the same arcs_from_input identity the narrow harness pins.
+  const auto cases = corpus();
+  for (std::size_t i = 0; i < cases.size(); i += 7) {
+    const Case& c = cases[i];
+    graph::EdgeList64 wide_el;
+    wide_el.n = c.el.n;
+    for (const graph::Edge& e : c.el.edges) wide_el.add(e.u, e.v);
+    const graph::Graph64 g =
+        graph::Graph64::from_edges(wide_el, /*dedup=*/false);
+    const graph::CsrView64 view = csr_view(g);
+    const graph::ArcsInput64 csr_in = graph::ArcsInput64::from_csr(view);
+    const graph::EdgeList64 canon = graph::edge_list_from_csr(view);
+    const graph::ArcsInput64 canon_in =
+        graph::ArcsInput64::from_edges(canon);
+    const std::uint64_t seed = 42 + i;
+    const auto a = core::wide_vanilla_cc(csr_in, seed);
+    const auto b = core::wide_vanilla_cc(canon_in, seed);
+    ASSERT_EQ(a.labels, b.labels)
+        << c.name << ": wide CSR labels diverge from the canonical run";
+  }
 }
 
 }  // namespace

@@ -88,7 +88,7 @@ TEST(Generators, RandomRegularConnected) {
 TEST(Generators, RmatSkewedDegrees) {
   EdgeList el = make_rmat(8, 2048, 11);
   Graph g = Graph::from_edges(el);
-  std::uint32_t max_deg = 0;
+  std::uint64_t max_deg = 0;
   std::uint64_t nonzero = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     max_deg = std::max(max_deg, g.degree(v));
