@@ -21,6 +21,9 @@
 // (cells matching p50/p99/latency in the algorithm name).
 #include <atomic>
 #include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include "bench_support.hpp"
@@ -46,11 +49,30 @@ struct RepOutcome {
 
 RepOutcome replay(const graph::EdgeList& el, std::uint64_t batch_edges,
                   int query_threads, std::uint64_t verify_every,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, const std::string& durable_dir,
+                  serve::WalOptions wal) {
   serve::EngineOptions opts;
   opts.verify_every = verify_every;
   opts.seed = seed;
-  serve::ConnectivityEngine engine(el.n, opts);
+  std::unique_ptr<serve::ConnectivityEngine> owned;
+  if (!durable_dir.empty()) {
+    // Fresh durable state per rep: each rep measures the same stream with
+    // WAL appends on the apply path, not the recovery of the previous rep.
+    std::remove((durable_dir + "/edges.wal").c_str());
+    std::remove((durable_dir + "/index.ckpt").c_str());
+    opts.durability.dir = durable_dir;
+    opts.durability.wal = wal;
+    const util::Status rs =
+        serve::ConnectivityEngine::recover(durable_dir, el.n, opts, &owned);
+    if (!rs.is_ok()) {
+      std::fprintf(stderr, "bench_serving: cannot open durable dir: %s\n",
+                   rs.to_string().c_str());
+      std::exit(2);
+    }
+  } else {
+    owned = std::make_unique<serve::ConnectivityEngine>(el.n, opts);
+  }
+  serve::ConnectivityEngine& engine = *owned;
 
   std::atomic<bool> done{false};
   std::vector<std::vector<double>> latencies(
@@ -120,10 +142,22 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("seed", 1, "random seed"));
   const std::string json_path = cli.get_string(
       "json", "", "write the logcc-bench-v1 document here ('-' = stdout)");
+  const std::string durable_dir = cli.get_string(
+      "durable-dir", "",
+      "measure with a write-ahead log in this directory (cells gain a "
+      "'-wal' suffix; empty = no durability)");
+  const std::string fsync_name = cli.get_string(
+      "fsync", "none", "WAL fsync policy when durable: none | batch | every-n");
   cli.finish();
 
   if (batch_edges == 0 || query_threads < 0 || reps < 1) {
     std::fprintf(stderr, "bench_serving: bad sweep parameters\n");
+    return 2;
+  }
+  serve::WalOptions wal;
+  if (!serve::wal_fsync_from_string(fsync_name, &wal.fsync)) {
+    std::fprintf(stderr, "bench_serving: bad --fsync policy '%s'\n",
+                 fsync_name.c_str());
     return 2;
   }
   std::string family;
@@ -144,15 +178,18 @@ int main(int argc, char** argv) {
 
   std::printf("stream %s: n=%" PRIu64 " edges=%zu, %" PRIu64
               " batches of %" PRIu64 ", %d query threads, %d reps "
-              "(backend=%s)\n\n",
+              "(backend=%s%s%s)\n\n",
               generate.c_str(), el.n, el.edges.size(), batches, batch_edges,
-              query_threads, reps, util::parallel_backend_name());
+              query_threads, reps, util::parallel_backend_name(),
+              durable_dir.empty() ? "" : ", wal fsync=",
+              durable_dir.empty() ? "" : fsync_name.c_str());
 
   std::vector<RepOutcome> outcomes;
   bool all_verified = true;
   for (int rep = 0; rep < reps; ++rep) {
     auto out = replay(el, batch_edges, query_threads, verify_every,
-                      seed + 7919ULL * static_cast<std::uint64_t>(rep));
+                      seed + 7919ULL * static_cast<std::uint64_t>(rep),
+                      durable_dir, wal);
     all_verified = all_verified && out.verified;
     std::printf("  rep %d: apply %.3fs (%.0f edges/s)  queries %" PRIu64
                 " (p50 %.1fus p99 %.1fus)  components %" PRIu64
@@ -187,30 +224,38 @@ int main(int argc, char** argv) {
                  "  \"serving\": {\"batch_edges\": %" PRIu64
                  ", \"batches\": %" PRIu64 ", \"query_threads\": %d"
                  ", \"verify_every\": %" PRIu64 ", \"reps\": %d"
-                 ", \"seed\": %" PRIu64 "},\n"
+                 ", \"seed\": %" PRIu64 ", \"durable\": %s"
+                 ", \"wal_fsync\": \"%s\"},\n"
                  "  \"verified\": %s,\n"
                  "  \"runs\": [\n",
                  util::parallel_backend_name(), util::parallel_grain(),
                  json_escape(generate).c_str(), el.n, el.edges.size(),
                  batch_edges, batches, query_threads, verify_every, reps, seed,
+                 durable_dir.empty() ? "false" : "true",
+                 durable_dir.empty() ? "" : fsync_name.c_str(),
                  all_verified ? "true" : "false");
     const int hw = util::hardware_parallelism();
+    // Durable runs report under distinct cell names: the gate then compares
+    // wal-on against wal-on (and the plain cells stay comparable across
+    // commits that add durability).
+    const char* cell_suffix = durable_dir.empty() ? "" : "-wal";
     for (std::size_t rep = 0; rep < outcomes.size(); ++rep) {
       const RepOutcome& o = outcomes[rep];
       const char* sep = rep + 1 < outcomes.size() ? "," : "";
       std::fprintf(out,
-                   "    {\"algorithm\": \"serve-batch-apply\", \"threads\": %d"
-                   ", \"rep\": %zu, \"seconds\": %.6f, \"components\": %" PRIu64
-                   ", \"epochs\": %" PRIu64 ", \"verified\": %s},\n"
-                   "    {\"algorithm\": \"serve-query-p50\", \"threads\": %d"
+                   "    {\"algorithm\": \"serve-batch-apply%s\", \"threads\": "
+                   "%d, \"rep\": %zu, \"seconds\": %.6f, \"components\": "
+                   "%" PRIu64 ", \"epochs\": %" PRIu64 ", \"verified\": %s},\n"
+                   "    {\"algorithm\": \"serve-query-p50%s\", \"threads\": %d"
                    ", \"rep\": %zu, \"seconds\": %.9f, \"queries\": %" PRIu64
                    "},\n"
-                   "    {\"algorithm\": \"serve-query-p99\", \"threads\": %d"
+                   "    {\"algorithm\": \"serve-query-p99%s\", \"threads\": %d"
                    ", \"rep\": %zu, \"seconds\": %.9f, \"queries\": %" PRIu64
                    "}%s\n",
-                   hw, rep, o.apply_seconds, o.components, o.epochs,
-                   o.verified ? "true" : "false", query_threads, rep, o.p50,
-                   o.queries, query_threads, rep, o.p99, o.queries, sep);
+                   cell_suffix, hw, rep, o.apply_seconds, o.components,
+                   o.epochs, o.verified ? "true" : "false", cell_suffix,
+                   query_threads, rep, o.p50, o.queries, cell_suffix,
+                   query_threads, rep, o.p99, o.queries, sep);
     }
     std::fprintf(out, "  ]\n}\n");
     if (out != stdout) std::fclose(out);

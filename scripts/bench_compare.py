@@ -70,19 +70,32 @@ def load(path):
     return doc
 
 
-def metric_by_cell(doc):
+def metric_by_cell(doc, path="bench.json"):
     """{(algorithm, threads): ("seconds", min across reps) or
     ("error", mean rel_error across reps)}.
 
     A cell is an error cell iff any of its runs carries "rel_error"; a cell
     mixing both kinds of run within one document is a malformed bench and
-    exits 2.
+    exits 2. A run missing its key fields (a hand-edited baseline, a bench
+    driver that emitted a partial row) warns and is skipped rather than
+    blowing up the gate with a KeyError — the per-cell "missing on one
+    side" warnings then report anything that disappeared.
     """
     samples = {}
-    for run in doc.get("runs", []):
+    for i, run in enumerate(doc.get("runs", [])):
+        if "algorithm" not in run or "threads" not in run:
+            print(f"bench_compare: warning: {path}: run #{i} has no "
+                  f"algorithm/threads; skipped", file=sys.stderr)
+            continue
         key = (run["algorithm"], run["threads"])
         kind = "error" if "rel_error" in run else "seconds"
-        value = float(run["rel_error" if kind == "error" else "seconds"])
+        field = "rel_error" if kind == "error" else "seconds"
+        try:
+            value = float(run[field])
+        except (KeyError, TypeError, ValueError):
+            print(f"bench_compare: warning: {path}: cell {key} run #{i} "
+                  f"has no usable {field!r} field; skipped", file=sys.stderr)
+            continue
         prev_kind, values = samples.setdefault(key, (kind, []))
         if prev_kind != kind:
             sys.exit(f"bench_compare: cell {key} mixes rel_error and "
@@ -130,8 +143,8 @@ def main():
 
     new_doc = load(args.new_json)
     base_doc = load(args.baseline_json)
-    new_cells = metric_by_cell(new_doc)
-    base_cells = metric_by_cell(base_doc)
+    new_cells = metric_by_cell(new_doc, args.new_json)
+    base_cells = metric_by_cell(base_doc, args.baseline_json)
 
     regressions = []
     improvements = []

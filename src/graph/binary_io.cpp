@@ -239,7 +239,8 @@ bool sniff_binary_csr(const std::string& path) {
 
 bool BinaryGraph::open(const std::string& path, std::string* error,
                        util::MmapPopulate populate) {
-  map_ = util::MmapFile::open_read(path, error, populate);
+  // min_size: reject header-truncated files before mapping them at all.
+  map_ = util::MmapFile::open_read(path, error, populate, kHeaderBytes);
   view_ = CsrView{};
   view64_ = CsrView64{};
   wide_ = false;

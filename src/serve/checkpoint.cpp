@@ -1,0 +1,215 @@
+#include "serve/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "graph/binary_io.hpp"  // kEndianTag
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+#include "util/mmap_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOGCC_CKP_POSIX 1
+#include <fcntl.h>
+#include <libgen.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace logcc::serve {
+
+using util::Status;
+
+namespace {
+
+std::string errno_suffix() {
+  return std::string(" (") + std::strerror(errno) + ")";
+}
+
+constexpr std::size_t kHeaderCrcSpan =
+    sizeof(CheckpointHeader) - sizeof(std::uint32_t);
+
+#ifdef LOGCC_CKP_POSIX
+/// fsyncs the directory containing `path` so the rename itself is durable.
+Status sync_parent_dir(const std::string& path) {
+  std::string copy = path;
+  const char* dir = ::dirname(copy.data());
+  const int dfd = ::open(dir, O_RDONLY | O_DIRECTORY);
+  if (dfd < 0)
+    return Status::io_error("cannot open directory of '" + path +
+                            "' for fsync" + errno_suffix());
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0)
+    return Status::io_error("directory fsync failed for '" + path + "'" +
+                            errno_suffix());
+  return Status::ok();
+}
+#endif
+
+}  // namespace
+
+util::Status write_checkpoint(const std::string& path,
+                              const CheckpointState& state) {
+#ifdef LOGCC_CKP_POSIX
+  if (state.labels.size() != state.n)
+    return Status::invalid_argument(
+        "checkpoint labels/n mismatch: " +
+        std::to_string(state.labels.size()) + " labels for n=" +
+        std::to_string(state.n));
+
+  CheckpointHeader header{};
+  std::memcpy(header.magic, kCheckpointMagic, sizeof kCheckpointMagic);
+  header.version = kCheckpointVersion;
+  header.endian = graph::kEndianTag;
+  header.n = state.n;
+  header.epoch = state.epoch;
+  header.batches = state.batches;
+  header.wal_offset = state.wal_offset;
+  header.num_components = state.num_components;
+  const std::uint64_t payload_bytes =
+      state.n * sizeof(graph::VertexId);
+  header.payload_crc = util::crc32c(state.labels.data(), payload_bytes);
+  header.header_crc = util::crc32c(&header, kHeaderCrcSpan);
+
+  const std::string tmp = path + ".tmp";
+  if (LOGCC_FAILPOINT("checkpoint_open"))
+    return Status::io_error("injected checkpoint open failure for '" + tmp +
+                            "'");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return Status::io_error("cannot create checkpoint tmp '" + tmp + "'" +
+                            errno_suffix());
+
+  auto write_all = [&](const void* data, std::size_t size,
+                       std::uint64_t at) -> Status {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t rc = ::pwrite(fd, p + written, size - written,
+                                  static_cast<off_t>(at + written));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::io_error("short write on checkpoint tmp '" + tmp +
+                                "'" + errno_suffix());
+      }
+      written += static_cast<std::size_t>(rc);
+    }
+    return Status::ok();
+  };
+
+  Status s;
+  if (LOGCC_FAILPOINT("checkpoint_write"))
+    s = Status::io_error("injected checkpoint write failure for '" + tmp +
+                         "'");
+  if (s.is_ok()) s = write_all(&header, sizeof header, 0);
+  if (s.is_ok() && payload_bytes > 0)
+    s = write_all(state.labels.data(), payload_bytes, sizeof header);
+  if (s.is_ok() && LOGCC_FAILPOINT("checkpoint_sync"))
+    s = Status::io_error("injected checkpoint fsync failure for '" + tmp +
+                         "'");
+  if (s.is_ok() && ::fsync(fd) != 0)
+    s = Status::io_error("fsync failed on checkpoint tmp '" + tmp + "'" +
+                         errno_suffix());
+  ::close(fd);
+  if (!s.is_ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+
+  // The atomicity pivot: before this rename the live checkpoint is the old
+  // one, after it the new one. The crash failpoints bracket it so the
+  // recovery suite proves both sides restore a consistent state.
+  if (LOGCC_FAILPOINT("checkpoint_before_rename")) {
+    std::remove(tmp.c_str());
+    return Status::io_error("injected failure before checkpoint rename of '" +
+                            path + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rs = Status::io_error("cannot rename checkpoint '" + tmp +
+                                       "' into place" + errno_suffix());
+    std::remove(tmp.c_str());
+    return rs;
+  }
+  if (LOGCC_FAILPOINT("checkpoint_after_rename"))
+    return Status::io_error("injected failure after checkpoint rename of '" +
+                            path + "'");
+  return sync_parent_dir(path);
+#else
+  (void)path;
+  (void)state;
+  return Status::failed_precondition(
+      "checkpoints need POSIX file I/O on this platform");
+#endif
+}
+
+util::Status read_checkpoint(const std::string& path, CheckpointState* out) {
+#ifdef LOGCC_CKP_POSIX
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT)
+      return Status::not_found("no checkpoint at '" + path + "'");
+    return Status::io_error("cannot stat checkpoint '" + path + "'" +
+                            errno_suffix());
+  }
+  if (static_cast<std::size_t>(st.st_size) < sizeof(CheckpointHeader))
+    return Status::corruption("checkpoint '" + path +
+                              "' shorter than its header (" +
+                              std::to_string(st.st_size) + " bytes)");
+#endif
+  std::string map_error;
+  util::MmapFile map = util::MmapFile::open_read(
+      path, &map_error, util::MmapPopulate::kNone, sizeof(CheckpointHeader));
+  if (!map.valid())
+    return Status::io_error("cannot read checkpoint '" + path +
+                            "': " + map_error);
+  CheckpointHeader header;
+  std::memcpy(&header, map.data(), sizeof header);
+  if (std::memcmp(header.magic, kCheckpointMagic, sizeof kCheckpointMagic) !=
+      0)
+    return Status::corruption("checkpoint '" + path + "' has a bad magic");
+  if (header.version != kCheckpointVersion)
+    return Status::corruption("checkpoint '" + path + "' has version " +
+                              std::to_string(header.version));
+  if (header.endian != graph::kEndianTag)
+    return Status::corruption("checkpoint '" + path +
+                              "' was written on a foreign-endian host");
+  if (util::crc32c(&header, kHeaderCrcSpan) != header.header_crc)
+    return Status::corruption("checkpoint '" + path +
+                              "' header checksum mismatch");
+  const std::uint64_t payload_bytes =
+      header.n * sizeof(graph::VertexId);
+  if (map.size() != sizeof(CheckpointHeader) + payload_bytes)
+    return Status::corruption(
+        "checkpoint '" + path + "' has " + std::to_string(map.size()) +
+        " bytes, want " +
+        std::to_string(sizeof(CheckpointHeader) + payload_bytes));
+  const std::uint8_t* payload = map.data() + sizeof(CheckpointHeader);
+  if (util::crc32c(payload, payload_bytes) != header.payload_crc)
+    return Status::corruption("checkpoint '" + path +
+                              "' payload checksum mismatch");
+
+  CheckpointState state;
+  state.n = header.n;
+  state.epoch = header.epoch;
+  state.batches = header.batches;
+  state.wal_offset = header.wal_offset;
+  state.num_components = header.num_components;
+  state.labels.resize(header.n);
+  if (payload_bytes > 0)
+    std::memcpy(state.labels.data(), payload, payload_bytes);
+  // Canonicity is part of validity: a checkpoint whose labels are not flat
+  // min-id form would poison every later merge.
+  for (std::uint64_t v = 0; v < header.n; ++v) {
+    const graph::VertexId l = state.labels[v];
+    if (l > v || state.labels[l] != l)
+      return Status::corruption("checkpoint '" + path +
+                                "' labels are not canonical at vertex " +
+                                std::to_string(v));
+  }
+  *out = std::move(state);
+  return Status::ok();
+}
+
+}  // namespace logcc::serve

@@ -1,14 +1,26 @@
 #include "serve/connectivity_engine.hpp"
 
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/scan.hpp"
 #include "util/timer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOGCC_ENGINE_POSIX 1
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
 
 namespace logcc::serve {
 
 using graph::Edge;
 using graph::VertexId;
+using util::Status;
 
 namespace {
 
@@ -28,13 +40,127 @@ bool shortcut_step(std::vector<VertexId>& p, std::vector<VertexId>& next) {
   return moved;
 }
 
+Status make_dir(const std::string& dir) {
+#ifdef LOGCC_ENGINE_POSIX
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::ok();
+  return Status::io_error("cannot create durability dir '" + dir + "' (" +
+                          std::strerror(errno) + ")");
+#else
+  return Status::failed_precondition(
+      "durable engines need POSIX file I/O on this platform");
+#endif
+}
+
+std::string wal_path(const std::string& dir) { return dir + "/edges.wal"; }
+std::string ckpt_path(const std::string& dir) { return dir + "/index.ckpt"; }
+
 }  // namespace
 
 ConnectivityEngine::ConnectivityEngine(std::uint64_t n, EngineOptions options)
     : options_(options), log_(n), parent_(n), scratch_(n) {
+  LOGCC_CHECK_MSG(options_.durability.dir.empty(),
+                  "durable engines are built via ConnectivityEngine::recover");
+  // The degraded engine serves from the sketch tier, so a memory cap
+  // without it would leave nothing fresh to answer from.
+  if (options_.max_resident_bytes > 0) options_.sketched_view = true;
   util::parallel_for(
       0, n, [&](std::size_t v) { parent_[v] = static_cast<VertexId>(v); });
   publish();  // epoch 1: n singleton components
+}
+
+Status ConnectivityEngine::recover(const std::string& dir, std::uint64_t n,
+                                   EngineOptions options,
+                                   std::unique_ptr<ConnectivityEngine>* out,
+                                   RecoveryInfo* info) {
+  LOGCC_CHECK_MSG(!dir.empty(), "recover: durability dir must be non-empty");
+  RecoveryInfo local;
+  if (info == nullptr) info = &local;
+  *info = RecoveryInfo{};
+
+  Status s = make_dir(dir);
+  if (!s.is_ok()) return s;
+
+  // Build the in-memory engine first (the constructor path, minus
+  // durability — that is attached below once the files are open).
+  EngineOptions shell = options;
+  shell.durability = DurabilityOptions{};
+  auto engine = std::make_unique<ConnectivityEngine>(n, shell);
+
+  // Checkpoint, when one is valid: seeds the forest so only the WAL
+  // suffix past its offset needs merging. A corrupt checkpoint is NOT
+  // fatal — the WAL holds the complete history, so recovery falls back to
+  // a full replay and reports why in `info`.
+  CheckpointState ckpt;
+  std::uint64_t replay_from = 0;
+  Status cs = read_checkpoint(ckpt_path(dir), &ckpt);
+  info->checkpoint_status = cs;
+  if (cs.is_ok()) {
+    if (ckpt.n != n)
+      return Status::corruption(
+          "checkpoint in '" + dir + "' covers n=" + std::to_string(ckpt.n) +
+          ", engine wants n=" + std::to_string(n));
+    info->used_checkpoint = true;
+    info->checkpoint_batches = ckpt.batches;
+    engine->parent_ = std::move(ckpt.labels);
+    replay_from = ckpt.wal_offset;
+  } else if (cs.code() != util::StatusCode::kNotFound &&
+             cs.code() != util::StatusCode::kCorruption) {
+    return cs;  // I/O trouble reading it: do not guess, report
+  }
+
+  // Replay: every record re-enters the edge log (the stream's logical
+  // position), but only records past the checkpoint offset are merged —
+  // the checkpointed labels already reflect the prefix.
+  std::uint64_t replayed = 0;
+  WalScan scan;
+  Status rs = wal_replay(
+      wal_path(dir),
+      [&](std::uint64_t record_offset, std::span<const Edge> batch) {
+        engine->log_.append(batch);
+        if (record_offset >= replay_from) {
+          engine->merge_batch(batch);
+          ++replayed;
+        }
+      },
+      &scan);
+  if (rs.code() == util::StatusCode::kNotFound) {
+    // No WAL yet. Fine for a fresh dir; a checkpoint claiming batches
+    // without its WAL means durable history was lost.
+    if (info->used_checkpoint && ckpt.batches > 0)
+      return Status::corruption("checkpoint in '" + dir +
+                                "' has no WAL backing its " +
+                                std::to_string(ckpt.batches) + " batches");
+  } else if (!rs.is_ok()) {
+    return rs;
+  } else {
+    if (scan.n != n)
+      return Status::corruption(
+          "WAL in '" + dir + "' covers n=" + std::to_string(scan.n) +
+          ", engine wants n=" + std::to_string(n));
+    if (info->used_checkpoint && scan.records < ckpt.batches)
+      return Status::corruption(
+          "WAL in '" + dir + "' holds " + std::to_string(scan.records) +
+          " records but the checkpoint claims " +
+          std::to_string(ckpt.batches) + " durable batches");
+  }
+  info->replayed_records = replayed;
+  info->torn_bytes = scan.torn_bytes;
+
+  // Open for appending — this also truncates any torn tail the scan found,
+  // so the file ends exactly at the state the engine now holds.
+  s = WalWriter::open_for_append(wal_path(dir), n, options.durability.wal,
+                                 &engine->wal_, nullptr);
+  if (!s.is_ok()) return s;
+  engine->durable_ = true;
+  engine->options_.durability = options.durability;
+
+  // Publish the recovered epoch, then honor the memory cap against the
+  // replayed history (a recovered engine starts un-degraded; it may
+  // re-trip immediately if the stream alone exceeds the budget).
+  engine->publish();
+  engine->maybe_degrade();
+  *out = std::move(engine);
+  return Status::ok();
 }
 
 std::uint64_t ConnectivityEngine::merge_batch(std::span<const Edge> batch) {
@@ -80,6 +206,16 @@ std::uint64_t ConnectivityEngine::merge_batch(std::span<const Edge> batch) {
 void ConnectivityEngine::publish() {
   std::vector<VertexId> labels = parent_;  // flat == canonical min-id
   auto index = core::ComponentIndex::from_canonical_labels(std::move(labels));
+  if (degraded()) {
+    // Exact tier frozen: only the sketch advances. The view pins the
+    // transient index it was built from (one epoch's worth, replaced on
+    // the next publish), so sketch answers stay internally consistent.
+    last_count_ = index.num_components();
+    sketched_.store(std::make_shared<const SketchedView>(SketchedView::build(
+        std::make_shared<const core::ComponentIndex>(std::move(index)),
+        options_.sketch_options)));
+    return;
+  }
   if (options_.publish_forest) index.attach_forest(parent_);
   publish_index(
       std::make_shared<const core::ComponentIndex>(std::move(index)));
@@ -99,26 +235,112 @@ void ConnectivityEngine::publish_index(
   published_.store(std::move(next));
 }
 
+void ConnectivityEngine::maybe_degrade() {
+  if (options_.max_resident_bytes == 0 || degraded()) return;
+  if (resident_bytes() <= options_.max_resident_bytes) return;
+  // The ladder's one rung: drop the O(m) edge vector, the only unbounded
+  // allocation. Everything else the engine holds is O(n) and was accepted
+  // when the engine was sized.
+  log_.shed();
+  degraded_.store(true, std::memory_order_release);
+}
+
+std::uint64_t ConnectivityEngine::resident_bytes() const {
+  const std::uint64_t n = num_vertices();
+  std::uint64_t bytes = log_.memory_bytes();
+  bytes += (parent_.capacity() + scratch_.capacity()) * sizeof(VertexId);
+  // Published exact tier (labels + sizes + root table) — estimated rather
+  // than walked, since readers may be holding older epochs alive too.
+  bytes += 12 * n;
+  return bytes;
+}
+
 BatchResult ConnectivityEngine::apply_batch(std::span<const Edge> batch) {
   util::Timer timer;
   BatchResult out;
-  log_.append(batch);  // validates endpoints < n
-  out.batch = log_.num_batches();
+  out.batch = log_.num_batches() + 1;
   out.edges = batch.size();
+  // Validate at the boundary BEFORE anything touches disk: the WAL must
+  // never hold a record replay would reject.
+  const std::uint64_t n = num_vertices();
+  for (const Edge& e : batch)
+    LOGCC_CHECK_MSG(e.u < n && e.v < n, "apply_batch: endpoint out of range");
+
+  if (durable_) {
+    // Write-ahead: the record is on disk (per the fsync policy) before the
+    // merge starts. If the append fails before anything lands, the batch
+    // simply never happened — memory and disk agree on excluding it. If the
+    // record landed but its fsync barrier failed (offset advanced), the
+    // batch MUST still apply: replay will see the record, and a retry would
+    // duplicate it. The error is reported either way.
+    const std::uint64_t wal_before = wal_.offset();
+    out.durability = wal_.append(batch);
+    if (!out.durability.is_ok() && wal_.offset() == wal_before) {
+      out.applied = false;
+      out.degraded = degraded();
+      out.seconds = timer.seconds();
+      return out;
+    }
+    // Crash/delay site for the fault suite: the record is durable but the
+    // merge has not run — recovery must replay it. The `error` action is a
+    // deliberate no-op here (failing now would desync the checkpoint
+    // offset from a record that IS on disk).
+    (void)LOGCC_FAILPOINT("engine_after_wal_append");
+  }
+
+  log_.append(batch);
   const std::uint64_t before = last_count_;
   out.rounds = merge_batch(batch);
+  // Crash site: merged in memory, not yet published/checkpointed.
+  (void)LOGCC_FAILPOINT("engine_before_publish");
   publish();
   out.merges = before - last_count_;
-  if (options_.verify_every != 0 &&
+  maybe_degrade();
+  out.degraded = degraded();
+
+  // Verify cadence needs the full edge set — unavailable once shed.
+  if (!degraded() && options_.verify_every != 0 &&
       out.batch % options_.verify_every == 0) {
     out.verify_ran = true;
     out.verified = verify_and_rebuild();
+  }
+
+  if (durable_ && options_.durability.checkpoint_every != 0 &&
+      out.batch % options_.durability.checkpoint_every == 0) {
+    // Sync before checkpointing: the checkpoint's wal_offset must never
+    // point past data the disk could still lose.
+    Status cs = wal_.sync();
+    if (cs.is_ok()) cs = write_checkpoint_now();
+    // A checkpoint failure is reported but NOT fatal: the batch is applied
+    // and durable, recovery just replays a longer suffix.
+    if (out.durability.is_ok()) out.durability = cs;
+    (void)LOGCC_FAILPOINT("engine_after_checkpoint");
   }
   out.seconds = timer.seconds();
   return out;
 }
 
+util::Status ConnectivityEngine::write_checkpoint_now() {
+  CheckpointState state;
+  state.n = num_vertices();
+  state.epoch = published_.epoch();
+  state.batches = log_.num_batches();
+  state.wal_offset = wal_.offset();
+  state.num_components = last_count_;
+  state.labels = parent_;
+  return write_checkpoint(ckpt_path(options_.durability.dir), state);
+}
+
+util::Status ConnectivityEngine::flush_durable() {
+  if (!durable_) return Status::ok();
+  Status s = wal_.sync();
+  if (!s.is_ok()) return s;
+  return write_checkpoint_now();
+}
+
 bool ConnectivityEngine::verify_and_rebuild() {
+  LOGCC_CHECK_MSG(!log_.is_shed(),
+                  "verify_and_rebuild: edge log was shed (degraded mode)");
   // Full recompute on the accumulated edge set through the batch path. The
   // EdgeLog view is only live inside this call (append invalidates it).
   Options opt;
@@ -156,16 +378,25 @@ std::uint64_t ConnectivityEngine::approx_component_size(VertexId v) const {
   return view->approx_component_size(v);
 }
 
-bool ConnectivityEngine::connected(VertexId u, VertexId v) const {
+bool ConnectivityEngine::connected(VertexId u, VertexId v,
+                                   QueryInfo* info) const {
   const auto s = snapshot();
   LOGCC_CHECK_MSG(u < s->num_vertices() && v < s->num_vertices(),
                   "connected: vertex out of range");
+  if (info != nullptr) {
+    info->epoch = published_.epoch();
+    info->degraded = degraded();
+  }
   return s->connected(u, v);
 }
 
-VertexId ConnectivityEngine::component_of(VertexId v) const {
+VertexId ConnectivityEngine::component_of(VertexId v, QueryInfo* info) const {
   const auto s = snapshot();
   LOGCC_CHECK_MSG(v < s->num_vertices(), "component_of: vertex out of range");
+  if (info != nullptr) {
+    info->epoch = published_.epoch();
+    info->degraded = degraded();
+  }
   return s->component_of(v);
 }
 

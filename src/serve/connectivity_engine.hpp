@@ -23,21 +23,59 @@
 // the incremental index against it — labels, sizes, and count must match
 // exactly (both sides are canonical min-id, so equality is bitwise, not
 // just partition-equal).
+//
+// Crash safety (docs/ARCHITECTURE.md "Durability & fault tolerance"): with
+// DurabilityOptions::dir set, every batch is appended to a checksummed
+// write-ahead log (serve/wal.hpp) BEFORE it is merged, and the flat forest
+// is periodically checkpointed (serve/checkpoint.hpp, atomic
+// rename-into-place). recover() = load checkpoint + replay the WAL suffix;
+// because every merge is bit-deterministic, the recovered ComponentIndex
+// equals the never-crashed engine's exactly — the invariant the
+// fault-labelled suite enforces by killing the process at every registered
+// failpoint.
+//
+// Graceful degradation (EngineOptions::max_resident_bytes): when the
+// resident estimate crosses the cap the engine sheds the accumulated edge
+// log (its only unbounded allocation) and freezes the exact snapshot tier;
+// the SketchedView tier keeps advancing, so queries get stale exact
+// answers or fresh approximate ones, both flagged `degraded`. Durability
+// is unaffected — the WAL keeps the full history, and a recovered engine
+// is un-degraded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/component_index.hpp"
 #include "core/connectivity.hpp"
 #include "graph/edge_log.hpp"
 #include "graph/graph.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/sketched_view.hpp"
+#include "serve/wal.hpp"
 #include "util/epoch.hpp"
+#include "util/status.hpp"
 
 namespace logcc::serve {
+
+/// Crash-safety knobs. Durability is on iff `dir` is non-empty; durable
+/// engines are constructed through ConnectivityEngine::recover (the plain
+/// constructor LOGCC_CHECKs `dir` is empty, because construction can then
+/// fail for I/O reasons a constructor cannot report).
+struct DurabilityOptions {
+  /// Directory holding `edges.wal` and `index.ckpt`. Created if missing.
+  std::string dir;
+  WalOptions wal;
+  /// Write a checkpoint every this many batches (0 = only on
+  /// flush_durable(), e.g. clean shutdown). Recovery replays the WAL
+  /// suffix past the last checkpoint, so the cadence bounds recovery time,
+  /// not durability.
+  std::uint64_t checkpoint_every = 0;
+};
 
 struct EngineOptions {
   /// Rebuild/verify cadence: after every `verify_every` batches the engine
@@ -55,6 +93,11 @@ struct EngineOptions {
   /// per publish.
   bool sketched_view = false;
   SketchedViewOptions sketch_options;
+  /// Resident-memory budget in bytes (0 = unlimited). Crossing it trips
+  /// the degradation ladder (see class comment). Implies sketched_view —
+  /// the degraded engine needs a fresh tier to serve from.
+  std::uint64_t max_resident_bytes = 0;
+  DurabilityOptions durability;
 };
 
 /// What one apply_batch reports.
@@ -66,40 +109,96 @@ struct BatchResult {
   double seconds = 0.0;      // merge + snapshot production (+ verify epoch)
   bool verify_ran = false;   // a rebuild/verify epoch ran after this batch
   bool verified = true;      // false iff it ran and disagreed
+  /// False iff the write-ahead append failed before the record landed: the
+  /// batch was NOT applied (memory and disk both exclude it — retry or drop
+  /// it, the engine state is unchanged). `durability` then carries the
+  /// reason. A record that reached the file but missed its fsync barrier
+  /// still applies (replay would see it; retrying would duplicate it) with
+  /// the error reported in `durability`.
+  bool applied = true;
+  /// The engine was in (or entered) degraded mode during this batch.
+  bool degraded = false;
+  /// First durability error of this call (WAL append/sync or checkpoint
+  /// write). OK when durability is off. A checkpoint failure leaves the
+  /// batch applied — recovery just replays a longer WAL suffix.
+  util::Status durability;
+};
+
+/// Epoch/staleness metadata a point query can opt into.
+struct QueryInfo {
+  std::uint64_t epoch = 0;  // snapshot generation the answer came from
+  /// True when the exact tier is frozen (degraded mode): the answer is
+  /// correct for a past epoch, not necessarily the current stream position.
+  bool degraded = false;
 };
 
 class ConnectivityEngine {
  public:
   /// Engine over the fixed vertex universe [0, n). Publishes the initial
   /// all-singletons snapshot immediately, so queries are valid before the
-  /// first batch.
+  /// first batch. Durable engines are built via recover() (LOGCC_CHECK:
+  /// options.durability.dir must be empty here).
   explicit ConnectivityEngine(std::uint64_t n, EngineOptions options = {});
+
+  /// Builds (or rebuilds after a crash) a durable engine from `dir`:
+  /// creates the directory if needed, loads the checkpoint when one is
+  /// present (a corrupt checkpoint is skipped — the WAL holds the full
+  /// history), replays the WAL suffix past it, truncates any torn tail,
+  /// and opens the WAL for appending. The recovered engine's published
+  /// index is bit-identical to an uninterrupted engine fed the same
+  /// durable batch prefix. `n` must match the on-disk stream when one
+  /// exists.
+  struct RecoveryInfo {
+    bool used_checkpoint = false;
+    util::Status checkpoint_status;   // why the checkpoint was not used
+    std::uint64_t checkpoint_batches = 0;
+    std::uint64_t replayed_records = 0;  // WAL records merged on top
+    std::uint64_t torn_bytes = 0;        // truncated torn-tail bytes
+  };
+  static util::Status recover(const std::string& dir, std::uint64_t n,
+                              EngineOptions options,
+                              std::unique_ptr<ConnectivityEngine>* out,
+                              RecoveryInfo* info = nullptr);
 
   // --- writer side (one thread at a time) --------------------------------
   /// Inserts a batch of edges and publishes the next snapshot epoch.
   /// Endpoints must be < n (LOGCC_CHECK). Self-loops and duplicates are
   /// tolerated. Runs a rebuild/verify epoch when the cadence says so.
+  /// Durable engines append the batch to the WAL first; if that fails the
+  /// batch is not applied (result.applied == false) and the engine state
+  /// is unchanged.
   BatchResult apply_batch(std::span<const graph::Edge> batch);
   /// Full recompute through connected_components() on the accumulated edge
   /// set; cross-checks the incremental index (exact labels + sizes + count)
   /// and publishes the recomputed snapshot. Returns true when the
-  /// incremental state matched.
+  /// incremental state matched. Unavailable after degradation shed the
+  /// edge log (LOGCC_CHECK).
   bool verify_and_rebuild();
+  /// Forces the durable state current: fsyncs the WAL and writes a
+  /// checkpoint of the present forest. The clean-shutdown path (cc_serve's
+  /// SIGTERM handler calls this). No-op returning OK when durability is
+  /// off.
+  util::Status flush_durable();
 
   // --- reader side (any number of threads, never blocked by the writer) --
-  /// The current epoch's immutable snapshot (never null).
+  /// The current epoch's immutable snapshot (never null). In degraded mode
+  /// this is the last pre-degradation epoch (stale; see degraded()).
   std::shared_ptr<const core::ComponentIndex> snapshot() const {
     return published_.load();
   }
-  bool connected(graph::VertexId u, graph::VertexId v) const;
-  graph::VertexId component_of(graph::VertexId v) const;
+  bool connected(graph::VertexId u, graph::VertexId v,
+                 QueryInfo* info = nullptr) const;
+  graph::VertexId component_of(graph::VertexId v,
+                               QueryInfo* info = nullptr) const;
   std::uint64_t component_count() const { return snapshot()->num_components(); }
   std::uint64_t component_size(graph::VertexId v) const;
 
   // --- approximate tier (EngineOptions::sketched_view) -------------------
   /// The current epoch's sketch view (null unless sketched_view is on).
   /// The view pins the exact snapshot it was built from, so its estimates
-  /// are epoch-consistent even while the writer publishes.
+  /// are epoch-consistent even while the writer publishes. In degraded
+  /// mode this is the FRESH tier (it keeps advancing past the frozen exact
+  /// snapshots).
   std::shared_ptr<const SketchedView> sketched() const {
     return sketched_.load();
   }
@@ -115,15 +214,29 @@ class ConnectivityEngine {
   /// Published snapshot generation (increments on every batch and rebuild).
   std::uint64_t epoch() const { return published_.epoch(); }
   const graph::EdgeLog& edges() const { return log_; }
+  bool durable() const { return durable_; }
+  /// True once the degradation ladder tripped (sticky for this engine's
+  /// lifetime; recovery from the WAL yields an un-degraded engine).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// Estimate of resident bytes (edge log + forest arrays + published
+  /// snapshot tiers) — what max_resident_bytes is compared against.
+  std::uint64_t resident_bytes() const;
+  /// WAL byte offset of the durable stream position (0 when not durable).
+  std::uint64_t wal_offset() const { return durable_ ? wal_.offset() : 0; }
 
  private:
   /// Hook+shortcut the batch into the flat forest; returns rounds.
   std::uint64_t merge_batch(std::span<const graph::Edge> batch);
   /// Builds and swaps in the next snapshot from the current flat forest.
+  /// In degraded mode only the sketch tier advances.
   void publish();
   /// Shared publish tail: stores the index (and, when enabled, the
   /// SketchedView built from it) as the next epoch.
   void publish_index(std::shared_ptr<const core::ComponentIndex> next);
+  /// Trips the ladder when the resident estimate crosses the cap.
+  void maybe_degrade();
+  /// Writes a checkpoint of the current forest at the current WAL offset.
+  util::Status write_checkpoint_now();
 
   EngineOptions options_;
   graph::EdgeLog log_;
@@ -135,6 +248,10 @@ class ConnectivityEngine {
   std::uint64_t last_count_ = 0;  // published count (writer-side bookkeeping)
   util::EpochPtr<core::ComponentIndex> published_;
   util::EpochPtr<SketchedView> sketched_;  // empty unless options say so
+  WalWriter wal_;                          // open iff durable_
+  bool durable_ = false;
+  // Written by the writer thread, read by query threads via QueryInfo.
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace logcc::serve

@@ -1,0 +1,332 @@
+#include "serve/wal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "graph/binary_io.hpp"  // kEndianTag
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+#include "util/mmap_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOGCC_WAL_POSIX 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace logcc::serve {
+
+using util::Status;
+
+namespace {
+
+std::string errno_suffix() {
+  return std::string(" (") + std::strerror(errno) + ")";
+}
+
+/// Per-record on-disk prefix.
+struct RecordHeader {
+  std::uint32_t payload_bytes;
+  std::uint32_t crc;
+};
+static_assert(sizeof(RecordHeader) == 8, "record header must stay 8 bytes");
+
+constexpr std::uint64_t kMaxRecordPayload = 1ull << 30;  // 128M edges/batch
+
+}  // namespace
+
+const char* to_string(WalFsync fsync) {
+  switch (fsync) {
+    case WalFsync::kNone: return "none";
+    case WalFsync::kBatch: return "batch";
+    case WalFsync::kEveryN: return "every-n";
+  }
+  return "?";
+}
+
+bool wal_fsync_from_string(const std::string& name, WalFsync* out) {
+  if (name == "none") *out = WalFsync::kNone;
+  else if (name == "batch") *out = WalFsync::kBatch;
+  else if (name == "every-n") *out = WalFsync::kEveryN;
+  else return false;
+  return true;
+}
+
+util::Status wal_replay(
+    const std::string& path,
+    const std::function<void(std::uint64_t, std::span<const graph::Edge>)>&
+        on_batch,
+    WalScan* scan) {
+  WalScan local;
+  WalScan& s = scan ? *scan : local;
+  s = WalScan{};
+
+#ifdef LOGCC_WAL_POSIX
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT)
+      return Status::not_found("no WAL at '" + path + "'");
+    return Status::io_error("cannot stat WAL '" + path + "'" +
+                            errno_suffix());
+  }
+  if (static_cast<std::size_t>(st.st_size) < sizeof(WalHeader))
+    return Status::corruption("WAL '" + path + "' shorter than its header (" +
+                              std::to_string(st.st_size) + " bytes)");
+#endif
+  if (LOGCC_FAILPOINT("wal_replay_read"))
+    return Status::io_error("injected WAL read failure for '" + path + "'");
+
+  std::string map_error;
+  util::MmapFile map = util::MmapFile::open_read(
+      path, &map_error, util::MmapPopulate::kNone, sizeof(WalHeader));
+  if (!map.valid())
+    return Status::io_error("cannot read WAL '" + path + "': " + map_error);
+  WalHeader header;
+  std::memcpy(&header, map.data(), sizeof header);
+  if (std::memcmp(header.magic, kWalMagic, sizeof kWalMagic) != 0)
+    return Status::corruption("WAL '" + path + "' has a bad magic");
+  if (header.version != kWalVersion)
+    return Status::corruption("WAL '" + path + "' has version " +
+                              std::to_string(header.version) + " (want " +
+                              std::to_string(kWalVersion) + ")");
+  if (header.endian != graph::kEndianTag)
+    return Status::corruption("WAL '" + path +
+                              "' was written on a foreign-endian host");
+  s.n = header.n;
+
+  // Record scan. The first record that does not fully parse is the torn
+  // tail: stop there and report the valid prefix. (A record is 8-aligned by
+  // construction — header 32B, record = 8B + 8B*edges — so the payload can
+  // be viewed in place.)
+  std::uint64_t off = sizeof(WalHeader);
+  while (off < map.size()) {
+    if (map.size() - off < sizeof(RecordHeader)) break;  // torn header
+    RecordHeader rec;
+    std::memcpy(&rec, map.data() + off, sizeof rec);
+    if (rec.payload_bytes % sizeof(graph::Edge) != 0 ||
+        rec.payload_bytes > kMaxRecordPayload)
+      break;  // impossible length: treat as torn
+    if (map.size() - off - sizeof(RecordHeader) < rec.payload_bytes)
+      break;  // torn payload
+    const std::uint8_t* payload = map.data() + off + sizeof(RecordHeader);
+    if (util::crc32c(payload, rec.payload_bytes) != rec.crc) break;  // torn
+    const auto* edges = reinterpret_cast<const graph::Edge*>(payload);
+    const std::size_t count = rec.payload_bytes / sizeof(graph::Edge);
+    // Endpoint validation is part of record validity: a CRC-clean record
+    // with an out-of-universe id is corruption (or a foreign stream), and
+    // stopping here keeps the replay callback's `endpoints < n` contract.
+    bool in_range = true;
+    for (std::size_t i = 0; i < count && in_range; ++i)
+      in_range = edges[i].u < header.n && edges[i].v < header.n;
+    if (!in_range) break;
+    if (on_batch)
+      on_batch(off, std::span<const graph::Edge>(edges, count));
+    s.records += 1;
+    s.edges += count;
+    off += sizeof(RecordHeader) + rec.payload_bytes;
+  }
+  s.valid_bytes = off;
+  s.torn_bytes = map.size() - off;
+  return Status::ok();
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    offset_ = std::exchange(other.offset_, 0);
+    records_ = std::exchange(other.records_, 0);
+    unsynced_appends_ = std::exchange(other.unsynced_appends_, 0);
+  }
+  return *this;
+}
+
+void WalWriter::close() {
+#ifdef LOGCC_WAL_POSIX
+  if (fd_ >= 0) {
+    if (options_.fsync != WalFsync::kNone && unsynced_appends_ > 0)
+      ::fsync(fd_);  // best effort; the Status-returning path is sync()
+    ::close(fd_);
+  }
+#endif
+  fd_ = -1;
+  offset_ = 0;
+  records_ = 0;
+  unsynced_appends_ = 0;
+}
+
+util::Status WalWriter::open_fd(const std::string& path, bool truncate) {
+#ifdef LOGCC_WAL_POSIX
+  if (LOGCC_FAILPOINT("wal_open"))
+    return Status::io_error("injected WAL open failure for '" + path + "'");
+  const int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0)
+    return Status::io_error("cannot open WAL '" + path + "'" +
+                            errno_suffix());
+  path_ = path;
+  return Status::ok();
+#else
+  (void)path;
+  (void)truncate;
+  return Status::failed_precondition(
+      "the WAL needs POSIX file I/O on this platform");
+#endif
+}
+
+util::Status WalWriter::write_header(std::uint64_t n) {
+#ifdef LOGCC_WAL_POSIX
+  WalHeader header{};
+  std::memcpy(header.magic, kWalMagic, sizeof kWalMagic);
+  header.version = kWalVersion;
+  header.endian = graph::kEndianTag;
+  header.n = n;
+  if (::pwrite(fd_, &header, sizeof header, 0) !=
+      static_cast<ssize_t>(sizeof header))
+    return Status::io_error("cannot write WAL header to '" + path_ + "'" +
+                            errno_suffix());
+  offset_ = sizeof header;
+  return Status::ok();
+#else
+  (void)n;
+  return Status::failed_precondition("no POSIX file I/O");
+#endif
+}
+
+util::Status WalWriter::create(const std::string& path, std::uint64_t n,
+                               WalOptions options, WalWriter* out) {
+  if (options.fsync == WalFsync::kEveryN && options.every_n == 0)
+    return Status::invalid_argument("WalFsync::kEveryN needs every_n > 0");
+  WalWriter w;
+  w.options_ = options;
+  if (Status s = w.open_fd(path, /*truncate=*/true); !s.is_ok()) return s;
+  if (Status s = w.write_header(n); !s.is_ok()) return s;
+  *out = std::move(w);
+  return Status::ok();
+}
+
+util::Status WalWriter::open_for_append(const std::string& path,
+                                        std::uint64_t n, WalOptions options,
+                                        WalWriter* out, WalScan* scan) {
+  WalScan local;
+  WalScan& s = scan ? *scan : local;
+  Status st = wal_replay(path, nullptr, &s);
+  if (st.code() == util::StatusCode::kNotFound)
+    return create(path, n, options, out);
+  if (!st.is_ok()) return st;
+  if (s.n != n)
+    return Status::corruption(
+        "WAL '" + path + "' logs a stream over n=" + std::to_string(s.n) +
+        ", engine expects n=" + std::to_string(n));
+
+  WalWriter w;
+  w.options_ = options;
+  if (options.fsync == WalFsync::kEveryN && options.every_n == 0)
+    return Status::invalid_argument("WalFsync::kEveryN needs every_n > 0");
+  if (Status so = w.open_fd(path, /*truncate=*/false); !so.is_ok()) return so;
+#ifdef LOGCC_WAL_POSIX
+  // Drop the torn tail so the file ends exactly at the last valid record —
+  // the crash happened "just before" the torn batch's append.
+  if (s.torn_bytes > 0 &&
+      ::ftruncate(w.fd_, static_cast<off_t>(s.valid_bytes)) != 0)
+    return Status::io_error("cannot truncate torn WAL tail of '" + path +
+                            "'" + errno_suffix());
+#endif
+  w.offset_ = s.valid_bytes;
+  w.records_ = s.records;
+  *out = std::move(w);
+  return Status::ok();
+}
+
+util::Status WalWriter::append(std::span<const graph::Edge> batch) {
+#ifdef LOGCC_WAL_POSIX
+  if (fd_ < 0)
+    return Status::failed_precondition("append on a closed WalWriter");
+  const std::uint64_t payload_bytes = batch.size_bytes();
+  if (payload_bytes > kMaxRecordPayload)
+    return Status::invalid_argument("WAL batch larger than the record cap");
+
+  // One contiguous buffer so a record hits the kernel in a single pwrite —
+  // the only torn states a crash can leave are prefixes of one record.
+  std::vector<std::uint8_t> buf(sizeof(RecordHeader) + payload_bytes);
+  RecordHeader rec;
+  rec.payload_bytes = static_cast<std::uint32_t>(payload_bytes);
+  rec.crc = util::crc32c(batch.data(), payload_bytes);
+  std::memcpy(buf.data(), &rec, sizeof rec);
+  if (payload_bytes > 0)
+    std::memcpy(buf.data() + sizeof rec, batch.data(), payload_bytes);
+
+  const std::uint64_t start = offset_;
+  // Transient failures (EINTR/EAGAIN, injected "once" faults) retry with
+  // backoff after rewinding the file to the record start, so a retried
+  // append never duplicates a partial prefix.
+  Status s = util::retry_with_backoff([&]() -> Status {
+    if (LOGCC_FAILPOINT("wal_append_write")) {
+      // Model a short write: leave a torn prefix behind, then fail. A
+      // "once"-armed site heals on the retry; "error" stays failed and the
+      // next open_for_append truncates the tear.
+      ::pwrite(fd_, buf.data(), buf.size() / 2, static_cast<off_t>(start));
+      return Status::io_error("injected short write on '" + path_ + "'",
+                              /*transient=*/true);
+    }
+    std::size_t written = 0;
+    while (written < buf.size()) {
+      const ssize_t rc =
+          ::pwrite(fd_, buf.data() + written, buf.size() - written,
+                   static_cast<off_t>(start + written));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        const bool transient = errno == EAGAIN;
+        (void)::ftruncate(fd_, static_cast<off_t>(start));
+        return Status::io_error("short write on WAL '" + path_ + "' at " +
+                                    std::to_string(start + written) +
+                                    errno_suffix(),
+                                transient);
+      }
+      written += static_cast<std::size_t>(rc);
+    }
+    return Status::ok();
+  });
+  if (!s.is_ok()) {
+    // Best-effort rewind; if even that fails the torn tail is dropped by
+    // the next open_for_append.
+    (void)::ftruncate(fd_, static_cast<off_t>(start));
+    return s;
+  }
+
+  offset_ = start + buf.size();
+  records_ += 1;
+  unsynced_appends_ += 1;
+  if (options_.fsync == WalFsync::kBatch ||
+      (options_.fsync == WalFsync::kEveryN &&
+       unsynced_appends_ >= options_.every_n))
+    return sync();
+  return Status::ok();
+#else
+  (void)batch;
+  return Status::failed_precondition("no POSIX file I/O");
+#endif
+}
+
+util::Status WalWriter::sync() {
+#ifdef LOGCC_WAL_POSIX
+  if (fd_ < 0)
+    return Status::failed_precondition("sync on a closed WalWriter");
+  if (LOGCC_FAILPOINT("wal_fsync"))
+    return Status::io_error("injected fsync failure on '" + path_ + "'");
+  if (::fsync(fd_) != 0)
+    return Status::io_error("fsync failed on WAL '" + path_ + "'" +
+                            errno_suffix());
+  unsynced_appends_ = 0;
+  return Status::ok();
+#else
+  return Status::failed_precondition("no POSIX file I/O");
+#endif
+}
+
+}  // namespace logcc::serve

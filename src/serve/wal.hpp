@@ -1,0 +1,144 @@
+// Write-ahead edge log ("LOGCCWAL1"): the durability backbone of the
+// serving layer (docs/ARCHITECTURE.md "Durability & fault tolerance";
+// on-disk layout in docs/FILE_FORMATS.md).
+//
+// The ConnectivityEngine appends every edge batch here BEFORE merging it
+// into the incremental forest, so the durable file is always a superset of
+// the in-memory state and recovery is a deterministic replay: load the
+// latest checkpoint, then re-apply the WAL suffix. Because every engine
+// operation is bit-deterministic (the repo's determinism contract), the
+// recovered ComponentIndex equals the never-crashed one *bitwise* — the
+// invariant the fault-labelled test suite enforces at every failpoint.
+//
+// File layout (all fields native-endian, tagged):
+//
+//   [ 32-byte WalHeader ][ record ]*
+//   record = u32 payload_bytes | u32 crc32c(payload) | payload
+//   payload = batch edges as (u, v) u32 pairs (payload_bytes = 8 * edges)
+//
+// Torn tails: a crash mid-append leaves a record whose header or payload is
+// short, or whose CRC does not match. replay() stops at the first invalid
+// record and reports the valid prefix; open_for_append() truncates the file
+// back to that prefix, so one torn batch is dropped exactly as if the crash
+// had happened just before its append — never a half-applied batch.
+//
+// Fsync policy (WalOptions::fsync):
+//   kNone    — never fsync (page cache only; survives process death, not
+//              power loss). The bench default: durability off the hot path.
+//   kBatch   — fsync after every append (every batch is power-loss safe).
+//   kEveryN  — fsync after every N appends and on sync()/close.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/status.hpp"
+
+namespace logcc::serve {
+
+inline constexpr char kWalMagic[8] = {'L', 'O', 'G', 'C', 'C', 'W', 'A', 'L'};
+inline constexpr std::uint32_t kWalVersion = 1;
+
+/// 32-byte WAL file header ("LOGCCWAL1" = magic + version). Native-endian
+/// with the shared endianness tag (graph/binary_io.hpp convention).
+struct WalHeader {
+  char magic[8];          // kWalMagic
+  std::uint32_t version;  // kWalVersion
+  std::uint32_t endian;   // graph::kEndianTag
+  std::uint64_t n;        // vertex universe of the logged stream
+  std::uint64_t reserved;
+};
+static_assert(sizeof(WalHeader) == 32, "WAL header must stay 32 bytes");
+
+enum class WalFsync { kNone, kBatch, kEveryN };
+
+const char* to_string(WalFsync fsync);
+/// Parses "none" | "batch" | "every-n"; returns false on anything else.
+bool wal_fsync_from_string(const std::string& name, WalFsync* out);
+
+struct WalOptions {
+  WalFsync fsync = WalFsync::kBatch;
+  /// Appends between fsyncs under kEveryN (must be > 0 there).
+  std::uint64_t every_n = 64;
+};
+
+/// What a replay scan of an existing WAL found.
+struct WalScan {
+  std::uint64_t n = 0;              // header vertex universe
+  std::uint64_t records = 0;        // valid records (batches)
+  std::uint64_t edges = 0;          // edges across valid records
+  std::uint64_t valid_bytes = 0;    // offset just past the last valid record
+  std::uint64_t torn_bytes = 0;     // trailing bytes past the valid prefix
+};
+
+/// Scans `path`, invoking `on_batch(record_start_offset, edges)` for every
+/// valid record in order. Stops at the first torn/corrupt record (reported
+/// via `scan->torn_bytes`; scanning NEVER fails on a torn tail — that is
+/// the expected post-crash state). `on_batch` may be null (pure scan).
+/// Returns kNotFound when the file does not exist, kCorruption when the
+/// header itself is invalid.
+util::Status wal_replay(
+    const std::string& path,
+    const std::function<void(std::uint64_t, std::span<const graph::Edge>)>&
+        on_batch,
+    WalScan* scan = nullptr);
+
+/// Append handle on a WAL file. Single writer (the engine's writer thread);
+/// not thread-safe.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { close(); }
+  WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates (truncating) a fresh WAL for vertex universe [0, n).
+  static util::Status create(const std::string& path, std::uint64_t n,
+                             WalOptions options, WalWriter* out);
+
+  /// Opens an existing WAL for appending: validates the header against `n`,
+  /// truncates a torn tail back to the last valid record (reported in
+  /// `scan` when non-null), and positions the write cursor at the end of
+  /// the valid prefix. A missing file is created fresh (kNotFound is never
+  /// returned — recovery treats "no log yet" as an empty log).
+  static util::Status open_for_append(const std::string& path,
+                                      std::uint64_t n, WalOptions options,
+                                      WalWriter* out, WalScan* scan = nullptr);
+
+  /// Appends one batch record (write-ahead: call BEFORE applying the batch)
+  /// and applies the fsync policy. Transient write failures (EINTR/EAGAIN
+  /// class) are retried with backoff internally; the returned error is
+  /// already final. On error the file may hold a torn record — the next
+  /// open_for_append truncates it.
+  util::Status append(std::span<const graph::Edge> batch);
+
+  /// Forces everything appended so far to durable storage (fsync),
+  /// regardless of policy. The clean-shutdown path.
+  util::Status sync();
+
+  /// Byte offset one past the last appended record — what a checkpoint
+  /// stores so recovery can replay exactly the suffix.
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t records() const { return records_; }
+  bool is_open() const { return fd_ >= 0; }
+
+  void close();
+
+ private:
+  util::Status open_fd(const std::string& path, bool truncate);
+  util::Status write_header(std::uint64_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  WalOptions options_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t unsynced_appends_ = 0;
+};
+
+}  // namespace logcc::serve

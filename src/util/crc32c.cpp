@@ -1,0 +1,52 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace logcc::util {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // t[k][b]: CRC of byte b followed by k zero bytes — slicing-by-4.
+  std::uint32_t t[4][256];
+};
+
+constexpr Tables make_tables() {
+  Tables out{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    out.t[0][b] = crc;
+  }
+  for (std::uint32_t b = 0; b < 256; ++b)
+    for (int k = 1; k < 4; ++k)
+      out.t[k][b] = (out.t[k - 1][b] >> 8) ^ out.t[0][out.t[k - 1][b] & 0xFFu];
+  return out;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  while (size >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace logcc::util

@@ -1,0 +1,246 @@
+#include "util/failpoint.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace logcc::util::failpoint {
+
+namespace {
+
+// The catalog: every LOGCC_FAILPOINT site in the tree, by layer. arm()
+// rejects names outside this list, so the kill-at-every-failpoint recovery
+// suite (tests/test_recovery.cpp) iterating catalog() provably reaches
+// every site.
+constexpr const char* kCatalog[] = {
+    // util/mmap_file
+    "mmap_open_read",
+    "mmap_map",
+    "mmap_allocate",
+    "mmap_sync",
+    // serve/wal
+    "wal_open",
+    "wal_append_write",
+    "wal_fsync",
+    "wal_replay_read",
+    // serve/checkpoint
+    "checkpoint_open",
+    "checkpoint_write",
+    "checkpoint_sync",
+    "checkpoint_before_rename",
+    "checkpoint_after_rename",
+    // serve/connectivity_engine durability hooks
+    "engine_after_wal_append",
+    "engine_before_publish",
+    "engine_after_checkpoint",
+    // util/thread_pool
+    "thread_pool_dispatch",
+};
+
+struct Armed {
+  Action action = Action::kError;
+  std::uint64_t skip_hits = 0;
+  std::uint64_t delay_ms = 0;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Armed> armed;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives every user
+  return *r;
+}
+
+bool in_catalog(const std::string& name) {
+  for (const char* known : kCatalog)
+    if (name == known) return true;
+  return false;
+}
+
+[[noreturn]] void crash_now() {
+  // The closest in-process stand-in for power loss: no atexit handlers, no
+  // stream flushes, no stack unwinding. Data not yet in the page cache via
+  // write(2) is lost exactly as a real kill -9 would lose it.
+#if defined(__unix__) || defined(__APPLE__)
+  ::kill(::getpid(), SIGKILL);
+#endif
+  std::abort();  // unreachable on POSIX; keeps non-POSIX builds honest
+}
+
+// Environment arming runs before main() so LOGCC_FAILPOINT=... affects a
+// whole binary run (the CI crash-recovery smoke drives cc_serve this way).
+const bool g_env_armed = [] {
+  if (const char* spec = std::getenv("LOGCC_FAILPOINT")) {
+    std::string error;
+    if (!arm_from_spec(spec, &error)) {
+      std::fprintf(stderr, "LOGCC_FAILPOINT: %s\n", error.c_str());
+      std::abort();  // a typo'd injection spec must never pass silently
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+std::atomic<int> g_armed_count{0};
+
+std::span<const char* const> catalog() { return kCatalog; }
+
+void arm(const std::string& name, Action action, std::uint64_t skip_hits,
+         std::uint64_t delay_ms) {
+  LOGCC_CHECK_MSG(in_catalog(name), "failpoint name not in the catalog");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const bool fresh = r.armed.find(name) == r.armed.end();
+  r.armed[name] = Armed{action, skip_hits, delay_ms, 0};
+  if (fresh) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.armed.erase(name) > 0)
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed_count.fetch_sub(static_cast<int>(r.armed.size()),
+                          std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+bool is_armed(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.armed.find(name) != r.armed.end();
+}
+
+std::uint64_t hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(name);
+  return it == r.armed.end() ? 0 : it->second.hits;
+}
+
+bool should_fail(const char* name) {
+  Registry& r = registry();
+  std::uint64_t delay_ms = 0;
+  bool fail = false;
+  bool crash = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.armed.find(name);
+    if (it == r.armed.end()) return false;
+    Armed& a = it->second;
+    a.hits += 1;
+    if (a.hits <= a.skip_hits) return false;
+    switch (a.action) {
+      case Action::kError:
+        fail = true;
+        break;
+      case Action::kOnce:
+        fail = true;
+        r.armed.erase(it);
+        g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      case Action::kCrash:
+        crash = true;
+        break;
+      case Action::kDelay:
+        delay_ms = a.delay_ms;
+        break;
+    }
+  }
+  if (crash) crash_now();
+  if (delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  return fail;
+}
+
+bool arm_from_spec(const std::string& spec, std::string* error) {
+  // name:action[,name:action...]; action = error | once | crash | delay:MS
+  // (an optional trailing :skip=N field delays the action to the N+1st hit).
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    while (true) {
+      std::size_t colon = entry.find(':', fpos);
+      if (colon == std::string::npos) {
+        fields.push_back(entry.substr(fpos));
+        break;
+      }
+      fields.push_back(entry.substr(fpos, colon - fpos));
+      fpos = colon + 1;
+    }
+    if (fields.size() < 2 || !in_catalog(fields[0])) {
+      if (error)
+        *error = "bad failpoint entry '" + entry +
+                 "' (want name:action with a cataloged name)";
+      return false;
+    }
+    const std::string& name = fields[0];
+    const std::string& action = fields[1];
+    std::uint64_t delay_ms = 0;
+    std::uint64_t skip = 0;
+    std::size_t next_field = 2;
+    Action a;
+    if (action == "error") {
+      a = Action::kError;
+    } else if (action == "once") {
+      a = Action::kOnce;
+    } else if (action == "crash") {
+      a = Action::kCrash;
+    } else if (action == "delay") {
+      a = Action::kDelay;
+      if (fields.size() <= next_field) {
+        if (error) *error = "delay action needs ':MS' in '" + entry + "'";
+        return false;
+      }
+      delay_ms = std::strtoull(fields[next_field].c_str(), nullptr, 10);
+      ++next_field;
+    } else {
+      if (error)
+        *error = "unknown failpoint action '" + action + "' in '" + entry +
+                 "' (want error|once|crash|delay:MS)";
+      return false;
+    }
+    if (fields.size() > next_field) {
+      const std::string& f = fields[next_field];
+      if (f.rfind("skip=", 0) != 0) {
+        if (error) *error = "unexpected trailing field '" + f + "'";
+        return false;
+      }
+      skip = std::strtoull(f.c_str() + 5, nullptr, 10);
+      ++next_field;
+    }
+    if (fields.size() > next_field) {
+      if (error) *error = "too many fields in '" + entry + "'";
+      return false;
+    }
+    arm(name, a, skip, delay_ms);
+  }
+  return true;
+}
+
+}  // namespace logcc::util::failpoint

@@ -1,0 +1,90 @@
+// Failpoint registry: deterministic fault injection for the durability
+// layer (docs/ARCHITECTURE.md "Durability & fault tolerance", failpoint
+// catalog).
+//
+// A failpoint is a named site on an error path — "what if the write here
+// was short / the fsync failed / the process died right now". Sites are
+// spelled
+//
+//   if (LOGCC_FAILPOINT("wal_append_write")) return Status::io_error(...);
+//
+// and cost one relaxed atomic load + predictable branch when nothing is
+// armed (the serving hot path carries them for free; bench_serving pins
+// this against the baseline). Arming happens either programmatically
+// (failpoint::arm, used by the fault-labelled test suites) or from the
+// environment at process start:
+//
+//   LOGCC_FAILPOINT=name:action[,name:action...]
+//
+// Actions:
+//   error      — the site takes its error path every hit.
+//   once       — the site takes its error path on the first hit only, then
+//                disarms (the Status it produces is marked transient by the
+//                sites that retry, so this exercises retry_with_backoff).
+//   crash      — raise(SIGKILL) at the site: the closest in-process stand-in
+//                for power loss; nothing below the OS flushes or unwinds.
+//                The kill-at-every-failpoint recovery suite iterates the
+//                catalog with this action.
+//   delay:MS   — sleep MS milliseconds, then continue normally (scheduling
+//                jitter; the site does NOT take its error path).
+//
+// Every site name must be listed in the catalog (failpoint.cpp) — arm()
+// LOGCC_CHECKs membership, so the recovery suite's "iterate the catalog"
+// loop provably covers every site in the tree.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace logcc::util::failpoint {
+
+enum class Action {
+  kError,  // take the error path on every hit
+  kOnce,   // take the error path on the first hit, then disarm
+  kCrash,  // SIGKILL the process at the site
+  kDelay,  // sleep, then continue normally
+};
+
+/// Number of armed failpoints — the fast-path gate LOGCC_FAILPOINT reads.
+/// (Extern atomic, not a function call, so the disarmed cost is exactly one
+/// relaxed load.)
+extern std::atomic<int> g_armed_count;
+
+/// All registered site names, for suites that iterate the catalog.
+std::span<const char* const> catalog();
+
+/// Arms `name` with `action`. `skip_hits` hits pass through before the
+/// action applies (0 = act on the first hit) — the recovery suite uses it
+/// to crash at the Kth batch, not the first. `delay_ms` only matters for
+/// kDelay. LOGCC_CHECKs that `name` is in the catalog.
+void arm(const std::string& name, Action action, std::uint64_t skip_hits = 0,
+         std::uint64_t delay_ms = 0);
+void disarm(const std::string& name);
+void disarm_all();
+
+/// True when `name` is currently armed (test introspection).
+bool is_armed(const std::string& name);
+/// Total hits (armed or not is irrelevant — counts every evaluation that
+/// reached the slow path) of `name` since the last arm().
+std::uint64_t hits(const std::string& name);
+
+/// Parses one LOGCC_FAILPOINT-style spec list and arms accordingly.
+/// Returns false (arming nothing further) on a malformed entry. Exposed for
+/// tests; process-env initialization runs automatically before main().
+bool arm_from_spec(const std::string& spec, std::string* error = nullptr);
+
+/// Slow path behind LOGCC_FAILPOINT: applies the armed action for `name`.
+/// Returns true when the caller should take its error path.
+bool should_fail(const char* name);
+
+}  // namespace logcc::util::failpoint
+
+/// True when the failpoint `name` is armed with error/once semantics (and
+/// handles crash/delay actions internally). Disarmed cost: one relaxed
+/// atomic load and a never-taken branch.
+#define LOGCC_FAILPOINT(name)                                              \
+  (::logcc::util::failpoint::g_armed_count.load(std::memory_order_relaxed) \
+       > 0 &&                                                              \
+   ::logcc::util::failpoint::should_fail(name))

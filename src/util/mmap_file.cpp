@@ -1,8 +1,11 @@
 #include "util/mmap_file.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <utility>
+
+#include "util/failpoint.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LOGCC_HAVE_MMAP 1
@@ -17,6 +20,12 @@ namespace logcc::util {
 namespace {
 void set_error(std::string* error, const std::string& msg) {
   if (error) *error = msg;
+}
+/// Appends the errno string so "cannot open" distinguishes ENOENT from
+/// EACCES from EMFILE — the difference between "wrong path" and "raise the
+/// fd limit" when a serving process logs it.
+void set_errno_error(std::string* error, const std::string& msg) {
+  set_error(error, msg + " (" + std::strerror(errno) + ")");
 }
 }  // namespace
 
@@ -48,6 +57,7 @@ void MmapFile::reset() {
 }
 
 bool MmapFile::sync() {
+  if (LOGCC_FAILPOINT("mmap_sync")) return false;
 #ifdef LOGCC_HAVE_MMAP
   if (data_ && mapped_ && writable_) return ::msync(data_, size_, MS_SYNC) == 0;
 #endif
@@ -64,21 +74,42 @@ const char* to_string(MmapPopulate populate) {
 }
 
 MmapFile MmapFile::open_read(const std::string& path, std::string* error,
-                             MmapPopulate populate) {
+                             MmapPopulate populate, std::size_t min_size) {
   MmapFile f;
+  if (LOGCC_FAILPOINT("mmap_open_read")) {
+    set_error(error, "injected open failure for '" + path + "'");
+    return f;
+  }
 #ifdef LOGCC_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    set_error(error, "cannot open '" + path + "'");
+    set_errno_error(error, "cannot open '" + path + "'");
     return f;
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+  if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    set_error(error, "cannot stat regular file '" + path + "'");
+    set_errno_error(error, "cannot stat '" + path + "'");
+    return f;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    set_error(error, "'" + path + "' is not a regular file");
     return f;
   }
   f.size_ = static_cast<std::size_t>(st.st_size);
+  // Size gate BEFORE mapping: a file shorter than the caller's fixed
+  // header would otherwise hand out a view whose header parse reads past
+  // the end (SIGBUS on a really truncated mapping, garbage on a padded
+  // one).
+  if (f.size_ < min_size) {
+    ::close(fd);
+    f.size_ = 0;
+    set_error(error, "'" + path + "' is truncated: " +
+                         std::to_string(static_cast<std::size_t>(st.st_size)) +
+                         " bytes, need at least " + std::to_string(min_size));
+    return f;
+  }
   f.opened_ = true;
   if (f.size_ == 0) {
     ::close(fd);
@@ -88,12 +119,14 @@ MmapFile MmapFile::open_read(const std::string& path, std::string* error,
 #ifdef MAP_POPULATE
   if (populate == MmapPopulate::kPopulate) flags |= MAP_POPULATE;
 #endif
-  void* p = ::mmap(nullptr, f.size_, PROT_READ, flags, fd, 0);
+  void* p = LOGCC_FAILPOINT("mmap_map")
+                ? MAP_FAILED
+                : ::mmap(nullptr, f.size_, PROT_READ, flags, fd, 0);
   ::close(fd);  // the mapping keeps its own reference
   if (p == MAP_FAILED) {
     f.size_ = 0;
     f.opened_ = false;
-    set_error(error, "mmap failed for '" + path + "'");
+    set_errno_error(error, "mmap failed for '" + path + "'");
     return f;
   }
 #ifdef MAP_POPULATE
@@ -112,7 +145,7 @@ MmapFile MmapFile::open_read(const std::string& path, std::string* error,
   // Heap fallback: correct but not zero-copy.
   std::FILE* fp = std::fopen(path.c_str(), "rb");
   if (!fp) {
-    set_error(error, "cannot open '" + path + "'");
+    set_errno_error(error, "cannot open '" + path + "'");
     return f;
   }
   std::fseek(fp, 0, SEEK_END);
@@ -120,10 +153,17 @@ MmapFile MmapFile::open_read(const std::string& path, std::string* error,
   std::fseek(fp, 0, SEEK_SET);
   if (sz < 0) {
     std::fclose(fp);
-    set_error(error, "cannot size '" + path + "'");
+    set_errno_error(error, "cannot size '" + path + "'");
     return f;
   }
   f.size_ = static_cast<std::size_t>(sz);
+  if (f.size_ < min_size) {
+    std::fclose(fp);
+    f.size_ = 0;
+    set_error(error, "'" + path + "' is truncated: " + std::to_string(sz) +
+                         " bytes, need at least " + std::to_string(min_size));
+    return f;
+  }
   f.opened_ = true;
   if (f.size_ > 0) {
     f.data_ = new std::uint8_t[f.size_];
@@ -149,7 +189,7 @@ MmapFile MmapFile::create_rw(const std::string& path, std::size_t size,
 #ifdef LOGCC_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
-    set_error(error, "cannot create '" + path + "'");
+    set_errno_error(error, "cannot create '" + path + "'");
     return f;
   }
   // posix_fallocate, not plain ftruncate: actually reserve the blocks now.
@@ -158,23 +198,33 @@ MmapFile MmapFile::create_rw(const std::string& path, std::size_t size,
   // (ENOSPC mid-write) — allocation failure must be a clean error return
   // instead. (macOS lacks posix_fallocate; it keeps the sparse-file
   // behaviour.)
+  int rc;
+  if (LOGCC_FAILPOINT("mmap_allocate")) {
+    rc = ENOSPC;
+  } else {
 #ifdef __APPLE__
-  const int rc = ::ftruncate(fd, static_cast<off_t>(size));
+    rc = ::ftruncate(fd, static_cast<off_t>(size)) == 0 ? 0 : errno;
 #else
-  const int rc = ::posix_fallocate(fd, 0, static_cast<off_t>(size));
+    rc = ::posix_fallocate(fd, 0, static_cast<off_t>(size));
 #endif
+  }
   if (rc != 0) {
     ::close(fd);
     std::remove(path.c_str());
+    // posix_fallocate returns the error instead of setting errno.
     set_error(error, "cannot allocate " + std::to_string(size) +
-                         " bytes for '" + path + "' (disk full?)");
+                         " bytes for '" + path + "' (" + std::strerror(rc) +
+                         ")");
     return f;
   }
-  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  void* p = LOGCC_FAILPOINT("mmap_map")
+                ? MAP_FAILED
+                : ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                         0);
   ::close(fd);
   if (p == MAP_FAILED) {
     std::remove(path.c_str());
-    set_error(error, "mmap (rw) failed for '" + path + "'");
+    set_errno_error(error, "mmap (rw) failed for '" + path + "'");
     return f;
   }
   f.data_ = static_cast<std::uint8_t*>(p);

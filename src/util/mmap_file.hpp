@@ -46,12 +46,16 @@ class MmapFile {
   MmapFile& operator=(const MmapFile&) = delete;
 
   /// Maps `path` read-only. On failure returns an invalid MmapFile and, if
-  /// `error` is non-null, stores a human-readable reason. Empty files map
-  /// as valid with size 0. `populate` selects eager page population (a
-  /// no-op for the heap fallback, which is eager by nature).
+  /// `error` is non-null, stores a human-readable reason (including the
+  /// errno string for system-call failures). Empty files map as valid with
+  /// size 0. `populate` selects eager page population (a no-op for the heap
+  /// fallback, which is eager by nature). `min_size` rejects files smaller
+  /// than the caller's fixed header BEFORE mapping — a truncated file never
+  /// hands out a view the header parse would read past.
   static MmapFile open_read(const std::string& path,
                             std::string* error = nullptr,
-                            MmapPopulate populate = MmapPopulate::kNone);
+                            MmapPopulate populate = MmapPopulate::kNone,
+                            std::size_t min_size = 0);
 
   /// Creates (or truncates) `path`, sizes it to exactly `size` bytes, and
   /// maps it read-write. The mapping is flushed and unmapped on destruction

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include "util/affinity.hpp"
 #include "util/arena.hpp"
+#include "util/failpoint.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -229,6 +230,11 @@ void ThreadPool::shutdown() {
 void ThreadPool::run(std::size_t begin, std::size_t end, std::size_t grain,
                      void* ctx, ChunkFn chunk) {
   if (end <= begin) return;
+  // Jitter/crash site for the fault suite: dispatch has no error path, so
+  // the useful actions are delay (scheduling skew that must not change any
+  // deterministic result) and crash (die inside a parallel region). The
+  // disarmed cost is the one relaxed load the serving bench pins.
+  (void)LOGCC_FAILPOINT("thread_pool_dispatch");
   Impl& im = impl();
   // Reentrant (a body dispatching again) or contended (another thread is
   // mid-dispatch): run inline. Serial execution is always a correct

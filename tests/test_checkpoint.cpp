@@ -1,0 +1,231 @@
+// serve/checkpoint — the LOGCCKP1 atomic checkpoint (PR 10): round trips,
+// checksum/size/canonicity validation, and the tmp+rename atomicity
+// contract under injected faults (a crashed writer never damages the
+// previous checkpoint).
+#include "serve/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.hpp"
+#include "util/status.hpp"
+
+namespace logcc {
+namespace {
+
+using serve::CheckpointState;
+using util::Status;
+using util::StatusCode;
+
+namespace fp = util::failpoint;
+
+class Checkpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "logcc_ckpt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ckpt";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  void TearDown() override {
+    fp::disarm_all();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  /// Canonical min-id labels for {0,1,2} {3,4} {5}: two non-trivial
+  /// components plus a singleton.
+  static CheckpointState sample_state() {
+    CheckpointState s;
+    s.n = 6;
+    s.epoch = 9;
+    s.batches = 4;
+    s.wal_offset = 128;
+    s.num_components = 3;
+    s.labels = {0, 0, 0, 3, 3, 5};
+    return s;
+  }
+
+  static bool exists(const std::string& p) {
+    struct stat st;
+    return ::stat(p.c_str(), &st) == 0;
+  }
+
+  /// Flips one byte at `offset` in path_.
+  void corrupt_byte(long offset) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(Checkpoint, RoundTripsAllFields) {
+  const CheckpointState in = sample_state();
+  ASSERT_TRUE(serve::write_checkpoint(path_, in).is_ok());
+  EXPECT_FALSE(exists(path_ + ".tmp")) << "the tmp file must not survive";
+  CheckpointState out;
+  ASSERT_TRUE(serve::read_checkpoint(path_, &out).is_ok());
+  EXPECT_EQ(out.n, in.n);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.batches, in.batches);
+  EXPECT_EQ(out.wal_offset, in.wal_offset);
+  EXPECT_EQ(out.num_components, in.num_components);
+  EXPECT_EQ(out.labels, in.labels);
+}
+
+TEST_F(Checkpoint, EmptyUniverseRoundTrips) {
+  CheckpointState in;  // n = 0, no labels — a pre-first-batch checkpoint
+  ASSERT_TRUE(serve::write_checkpoint(path_, in).is_ok());
+  CheckpointState out;
+  ASSERT_TRUE(serve::read_checkpoint(path_, &out).is_ok());
+  EXPECT_EQ(out.n, 0u);
+  EXPECT_TRUE(out.labels.empty());
+}
+
+TEST_F(Checkpoint, MissingFileIsNotFound) {
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(Checkpoint, RewriteReplacesAtomically) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  CheckpointState next = sample_state();
+  next.epoch = 10;
+  next.batches = 5;
+  next.wal_offset = 256;
+  next.num_components = 2;
+  next.labels = {0, 0, 0, 3, 3, 3};
+  ASSERT_TRUE(serve::write_checkpoint(path_, next).is_ok());
+  CheckpointState out;
+  ASSERT_TRUE(serve::read_checkpoint(path_, &out).is_ok());
+  EXPECT_EQ(out.epoch, 10u);
+  EXPECT_EQ(out.labels, next.labels);
+}
+
+TEST_F(Checkpoint, HeaderCorruptionIsDetected) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  corrupt_byte(24);  // the epoch field, covered by header_crc
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Checkpoint, PayloadCorruptionIsDetected) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  corrupt_byte(64 + 4);  // second label
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Checkpoint, BadMagicIsCorruption) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  corrupt_byte(0);
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Checkpoint, TruncatedPayloadIsCorruption) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  ASSERT_EQ(::truncate(path_.c_str(), 64 + 8), 0);  // 2 of 6 labels left
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Checkpoint, FileShorterThanHeaderIsCorruption) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("LOGCCKP1", f);  // right magic, nothing else
+  std::fclose(f);
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Checkpoint, TrailingGarbageIsCorruption) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("junk", f);
+  std::fclose(f);
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption)
+      << "the file size must match the header exactly";
+}
+
+TEST_F(Checkpoint, NonCanonicalLabelsAreRejected) {
+  // labels[1] = 2 > 1 violates labels[v] <= v: checksums pass (the bytes
+  // were written honestly) but the state is not a canonical forest, so a
+  // recovery built on it would break the min-id contract.
+  CheckpointState bad = sample_state();
+  bad.labels = {0, 2, 2, 3, 3, 5};
+  ASSERT_TRUE(serve::write_checkpoint(path_, bad).is_ok());
+  CheckpointState out;
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+  // Non-idempotent labels (labels[labels[v]] != labels[v]) likewise.
+  CheckpointState chain = sample_state();
+  chain.labels = {0, 0, 1, 3, 3, 5};  // 2 -> 1 -> 0: not flat
+  ASSERT_TRUE(serve::write_checkpoint(path_, chain).is_ok());
+  EXPECT_EQ(serve::read_checkpoint(path_, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Checkpoint, InjectedWriteFailureLeavesPreviousCheckpointIntact) {
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  CheckpointState next = sample_state();
+  next.epoch = 11;
+
+  for (const char* site :
+       {"checkpoint_open", "checkpoint_write", "checkpoint_sync",
+        "checkpoint_before_rename"}) {
+    fp::arm(site, fp::Action::kError);
+    const Status s = serve::write_checkpoint(path_, next);
+    fp::disarm_all();
+    EXPECT_FALSE(s.is_ok()) << site;
+    EXPECT_FALSE(exists(path_ + ".tmp"))
+        << site << ": a failed write must clean up its tmp file";
+    CheckpointState out;
+    ASSERT_TRUE(serve::read_checkpoint(path_, &out).is_ok()) << site;
+    EXPECT_EQ(out.epoch, 9u)
+        << site << ": the previous checkpoint must be untouched";
+  }
+}
+
+TEST_F(Checkpoint, InjectedDirSyncFailureStillLeavesValidFile) {
+  // checkpoint_after_rename fails the *directory* fsync: the rename already
+  // happened, so the new checkpoint is in place (its durability is merely
+  // not guaranteed yet) and the caller sees the error.
+  ASSERT_TRUE(serve::write_checkpoint(path_, sample_state()).is_ok());
+  CheckpointState next = sample_state();
+  next.epoch = 12;
+  fp::arm("checkpoint_after_rename", fp::Action::kError);
+  const Status s = serve::write_checkpoint(path_, next);
+  fp::disarm_all();
+  EXPECT_FALSE(s.is_ok());
+  CheckpointState out;
+  ASSERT_TRUE(serve::read_checkpoint(path_, &out).is_ok());
+  EXPECT_EQ(out.epoch, 12u);
+}
+
+}  // namespace
+}  // namespace logcc

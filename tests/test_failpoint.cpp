@@ -1,0 +1,138 @@
+// util::failpoint — the fault-injection registry behind the durability
+// layer's kill-at-every-failpoint recovery suite (PR 10): catalog
+// enforcement, arming semantics (error/once/delay, skip budgets), the
+// LOGCC_FAILPOINT fast path, and the LOGCC_FAILPOINT= env spec parser.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace logcc {
+namespace {
+
+namespace fp = util::failpoint;
+
+class Failpoint : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+};
+
+TEST_F(Failpoint, CatalogListsEveryLayer) {
+  const auto names = fp::catalog();
+  ASSERT_FALSE(names.empty());
+  auto has = [&](const std::string& want) {
+    for (const char* name : names)
+      if (want == name) return true;
+    return false;
+  };
+  // One representative per instrumented layer; the full list lives in
+  // failpoint.cpp and docs/ARCHITECTURE.md.
+  EXPECT_TRUE(has("mmap_open_read"));
+  EXPECT_TRUE(has("wal_append_write"));
+  EXPECT_TRUE(has("checkpoint_before_rename"));
+  EXPECT_TRUE(has("engine_after_wal_append"));
+  EXPECT_TRUE(has("thread_pool_dispatch"));
+}
+
+TEST_F(Failpoint, EveryCatalogNameIsArmable) {
+  for (const char* name : fp::catalog()) {
+    fp::arm(name, fp::Action::kError);
+    EXPECT_TRUE(fp::is_armed(name)) << name;
+    fp::disarm(name);
+    EXPECT_FALSE(fp::is_armed(name)) << name;
+  }
+  EXPECT_EQ(fp::g_armed_count.load(), 0);
+}
+
+TEST_F(Failpoint, DisarmedSitesNeverFire) {
+  EXPECT_EQ(fp::g_armed_count.load(), 0);
+  EXPECT_FALSE(LOGCC_FAILPOINT("wal_append_write"));
+  EXPECT_FALSE(LOGCC_FAILPOINT("checkpoint_open"));
+}
+
+TEST_F(Failpoint, ErrorActionFiresEveryHit) {
+  fp::arm("wal_fsync", fp::Action::kError);
+  EXPECT_TRUE(LOGCC_FAILPOINT("wal_fsync"));
+  EXPECT_TRUE(LOGCC_FAILPOINT("wal_fsync"));
+  EXPECT_EQ(fp::hits("wal_fsync"), 2u);
+  // Arming one site never leaks into another.
+  EXPECT_FALSE(LOGCC_FAILPOINT("wal_open"));
+}
+
+TEST_F(Failpoint, OnceActionFiresThenDisarms) {
+  fp::arm("wal_append_write", fp::Action::kOnce);
+  EXPECT_TRUE(LOGCC_FAILPOINT("wal_append_write"));
+  EXPECT_FALSE(fp::is_armed("wal_append_write"))
+      << "once must disarm after the first firing";
+  EXPECT_FALSE(LOGCC_FAILPOINT("wal_append_write"));
+  EXPECT_EQ(fp::g_armed_count.load(), 0);
+}
+
+TEST_F(Failpoint, SkipBudgetDelaysTheAction) {
+  fp::arm("checkpoint_write", fp::Action::kError, /*skip_hits=*/2);
+  EXPECT_FALSE(LOGCC_FAILPOINT("checkpoint_write"));  // hit 1: skipped
+  EXPECT_FALSE(LOGCC_FAILPOINT("checkpoint_write"));  // hit 2: skipped
+  EXPECT_TRUE(LOGCC_FAILPOINT("checkpoint_write"));   // hit 3: fires
+  EXPECT_TRUE(LOGCC_FAILPOINT("checkpoint_write"));
+  EXPECT_EQ(fp::hits("checkpoint_write"), 4u);
+}
+
+TEST_F(Failpoint, DelayActionSleepsButNeverFails) {
+  fp::arm("thread_pool_dispatch", fp::Action::kDelay, /*skip_hits=*/0,
+          /*delay_ms=*/20);
+  util::Timer timer;
+  EXPECT_FALSE(LOGCC_FAILPOINT("thread_pool_dispatch"))
+      << "delay must not take the error path";
+  EXPECT_GE(timer.seconds(), 0.015);
+}
+
+TEST_F(Failpoint, RearmResetsHitCount) {
+  fp::arm("wal_open", fp::Action::kError, /*skip_hits=*/0);
+  (void)LOGCC_FAILPOINT("wal_open");
+  EXPECT_EQ(fp::hits("wal_open"), 1u);
+  fp::arm("wal_open", fp::Action::kError, /*skip_hits=*/0);
+  EXPECT_EQ(fp::hits("wal_open"), 0u);
+  EXPECT_EQ(fp::g_armed_count.load(), 1) << "re-arming must not double-count";
+}
+
+TEST_F(Failpoint, SpecParserAcceptsTheDocumentedForms) {
+  std::string error;
+  EXPECT_TRUE(fp::arm_from_spec("wal_fsync:error", &error)) << error;
+  EXPECT_TRUE(fp::is_armed("wal_fsync"));
+  EXPECT_TRUE(fp::arm_from_spec("wal_open:once,checkpoint_open:crash", &error))
+      << error;
+  EXPECT_TRUE(fp::is_armed("wal_open"));
+  EXPECT_TRUE(fp::is_armed("checkpoint_open"));
+  EXPECT_TRUE(fp::arm_from_spec("thread_pool_dispatch:delay:5", &error))
+      << error;
+  EXPECT_TRUE(
+      fp::arm_from_spec("engine_after_wal_append:crash:skip=3", &error))
+      << error;
+  EXPECT_TRUE(fp::arm_from_spec("wal_append_write:delay:7:skip=2", &error))
+      << error;
+}
+
+TEST_F(Failpoint, SpecParserRejectsMalformedEntries) {
+  std::string error;
+  EXPECT_FALSE(fp::arm_from_spec("not_a_site:error", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fp::arm_from_spec("wal_open", &error)) << "missing action";
+  EXPECT_FALSE(fp::arm_from_spec("wal_open:explode", &error));
+  EXPECT_FALSE(fp::arm_from_spec("wal_open:delay", &error))
+      << "delay needs :MS";
+  EXPECT_FALSE(fp::arm_from_spec("wal_open:error:bogus", &error));
+  EXPECT_FALSE(fp::arm_from_spec("wal_open:error:skip=1:extra", &error));
+}
+
+TEST_F(Failpoint, SkipFieldFromSpecMatchesProgrammaticArm) {
+  std::string error;
+  ASSERT_TRUE(fp::arm_from_spec("wal_fsync:error:skip=1", &error)) << error;
+  EXPECT_FALSE(LOGCC_FAILPOINT("wal_fsync"));
+  EXPECT_TRUE(LOGCC_FAILPOINT("wal_fsync"));
+}
+
+}  // namespace
+}  // namespace logcc

@@ -1,0 +1,375 @@
+// serve/wal — the LOGCCWAL1 write-ahead edge log (PR 10): CRC32C reference
+// vectors, record round trips, torn-tail detection/truncation, corruption
+// handling, fsync policies, and transient-failure retry through the
+// wal_append_write failpoint.
+#include "serve/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+#include "util/status.hpp"
+
+namespace logcc {
+namespace {
+
+using graph::Edge;
+using serve::WalOptions;
+using serve::WalScan;
+using serve::WalWriter;
+using util::Status;
+using util::StatusCode;
+
+namespace fp = util::failpoint;
+
+// ---------------------------------------------------------------- crc32c ---
+
+TEST(Crc32c, Rfc3720ReferenceVectors) {
+  // RFC 3720 appendix B.4 — the iSCSI CRC32C test vectors. Matching them
+  // means any standard tool can validate a WAL written here.
+  std::uint8_t zeros[32] = {};
+  EXPECT_EQ(util::crc32c(zeros, sizeof zeros), 0x8A9136AAu);
+  std::uint8_t ones[32];
+  for (auto& b : ones) b = 0xFF;
+  EXPECT_EQ(util::crc32c(ones, sizeof ones), 0x62A8AB43u);
+  std::uint8_t ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(util::crc32c(ascending, sizeof ascending), 0x46DD794Eu);
+  std::uint8_t descending[32];
+  for (int i = 0; i < 32; ++i)
+    descending[i] = static_cast<std::uint8_t>(31 - i);
+  EXPECT_EQ(util::crc32c(descending, sizeof descending), 0x113FDB5Cu);
+  const char* nums = "123456789";
+  EXPECT_EQ(util::crc32c(nums, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, SeedChainsIncrementalComputation) {
+  const char* data = "write-ahead logging";
+  const std::size_t n = 19;
+  const std::uint32_t whole = util::crc32c(data, n);
+  for (std::size_t split = 0; split <= n; ++split) {
+    const std::uint32_t first = util::crc32c(data, split);
+    EXPECT_EQ(util::crc32c(data + split, n - split, first), whole)
+        << "split at " << split;
+  }
+  EXPECT_EQ(util::crc32c(data, 0), 0u);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::uint8_t buf[64];
+  for (int i = 0; i < 64; ++i) buf[i] = static_cast<std::uint8_t>(i * 7);
+  const std::uint32_t clean = util::crc32c(buf, sizeof buf);
+  for (int byte = 0; byte < 64; byte += 9) {
+    buf[byte] ^= 0x10;
+    EXPECT_NE(util::crc32c(buf, sizeof buf), clean) << "flip at " << byte;
+    buf[byte] ^= 0x10;
+  }
+}
+
+// ------------------------------------------------------------------- wal ---
+
+class Wal : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "logcc_wal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".wal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    fp::disarm_all();
+    std::remove(path_.c_str());
+  }
+
+  static std::vector<Edge> batch(std::initializer_list<std::pair<int, int>> e) {
+    std::vector<Edge> out;
+    for (auto [u, v] : e)
+      out.push_back(Edge{static_cast<graph::VertexId>(u),
+                         static_cast<graph::VertexId>(v)});
+    return out;
+  }
+
+  /// Replays path_ and returns every batch flattened, asserting scan
+  /// consistency along the way.
+  std::vector<std::vector<Edge>> replay_all(WalScan* scan = nullptr) {
+    std::vector<std::vector<Edge>> batches;
+    std::uint64_t last_offset = 0;
+    const Status s = serve::wal_replay(
+        path_,
+        [&](std::uint64_t offset, std::span<const Edge> edges) {
+          EXPECT_GT(offset, last_offset) << "record offsets must increase";
+          last_offset = offset;
+          batches.emplace_back(edges.begin(), edges.end());
+        },
+        scan);
+    EXPECT_TRUE(s.is_ok()) << s.to_string();
+    return batches;
+  }
+
+  std::string path_;
+};
+
+TEST_F(Wal, FsyncPolicyNamesRoundTrip) {
+  for (auto policy :
+       {serve::WalFsync::kNone, serve::WalFsync::kBatch,
+        serve::WalFsync::kEveryN}) {
+    serve::WalFsync parsed;
+    ASSERT_TRUE(serve::wal_fsync_from_string(to_string(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  serve::WalFsync parsed;
+  EXPECT_FALSE(serve::wal_fsync_from_string("sometimes", &parsed));
+}
+
+TEST_F(Wal, EveryNRequiresPositiveN) {
+  WalOptions opt;
+  opt.fsync = serve::WalFsync::kEveryN;
+  opt.every_n = 0;
+  WalWriter w;
+  EXPECT_EQ(WalWriter::create(path_, 10, opt, &w).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(Wal, RoundTripsBatches) {
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 100, WalOptions{}, &w).is_ok());
+  const auto b1 = batch({{0, 1}, {2, 3}});
+  const auto b2 = batch({{4, 5}});
+  const auto b3 = batch({});  // empty batches are legal records
+  ASSERT_TRUE(w.append(b1).is_ok());
+  ASSERT_TRUE(w.append(b2).is_ok());
+  ASSERT_TRUE(w.append(b3).is_ok());
+  EXPECT_EQ(w.records(), 3u);
+  w.close();
+
+  WalScan scan;
+  const auto batches = replay_all(&scan);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0], b1);
+  EXPECT_EQ(batches[1], b2);
+  EXPECT_TRUE(batches[2].empty());
+  EXPECT_EQ(scan.n, 100u);
+  EXPECT_EQ(scan.records, 3u);
+  EXPECT_EQ(scan.edges, 3u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+}
+
+TEST_F(Wal, MissingFileIsNotFoundForReplayButFreshForAppend) {
+  EXPECT_EQ(serve::wal_replay(path_, nullptr, nullptr).code(),
+            StatusCode::kNotFound);
+  WalWriter w;
+  ASSERT_TRUE(
+      WalWriter::open_for_append(path_, 42, WalOptions{}, &w).is_ok());
+  EXPECT_EQ(w.records(), 0u);
+  ASSERT_TRUE(w.append(batch({{1, 2}})).is_ok());
+  w.close();
+  WalScan scan;
+  replay_all(&scan);
+  EXPECT_EQ(scan.n, 42u);
+  EXPECT_EQ(scan.records, 1u);
+}
+
+TEST_F(Wal, OpenForAppendResumesAtTheEnd) {
+  {
+    WalWriter w;
+    ASSERT_TRUE(WalWriter::create(path_, 50, WalOptions{}, &w).is_ok());
+    ASSERT_TRUE(w.append(batch({{0, 1}})).is_ok());
+  }
+  {
+    WalWriter w;
+    WalScan scan;
+    ASSERT_TRUE(
+        WalWriter::open_for_append(path_, 50, WalOptions{}, &w, &scan)
+            .is_ok());
+    EXPECT_EQ(scan.records, 1u);
+    EXPECT_EQ(w.records(), 1u);
+    ASSERT_TRUE(w.append(batch({{2, 3}, {4, 5}})).is_ok());
+  }
+  const auto batches = replay_all();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1], batch({{2, 3}, {4, 5}}));
+}
+
+TEST_F(Wal, OpenForAppendRejectsUniverseMismatch) {
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 50, WalOptions{}, &w).is_ok());
+  w.close();
+  WalWriter reopened;
+  EXPECT_EQ(
+      WalWriter::open_for_append(path_, 51, WalOptions{}, &reopened).code(),
+      StatusCode::kCorruption);
+}
+
+TEST_F(Wal, TornTailIsDetectedAndTruncated) {
+  std::uint64_t valid_end = 0;
+  {
+    WalWriter w;
+    ASSERT_TRUE(WalWriter::create(path_, 50, WalOptions{}, &w).is_ok());
+    ASSERT_TRUE(w.append(batch({{0, 1}})).is_ok());
+    ASSERT_TRUE(w.append(batch({{2, 3}})).is_ok());
+    valid_end = w.offset();
+  }
+  // Simulate a crash mid-append: a record header promising more payload
+  // than the file holds.
+  {
+    std::FILE* fp = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(fp, nullptr);
+    const std::uint32_t torn[2] = {64, 0xDEADBEEF};  // 64 payload bytes, none
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof torn, fp), sizeof torn);
+    std::fclose(fp);
+  }
+  WalScan scan;
+  const auto batches = replay_all(&scan);
+  EXPECT_EQ(batches.size(), 2u) << "the torn record must not replay";
+  EXPECT_EQ(scan.valid_bytes, valid_end);
+  EXPECT_EQ(scan.torn_bytes, 8u);
+
+  // open_for_append drops the tail: the next replay sees a clean file.
+  WalWriter w;
+  WalScan open_scan;
+  ASSERT_TRUE(WalWriter::open_for_append(path_, 50, WalOptions{}, &w,
+                                         &open_scan)
+                  .is_ok());
+  EXPECT_EQ(open_scan.torn_bytes, 8u);
+  EXPECT_EQ(w.offset(), valid_end);
+  ASSERT_TRUE(w.append(batch({{4, 5}})).is_ok());
+  w.close();
+  WalScan after;
+  EXPECT_EQ(replay_all(&after).size(), 3u);
+  EXPECT_EQ(after.torn_bytes, 0u);
+}
+
+TEST_F(Wal, CorruptPayloadStopsReplayAtTheCrcBoundary) {
+  {
+    WalWriter w;
+    ASSERT_TRUE(WalWriter::create(path_, 50, WalOptions{}, &w).is_ok());
+    ASSERT_TRUE(w.append(batch({{0, 1}})).is_ok());
+    ASSERT_TRUE(w.append(batch({{2, 3}})).is_ok());
+  }
+  // Flip one payload byte of the second record (file layout: 32B header,
+  // then per record 8B header + 8B edge payload).
+  {
+    std::FILE* fp = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fseek(fp, 32 + 16 + 8 + 2, SEEK_SET), 0);
+    const int c = std::fgetc(fp);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(fp, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0x01, fp);
+    std::fclose(fp);
+  }
+  WalScan scan;
+  const auto batches = replay_all(&scan);
+  ASSERT_EQ(batches.size(), 1u) << "replay must stop at the corrupt record";
+  EXPECT_EQ(batches[0], batch({{0, 1}}));
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+TEST_F(Wal, OutOfUniverseEndpointInvalidatesTheRecord) {
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 5, WalOptions{}, &w).is_ok());
+  ASSERT_TRUE(w.append(batch({{0, 1}})).is_ok());
+  // The writer does not validate endpoints (the engine does, before
+  // appending); a CRC-clean record with ids outside [0, n) must still be
+  // rejected by replay — it cannot be fed to EdgeLog::append.
+  ASSERT_TRUE(w.append(batch({{7, 1}})).is_ok());
+  w.close();
+  const auto batches = replay_all();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], batch({{0, 1}}));
+}
+
+TEST_F(Wal, BadHeaderIsCorruption) {
+  {
+    std::FILE* fp = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    const char junk[40] = "definitely not a WAL header, promise";
+    ASSERT_EQ(std::fwrite(junk, 1, sizeof junk, fp), sizeof junk);
+    std::fclose(fp);
+  }
+  EXPECT_EQ(serve::wal_replay(path_, nullptr, nullptr).code(),
+            StatusCode::kCorruption);
+  // Shorter than the 32-byte header: also corruption, not I/O failure.
+  {
+    std::FILE* fp = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputc('L', fp);
+    std::fclose(fp);
+  }
+  EXPECT_EQ(serve::wal_replay(path_, nullptr, nullptr).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(Wal, TransientAppendFailureHealsThroughRetry) {
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 50, WalOptions{}, &w).is_ok());
+  // "once" => the first pwrite attempt leaves a torn half-record and
+  // returns a transient error; retry_with_backoff re-runs it at the same
+  // offset and succeeds.
+  fp::arm("wal_append_write", fp::Action::kOnce);
+  ASSERT_TRUE(w.append(batch({{0, 1}, {2, 3}})).is_ok());
+  EXPECT_FALSE(fp::is_armed("wal_append_write")) << "once must have fired";
+  ASSERT_TRUE(w.append(batch({{4, 5}})).is_ok());
+  w.close();
+  WalScan scan;
+  const auto batches = replay_all(&scan);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0], batch({{0, 1}, {2, 3}}));
+  EXPECT_EQ(scan.torn_bytes, 0u) << "the retried record must not leave a tear";
+}
+
+TEST_F(Wal, PersistentAppendFailureRewindsTheFile) {
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 50, WalOptions{}, &w).is_ok());
+  ASSERT_TRUE(w.append(batch({{0, 1}})).is_ok());
+  const std::uint64_t before = w.offset();
+  fp::arm("wal_append_write", fp::Action::kError);
+  const Status s = w.append(batch({{2, 3}}));
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(w.offset(), before) << "a failed append must not advance";
+  fp::disarm_all();
+  // The writer rewound the tear; the valid prefix is intact and appendable.
+  ASSERT_TRUE(w.append(batch({{4, 5}})).is_ok());
+  w.close();
+  const auto batches = replay_all();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1], batch({{4, 5}}));
+}
+
+TEST_F(Wal, InjectedFsyncFailureSurfacesAsIoError) {
+  WalOptions opt;
+  opt.fsync = serve::WalFsync::kBatch;
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 50, opt, &w).is_ok());
+  fp::arm("wal_fsync", fp::Action::kError);
+  EXPECT_EQ(w.append(batch({{0, 1}})).code(), StatusCode::kIoError);
+  fp::disarm_all();
+  // The record itself was written; only its durability barrier failed.
+  w.close();
+  EXPECT_EQ(replay_all().size(), 1u);
+}
+
+TEST_F(Wal, EveryNPolicySyncsOnSchedule) {
+  WalOptions opt;
+  opt.fsync = serve::WalFsync::kEveryN;
+  opt.every_n = 3;
+  WalWriter w;
+  ASSERT_TRUE(WalWriter::create(path_, 50, opt, &w).is_ok());
+  // Arm the fsync failpoint: appends 1 and 2 must not sync (no error),
+  // append 3 crosses every_n and hits the injected fsync failure.
+  fp::arm("wal_fsync", fp::Action::kError);
+  EXPECT_TRUE(w.append(batch({{0, 1}})).is_ok());
+  EXPECT_TRUE(w.append(batch({{1, 2}})).is_ok());
+  EXPECT_EQ(w.append(batch({{2, 3}})).code(), StatusCode::kIoError);
+  fp::disarm_all();
+  EXPECT_TRUE(w.sync().is_ok());
+}
+
+}  // namespace
+}  // namespace logcc
